@@ -1,0 +1,117 @@
+// Command ccube-bench regenerates the paper's evaluation figures and
+// tables. Each figure is produced by the corresponding experiment in
+// internal/experiments and printed as an aligned text table annotated with
+// the paper's headline numbers.
+//
+// Usage:
+//
+//	ccube-bench                  # regenerate everything
+//	ccube-bench -fig 12a         # one figure
+//	ccube-bench -fig 14a -max-nodes 1024
+//	ccube-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ccube/internal/experiments"
+	"ccube/internal/report"
+)
+
+// writeTable saves one table via the given writer method, creating the
+// directory if needed.
+func writeTable(dir, id string, idx, total int, ext string, t *report.Table,
+	write func(*report.Table, io.Writer) error) error {
+	name := dir + "/" + id
+	if total > 1 {
+		name = fmt.Sprintf("%s-%d", name, idx+1)
+	}
+	path := name + ext
+	if err := os.MkdirAll(pathDir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(t, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func pathDir(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (e.g. 1, 3, 12a, 14b) or 'all'")
+	maxNodes := flag.Int("max-nodes", experiments.Fig14MaxNodes,
+		"largest node count for the scale-out sweep (paper: 1024)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	mdDir := flag.String("md", "", "also write each table as Markdown into this directory")
+	flag.Parse()
+
+	experiments.Fig14MaxNodes = *maxNodes
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	if *fig == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(*fig)
+		if err != nil {
+			e, err = experiments.ByID("fig" + *fig)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "use -list to see available experiments")
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tables, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for i, t := range tables {
+			fmt.Println(t.Render())
+			if *csvDir != "" {
+				if err := writeTable(*csvDir, e.ID, i, len(tables), ".csv", t,
+					(*report.Table).WriteCSV); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+					os.Exit(1)
+				}
+			}
+			if *mdDir != "" {
+				if err := writeTable(*mdDir, e.ID, i, len(tables), ".md", t,
+					(*report.Table).WriteMarkdown); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,180 @@
+// Command ccube-sim runs a single AllReduce on the discrete-event simulator
+// and prints its timing decomposition: total time, achieved bandwidth,
+// gradient turnaround, per-chunk completion, and the busiest channels.
+//
+// Usage:
+//
+//	ccube-sim -algo ccube -bytes 64M
+//	ccube-sim -algo ring -topo dgx1-low -bytes 128M
+//	ccube-sim -algo tree -topo cluster:64 -bytes 1M -chunks 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ccube/internal/collective"
+	"ccube/internal/report"
+	"ccube/internal/topology"
+	"ccube/internal/trace"
+)
+
+var algorithms = map[string]collective.Algorithm{
+	"ring":             collective.AlgRing,
+	"tree":             collective.AlgTree,
+	"tree-overlap":     collective.AlgTreeOverlap,
+	"double-tree":      collective.AlgDoubleTree,
+	"ccube":            collective.AlgDoubleTreeOverlap,
+	"halving-doubling": collective.AlgHalvingDoubling,
+}
+
+func main() {
+	algo := flag.String("algo", "ccube", "algorithm: ring, tree, tree-overlap, double-tree, ccube, halving-doubling")
+	topo := flag.String("topo", "dgx1", "topology: dgx1, dgx1-low, or cluster:<gpus>")
+	bytesFlag := flag.String("bytes", "64M", "message size (supports K/M/G suffixes)")
+	chunks := flag.Int("chunks", 0, "chunk count (0 = cost-model optimum)")
+	shared := flag.Bool("shared", false, "allow logical flows to share physical channels")
+	topChannels := flag.Int("top", 8, "how many busiest channels to show")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt view of channel occupancy")
+	showTopo := flag.Bool("show-topo", false, "print the topology's link summary first")
+	flag.Parse()
+
+	alg, ok := algorithms[*algo]
+	if !ok {
+		fail("unknown algorithm %q", *algo)
+	}
+	g, err := buildTopology(*topo)
+	if err != nil {
+		fail("%v", err)
+	}
+	n, err := parseBytes(*bytesFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *showTopo {
+		fmt.Println(topology.Describe(g))
+	}
+
+	sched, err := collective.Build(collective.Config{
+		Graph:               g,
+		Algorithm:           alg,
+		Bytes:               n,
+		Chunks:              *chunks,
+		AllowSharedChannels: *shared,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	res, taskGraph, err := sched.ExecuteTraced()
+	if err != nil {
+		fail("%v", err)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := trace.Chrome(f, taskGraph); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("timeline written to %s (load in chrome://tracing)\n\n", *traceFile)
+	}
+
+	t := report.New(fmt.Sprintf("AllReduce: %s on %s, %s", *algo, *topo, report.Bytes(n)),
+		"metric", "value")
+	t.AddRow("participants", fmt.Sprintf("%d", g.NumNodes()))
+	t.AddRow("chunks", fmt.Sprintf("%d", res.Partition.NumChunks()))
+	t.AddRow("transfers scheduled", fmt.Sprintf("%d", sched.NumTransfers()))
+	t.AddRow("total time", report.Time(res.Total))
+	t.AddRow("achieved bandwidth", report.GBps(res.Bandwidth()))
+	t.AddRow("gradient turnaround", report.Time(res.Turnaround))
+	t.AddRow("in-order delivery", fmt.Sprintf("%v", res.InOrder))
+	if d := sched.DetourNodes(); len(d) > 0 {
+		var names []string
+		for _, id := range d {
+			names = append(names, g.Node(id).Name)
+		}
+		t.AddRow("detour intermediates", strings.Join(names, ", "))
+	}
+	fmt.Println(t.Render())
+
+	type chanUse struct {
+		name string
+		busy float64
+	}
+	var uses []chanUse
+	for i, r := range res.Resources {
+		if r.BusyTime() > 0 {
+			uses = append(uses, chanUse{
+				name: fmt.Sprintf("%s->%s (%s)",
+					g.Node(g.Channel(topology.ChannelID(i)).From).Name,
+					g.Node(g.Channel(topology.ChannelID(i)).To).Name,
+					g.Channel(topology.ChannelID(i)).Tag),
+				busy: r.Utilization(res.Total),
+			})
+		}
+	}
+	sort.Slice(uses, func(a, b int) bool { return uses[a].busy > uses[b].busy })
+	ct := report.New("Busiest channels", "channel", "utilization")
+	for i, u := range uses {
+		if i >= *topChannels {
+			ct.AddNote("%d more channels carried traffic", len(uses)-*topChannels)
+			break
+		}
+		ct.AddRow(u.name, report.Percent(u.busy))
+	}
+	fmt.Println(ct.Render())
+
+	if *gantt {
+		fmt.Println(trace.Gantt(taskGraph, trace.GanttOptions{Width: 100, MaxLanes: *topChannels}))
+	}
+}
+
+func buildTopology(name string) (*topology.Graph, error) {
+	switch {
+	case name == "dgx1":
+		return topology.DGX1(topology.DefaultDGX1Config()), nil
+	case name == "dgx1-low":
+		cfg := topology.DefaultDGX1Config()
+		cfg.LowBandwidth = true
+		return topology.DGX1(cfg), nil
+	case strings.HasPrefix(name, "cluster:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "cluster:"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad cluster size in %q", name)
+		}
+		return topology.Hierarchy(topology.DefaultHierarchyConfig(n)), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want dgx1, dgx1-low, cluster:<n>)", name)
+	}
+}
+
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

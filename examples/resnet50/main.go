@@ -1,0 +1,63 @@
+// ResNet-50 training study: the paper's Fig. 13 scenario for one model —
+// simulate a steady-state data-parallel iteration on the DGX-1 in every
+// configuration (B, C1, C2, R, CC) across batch sizes and both interconnect
+// bandwidths, and report normalized performance (1.0 = linear speedup).
+//
+//	go run ./examples/resnet50
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccube/internal/core"
+	"ccube/internal/dnn"
+	"ccube/internal/report"
+	"ccube/internal/train"
+)
+
+func main() {
+	model := dnn.ResNet50()
+	fmt.Printf("%s: %d layers, %.1fM parameters, %s gradients per iteration\n\n",
+		model.Name, model.NumLayers(),
+		float64(model.TotalParams())/1e6, report.Bytes(model.GradientBytes()))
+
+	for _, bw := range []core.Bandwidth{core.LowBandwidth, core.HighBandwidth} {
+		sys := core.DGX1(bw)
+		t := report.New(
+			fmt.Sprintf("ResNet-50 normalized performance on %s", sys.Name()),
+			"batch", "B", "C1", "C2", "R", "CC", "CC vs B")
+		for _, batch := range []int{16, 32, 64} {
+			results, err := sys.CompareModes(model, batch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", batch),
+				report.F2(results[train.ModeB].Normalized),
+				report.F2(results[train.ModeC1].Normalized),
+				report.F2(results[train.ModeC2].Normalized),
+				report.F2(results[train.ModeR].Normalized),
+				report.F2(results[train.ModeCC].Normalized),
+				report.Ratio(float64(results[train.ModeB].IterTime)/float64(results[train.ModeCC].IterTime)),
+			)
+		}
+		fmt.Println(t.Render())
+	}
+
+	// Decompose where C-Cube's win comes from at the most communication-
+	// bound point of the sweep.
+	sys := core.DGX1(core.LowBandwidth)
+	cc, err := sys.Train(core.TrainOptions{Model: model, Batch: 16, Mode: train.ModeCC})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := sys.Train(core.TrainOptions{Model: model, Batch: 16, Mode: train.ModeB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decomposition at batch 16, low bandwidth:\n")
+	fmt.Printf("  standalone AllReduce:  B %v -> CC %v (overlapped tree)\n", b.CommTime, cc.CommTime)
+	fmt.Printf("  first-forward stall:   B %v -> CC %v (gradient queuing)\n", b.FirstForwardWait, cc.FirstForwardWait)
+	fmt.Printf("  iteration:             B %v -> CC %v\n", b.IterTime, cc.IterTime)
+}

@@ -1,0 +1,128 @@
+// Package autotune selects the best AllReduce algorithm for a given
+// topology and message size by simulating the candidates — the adaptation
+// the paper's related work calls for (Faraj & Yuan: "collective
+// communications must adapt to the system architecture"). NCCL performs the
+// same selection with hand-tuned thresholds; here the discrete-event
+// simulator itself is the tuner, so the choice reflects the modeled
+// machine exactly.
+//
+// Rankings depend on the consumer's objective:
+//
+//   - Latency: total AllReduce completion time — batch-synchronous callers
+//     that cannot overlap anything.
+//   - Turnaround: time until the first chunk is ready everywhere — C-Cube
+//     style chaining consumers, which care about when computation can start.
+package autotune
+
+import (
+	"fmt"
+	"sort"
+
+	"ccube/internal/collective"
+	"ccube/internal/des"
+	"ccube/internal/topology"
+)
+
+// Objective selects the metric to rank by.
+type Objective int
+
+const (
+	// Latency ranks by total completion time.
+	Latency Objective = iota
+	// Turnaround ranks by first-chunk availability (chaining consumers).
+	Turnaround
+)
+
+func (o Objective) String() string {
+	switch o {
+	case Latency:
+		return "latency"
+	case Turnaround:
+		return "turnaround"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Candidate is one evaluated algorithm.
+type Candidate struct {
+	Algorithm  collective.Algorithm
+	Total      des.Time
+	Turnaround des.Time
+	InOrder    bool
+	Err        error // non-nil when the algorithm cannot run on the topology
+}
+
+// metric returns the candidate's value under the objective.
+func (c Candidate) metric(o Objective) des.Time {
+	if o == Turnaround {
+		return c.Turnaround
+	}
+	return c.Total
+}
+
+// Candidates returns every algorithm evaluated on the topology at the given
+// size, in algorithm order. Algorithms that cannot run (e.g.
+// halving-doubling on a non-power-of-two system) carry a non-nil Err.
+func Candidates(g *topology.Graph, bytes int64, allowShared bool) []Candidate {
+	algs := []collective.Algorithm{
+		collective.AlgRing,
+		collective.AlgHalvingDoubling,
+		collective.AlgTree,
+		collective.AlgTreeOverlap,
+		collective.AlgDoubleTree,
+		collective.AlgDoubleTreeOverlap,
+	}
+	out := make([]Candidate, 0, len(algs))
+	for _, alg := range algs {
+		c := Candidate{Algorithm: alg}
+		res, err := collective.Run(collective.Config{
+			Graph:               g,
+			Algorithm:           alg,
+			Bytes:               bytes,
+			AllowSharedChannels: allowShared,
+		})
+		if err != nil {
+			c.Err = err
+		} else {
+			c.Total = res.Total
+			c.Turnaround = res.Turnaround
+			c.InOrder = res.InOrder
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Select returns the runnable candidates ranked best-first under the
+// objective. When requireInOrder is set, algorithms without the in-order
+// property (ring, halving-doubling) are excluded — a gradient-queuing
+// consumer cannot use them (Observation #3).
+func Select(g *topology.Graph, bytes int64, o Objective, requireInOrder bool) ([]Candidate, error) {
+	var runnable []Candidate
+	for _, c := range Candidates(g, bytes, false) {
+		if c.Err != nil {
+			continue
+		}
+		if requireInOrder && !c.InOrder {
+			continue
+		}
+		runnable = append(runnable, c)
+	}
+	if len(runnable) == 0 {
+		return nil, fmt.Errorf("autotune: no runnable algorithm for this topology")
+	}
+	sort.SliceStable(runnable, func(a, b int) bool {
+		return runnable[a].metric(o) < runnable[b].metric(o)
+	})
+	return runnable, nil
+}
+
+// Best returns only the winner.
+func Best(g *topology.Graph, bytes int64, o Objective, requireInOrder bool) (Candidate, error) {
+	ranked, err := Select(g, bytes, o, requireInOrder)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return ranked[0], nil
+}

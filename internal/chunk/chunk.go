@@ -1,0 +1,149 @@
+// Package chunk partitions an AllReduce message into the pipeline chunks the
+// collective algorithms operate on, and maps neural-network layers onto those
+// chunks (the paper's Layer-Chunk Table, Fig. 9).
+//
+// C-Cube deliberately introduces no extra partitioning: the chunks are the
+// ones the collective already pipelines for bandwidth (paper §III-D), and the
+// gradient queue reuses the gradient buffer at chunk granularity.
+package chunk
+
+import "fmt"
+
+// Partition describes a message of TotalBytes split into contiguous chunks.
+// Chunk i covers bytes [Offsets[i], Offsets[i]+Sizes[i]).
+type Partition struct {
+	TotalBytes int64
+	Sizes      []int64
+	Offsets    []int64
+}
+
+// Split partitions total bytes into k near-equal chunks: the first
+// total%k chunks get one extra byte so sizes differ by at most one.
+func Split(total int64, k int) Partition {
+	if total <= 0 {
+		panic(fmt.Sprintf("chunk: total bytes %d <= 0", total))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("chunk: chunk count %d < 1", k))
+	}
+	if int64(k) > total {
+		k = int(total) // no zero-byte chunks
+	}
+	p := Partition{
+		TotalBytes: total,
+		Sizes:      make([]int64, k),
+		Offsets:    make([]int64, k),
+	}
+	base := total / int64(k)
+	extra := total % int64(k)
+	var off int64
+	for i := 0; i < k; i++ {
+		size := base
+		if int64(i) < extra {
+			size++
+		}
+		p.Sizes[i] = size
+		p.Offsets[i] = off
+		off += size
+	}
+	return p
+}
+
+// NumChunks returns the chunk count.
+func (p Partition) NumChunks() int { return len(p.Sizes) }
+
+// ChunkOf returns the index of the chunk containing byte offset `byte`.
+func (p Partition) ChunkOf(byte int64) int {
+	if byte < 0 || byte >= p.TotalBytes {
+		panic(fmt.Sprintf("chunk: byte offset %d out of range [0,%d)", byte, p.TotalBytes))
+	}
+	// Binary search over offsets.
+	lo, hi := 0, len(p.Offsets)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.Offsets[mid] <= byte {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Validate checks internal consistency: contiguous coverage of TotalBytes.
+func (p Partition) Validate() error {
+	if len(p.Sizes) != len(p.Offsets) {
+		return fmt.Errorf("chunk: %d sizes vs %d offsets", len(p.Sizes), len(p.Offsets))
+	}
+	var off int64
+	for i := range p.Sizes {
+		if p.Sizes[i] <= 0 {
+			return fmt.Errorf("chunk: chunk %d has size %d", i, p.Sizes[i])
+		}
+		if p.Offsets[i] != off {
+			return fmt.Errorf("chunk: chunk %d offset %d, want %d", i, p.Offsets[i], off)
+		}
+		off += p.Sizes[i]
+	}
+	if off != p.TotalBytes {
+		return fmt.Errorf("chunk: chunks cover %d bytes, want %d", off, p.TotalBytes)
+	}
+	return nil
+}
+
+// LayerChunkTable maps each layer to the last chunk that carries any of its
+// gradient bytes. A layer's gradients are complete — and its forward pass
+// may be dequeued — once every chunk up to and including LastChunk[layer]
+// has finished AllReduce (paper Fig. 9, "Layer-Chunk Table").
+//
+// Layers are laid out in forward order, layer 0 first, because the next
+// iteration consumes gradients in that order (paper Fig. 8).
+type LayerChunkTable struct {
+	LastChunk []int
+}
+
+// BuildLayerChunkTable lays out layers contiguously in index order over the
+// partition and records each layer's final chunk. Zero-byte layers inherit
+// the preceding layer's last chunk (they are ready whenever it is).
+func BuildLayerChunkTable(layerBytes []int64, p Partition) LayerChunkTable {
+	var total int64
+	for i, b := range layerBytes {
+		if b < 0 {
+			panic(fmt.Sprintf("chunk: layer %d has negative size %d", i, b))
+		}
+		total += b
+	}
+	if total != p.TotalBytes {
+		panic(fmt.Sprintf("chunk: layers total %d bytes but partition covers %d", total, p.TotalBytes))
+	}
+	t := LayerChunkTable{LastChunk: make([]int, len(layerBytes))}
+	var off int64
+	for i, b := range layerBytes {
+		if b == 0 {
+			if off == 0 {
+				t.LastChunk[i] = 0 // ready with the very first chunk
+			} else {
+				t.LastChunk[i] = p.ChunkOf(off - 1)
+			}
+			continue
+		}
+		t.LastChunk[i] = p.ChunkOf(off + b - 1)
+		off += b
+	}
+	return t
+}
+
+// NumLayers returns the layer count.
+func (t LayerChunkTable) NumLayers() int { return len(t.LastChunk) }
+
+// Validate checks that last-chunk indices are non-decreasing (layers are
+// contiguous, so a later layer can never complete on an earlier chunk).
+func (t LayerChunkTable) Validate() error {
+	for i := 1; i < len(t.LastChunk); i++ {
+		if t.LastChunk[i] < t.LastChunk[i-1] {
+			return fmt.Errorf("chunk: layer %d last chunk %d < layer %d last chunk %d",
+				i, t.LastChunk[i], i-1, t.LastChunk[i-1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package chunk
+
+import "testing"
+
+// FuzzSplit exercises Split across arbitrary sizes: the partition must
+// always cover exactly the total, in order, with near-equal chunks.
+// Run `go test -fuzz=FuzzSplit ./internal/chunk` to explore beyond the
+// seeds; `go test` replays the seed corpus as regression tests.
+func FuzzSplit(f *testing.F) {
+	f.Add(int64(1), 1)
+	f.Add(int64(100), 7)
+	f.Add(int64(1<<31), 512)
+	f.Add(int64(3), 100)
+	f.Fuzz(func(t *testing.T, total int64, k int) {
+		if total <= 0 || k < 1 || total > 1<<40 || k > 1<<16 {
+			t.Skip()
+		}
+		p := Split(total, k)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Split(%d,%d): %v", total, k, err)
+		}
+		min, max := p.Sizes[0], p.Sizes[0]
+		for _, s := range p.Sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("Split(%d,%d): uneven chunks (min %d, max %d)", total, k, min, max)
+		}
+		// ChunkOf agrees with offsets at block boundaries.
+		for i := range p.Offsets {
+			if got := p.ChunkOf(p.Offsets[i]); got != i {
+				t.Fatalf("ChunkOf(offset[%d]) = %d", i, got)
+			}
+		}
+	})
+}
+
+// FuzzLayerChunkTable checks the layer-chunk invariants for arbitrary layer
+// size vectors.
+func FuzzLayerChunkTable(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, 4)
+	f.Add([]byte{0, 5, 0, 0, 9}, 2)
+	f.Add([]byte{255}, 300)
+	f.Fuzz(func(t *testing.T, sizes []byte, k int) {
+		if len(sizes) == 0 || len(sizes) > 1000 || k < 1 || k > 4096 {
+			t.Skip()
+		}
+		layers := make([]int64, len(sizes))
+		var total int64
+		for i, b := range sizes {
+			layers[i] = int64(b)
+			total += int64(b)
+		}
+		if total == 0 {
+			t.Skip()
+		}
+		p := Split(total, k)
+		tab := BuildLayerChunkTable(layers, p)
+		if err := tab.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tab.NumLayers() != len(layers) {
+			t.Fatalf("layers %d != %d", tab.NumLayers(), len(layers))
+		}
+		// The final layer's last chunk must be the final chunk.
+		last := len(layers) - 1
+		for layers[last] == 0 && last > 0 {
+			last--
+		}
+		if layers[last] > 0 && tab.LastChunk[last] != p.NumChunks()-1 {
+			t.Fatalf("final non-empty layer maps to chunk %d of %d",
+				tab.LastChunk[last], p.NumChunks())
+		}
+	})
+}

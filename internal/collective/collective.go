@@ -1,0 +1,212 @@
+// Package collective implements the AllReduce algorithms the paper studies —
+// ring, pipelined tree, double tree, and the overlapped (C1 / C-Cube) trees —
+// as explicit transfer schedules over a physical topology.
+//
+// A Schedule can be executed two ways: Execute runs it on the deterministic
+// discrete-event engine and reports times (the basis of every figure
+// reproduction), while ExecuteData runs its data semantics over real vectors
+// to prove each algorithm actually computes an AllReduce.
+package collective
+
+import (
+	"fmt"
+
+	"ccube/internal/chunk"
+	"ccube/internal/costmodel"
+	"ccube/internal/topology"
+)
+
+// Algorithm selects an AllReduce implementation.
+type Algorithm int
+
+const (
+	// Ring is the P-chunk ring algorithm (NCCL ring, paper "R").
+	AlgRing Algorithm = iota
+	// Tree is a single pipelined binary tree with separated reduction and
+	// broadcast phases (Fig. 5(a)).
+	AlgTree
+	// TreeOverlap is the single overlapped tree: broadcast chained with
+	// reduction (Fig. 5(c), Fig. 6(c)).
+	AlgTreeOverlap
+	// DoubleTree is the two-tree algorithm with separated phases — the
+	// paper's baseline "B" (Fig. 6(b)).
+	AlgDoubleTree
+	// DoubleTreeOverlap is the overlapped double tree — the communication
+	// component of C-Cube, "C1"/"CC" (Fig. 6(d)). It requires the physical
+	// topology to provide disjoint channels for the two trees' conflicting
+	// edges (duplicated NVLink pairs on the DGX-1).
+	AlgDoubleTreeOverlap
+	// HalvingDoubling is the recursive halving/doubling algorithm of Thakur
+	// et al. [52]: ring-equal bandwidth at tree-equal latency, requiring a
+	// power-of-two participant count and direct channels between all
+	// XOR-distance pairs (the DGX-1 mesh-cube provides them).
+	AlgHalvingDoubling
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgRing:
+		return "ring"
+	case AlgTree:
+		return "tree"
+	case AlgTreeOverlap:
+		return "tree-overlap"
+	case AlgDoubleTree:
+		return "double-tree"
+	case AlgDoubleTreeOverlap:
+		return "double-tree-overlap"
+	case AlgHalvingDoubling:
+		return "halving-doubling"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// MaxAutoChunks caps the automatically chosen chunk count.
+const MaxAutoChunks = 512
+
+// Config describes one AllReduce operation.
+type Config struct {
+	Graph     *topology.Graph
+	Algorithm Algorithm
+
+	// Nodes are the participating GPUs; nil means all GPU nodes in id order.
+	Nodes []topology.NodeID
+
+	// Bytes is the message size.
+	Bytes int64
+
+	// Chunks is the pipeline chunk count; 0 selects the cost-model optimum
+	// K_opt (Eq. 4) from the first channel's alpha/beta, capped at
+	// MaxAutoChunks. Ring ignores it (always exactly P chunks).
+	Chunks int
+
+	// Trees overrides the logical trees (tree algorithms only). Default:
+	// the paper's DGX-1 mapping when the graph is the 8-GPU hybrid
+	// mesh-cube, otherwise the generic inorder/shift double tree.
+	Trees []Tree
+
+	// RingOrder overrides the ring embedding with a single ring (ring only).
+	RingOrder []int
+
+	// RingOrders overrides the embedding with multiple link-disjoint rings,
+	// the message split across them (takes precedence over RingOrder).
+	// Default: the two disjoint Hamiltonian cycles of the DGX-1 mesh-cube,
+	// or a single identity ring elsewhere.
+	RingOrders [][]int
+
+	// AllowSharedChannels lets tree flows share physical channels when no
+	// exclusive channel is available. The DES then serializes the sharing
+	// flows — this is how the repo demonstrates the paper's claim that a
+	// plain double tree cannot be overlapped on single channels.
+	AllowSharedChannels bool
+}
+
+func (c *Config) nodes() []topology.NodeID {
+	if c.Nodes != nil {
+		return c.Nodes
+	}
+	return c.Graph.GPUs()
+}
+
+// isDGX1 reports whether the graph looks like the 8-GPU hybrid mesh-cube:
+// 8 GPUs with missing cross-quad edges and duplicated quad-ring pairs.
+func isDGX1(g *topology.Graph, nodes []topology.NodeID) bool {
+	if len(nodes) != 8 || g.NumNodes() != 8 {
+		return false
+	}
+	return !g.HasDirect(nodes[2], nodes[4]) && len(g.ChannelsBetween(nodes[2], nodes[3])) >= 2
+}
+
+// kOptFor returns the Eq. 4 optimum chunk count for the given channel
+// parameters, clamped to [1, MaxAutoChunks].
+func kOptFor(alpha, beta float64, p int, n float64) int {
+	return costmodel.KOpt(costmodel.Params{Alpha: alpha, Beta: beta, P: p, N: n}, MaxAutoChunks)
+}
+
+// chunkCount resolves the chunk count for tree algorithms.
+func (c *Config) chunkCount() int {
+	if c.Chunks > 0 {
+		return c.Chunks
+	}
+	ch := c.Graph.Channel(0)
+	k := kOptFor(ch.Latency.Seconds(), 1/ch.Bandwidth, len(c.nodes()), float64(c.Bytes))
+	if k < 2 {
+		k = 2 // double trees need at least one chunk each
+	}
+	return k
+}
+
+// Build constructs the transfer schedule for the configured operation.
+func Build(cfg Config) (*Schedule, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("collective: nil graph")
+	}
+	if cfg.Bytes <= 0 {
+		return nil, fmt.Errorf("collective: message size %d", cfg.Bytes)
+	}
+	nodes := cfg.nodes()
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("collective: %d participants", len(nodes))
+	}
+
+	switch cfg.Algorithm {
+	case AlgRing:
+		orders := cfg.RingOrders
+		if orders == nil && cfg.RingOrder != nil {
+			orders = [][]int{cfg.RingOrder}
+		}
+		if orders == nil {
+			if isDGX1(cfg.Graph, nodes) {
+				orders = DGX1RingOrders()
+			} else {
+				identity := make([]int, len(nodes))
+				for i := range identity {
+					identity[i] = i
+				}
+				orders = [][]int{identity}
+			}
+		}
+		part := chunk.Split(cfg.Bytes, len(nodes)*len(orders))
+		return buildRingSchedule(cfg.Graph, nodes, part, orders)
+
+	case AlgHalvingDoubling:
+		return buildHalvingDoublingSchedule(cfg.Graph, nodes, chunk.Split(cfg.Bytes, len(nodes)))
+
+	case AlgTree, AlgTreeOverlap, AlgDoubleTree, AlgDoubleTreeOverlap:
+		trees := cfg.Trees
+		if trees == nil {
+			var t1, t2 Tree
+			if isDGX1(cfg.Graph, nodes) {
+				t1, t2 = DGX1Trees()
+			} else {
+				t1, t2 = DoubleTrees(len(nodes))
+			}
+			switch cfg.Algorithm {
+			case AlgTree, AlgTreeOverlap:
+				trees = []Tree{t1}
+			default:
+				trees = []Tree{t1, t2}
+			}
+		}
+		overlap := cfg.Algorithm == AlgTreeOverlap || cfg.Algorithm == AlgDoubleTreeOverlap
+		k := cfg.chunkCount()
+		if k < len(trees) {
+			k = len(trees)
+		}
+		part := chunk.Split(cfg.Bytes, k)
+		return buildTreeSchedule(cfg.Graph, nodes, part, trees, overlap, cfg.AllowSharedChannels)
+
+	default:
+		return nil, fmt.Errorf("collective: unknown algorithm %v", cfg.Algorithm)
+	}
+}
+
+// Run builds and executes the configured AllReduce, returning its timing.
+func Run(cfg Config) (*Result, error) {
+	s, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute()
+}

@@ -1,0 +1,171 @@
+package collective
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ccube/internal/chunk"
+	"ccube/internal/topology"
+)
+
+// buildHalvingDoublingSchedule constructs the recursive halving-doubling
+// AllReduce of Thakur et al. [52], the paper's canonical HPC reference for
+// bandwidth-optimal collectives at logarithmic depth:
+//
+//   - recursive-halving reduce-scatter: in step s (0..d-1), rank r exchanges
+//     with partner r XOR (P >> (s+1)); each sends the half of its current
+//     responsibility block that belongs to the partner's subcube, halving
+//     the block every step. After d = log2(P) steps rank r holds the fully
+//     reduced chunk r.
+//   - recursive-doubling all-gather: the mirror image, doubling the held
+//     block every step.
+//
+// Total cost: 2·log2(P)·α + 2·βN·(P-1)/P — the ring's bandwidth term at the
+// tree's latency. On the DGX-1 hybrid mesh-cube every XOR-distance pair
+// (quad neighbors and cube cross-links) has a direct NVLink, so the
+// algorithm embeds without detours; it serves as a second strong baseline
+// beyond ring and double tree.
+//
+// Like the ring — and unlike the tree — halving-doubling is *not* in-order:
+// the chunk a rank completes first is its own subcube's, which differs per
+// rank, so gradient queuing cannot chain on it.
+func buildHalvingDoublingSchedule(g *topology.Graph, nodes []topology.NodeID, part chunk.Partition) (*Schedule, error) {
+	p := len(nodes)
+	if p < 2 || p&(p-1) != 0 {
+		return nil, fmt.Errorf("collective: halving-doubling needs a power-of-two participant count, got %d", p)
+	}
+	if part.NumChunks() != p {
+		return nil, fmt.Errorf("collective: halving-doubling requires exactly P=%d chunks, got %d", p, part.NumChunks())
+	}
+	d := bits.TrailingZeros(uint(p))
+
+	s := newSchedule(g, nodes, part)
+	s.InOrder = false
+
+	channel := func(from, to int) (topology.ChannelID, error) {
+		chs := g.ChannelsBetween(nodes[from], nodes[to])
+		if len(chs) == 0 {
+			return 0, fmt.Errorf("collective: halving-doubling needs a direct channel %v->%v",
+				nodes[from], nodes[to])
+		}
+		return chs[0], nil
+	}
+
+	// arrival[r][c] = transfer id that last updated chunk c at rank r
+	// (reduce-scatter accumulation or all-gather overwrite); -1 = only the
+	// local contribution so far.
+	arrival := make([][]int, p)
+	for r := range arrival {
+		arrival[r] = make([]int, p)
+		for c := range arrival[r] {
+			arrival[r][c] = -1
+		}
+	}
+
+	// blockOf returns the chunk range owned by rank r after s halving steps:
+	// chunks sharing r's top s bits (block size P >> s).
+	blockOf := func(r, s int) (lo, hi int) {
+		size := p >> s
+		lo = (r / size) * size
+		return lo, lo + size
+	}
+
+	// stepDone[r] joins everything rank r sent and received in the previous
+	// step: the persistent kernel processes steps in lockstep, which is what
+	// gives the algorithm its closed-form cost (per-chunk pipelining across
+	// steps would be a different — and on this simulator slightly faster —
+	// algorithm).
+	stepDone := make([]int, p)
+	for r := range stepDone {
+		stepDone[r] = -1
+	}
+
+	// Reduce-scatter.
+	for step := 0; step < d; step++ {
+		activity := make([][]int, p) // per rank: this step's transfer ids
+		for r := 0; r < p; r++ {
+			partner := r ^ (p >> (step + 1))
+			lo, hi := blockOf(partner, step+1) // the half that leaves r
+			ch, err := channel(r, partner)
+			if err != nil {
+				return nil, err
+			}
+			first := true
+			for c := lo; c < hi; c++ {
+				var deps []int
+				if prev := arrival[r][c]; prev >= 0 {
+					deps = append(deps, prev)
+				}
+				if stepDone[r] >= 0 {
+					deps = append(deps, stepDone[r])
+				}
+				label := fmt.Sprintf("hd:rs:s%d:%d->%d:c%d", step, r, partner, c)
+				id := s.addTransfer(label, ch, c, part.Sizes[c],
+					nodeBuf(nodes[r]), nodeBuf(nodes[partner]), true, deps...)
+				if !first {
+					s.transfers[id].noAlpha = true
+				}
+				first = false
+				arrival[partner][c] = id
+				activity[r] = append(activity[r], id)
+				activity[partner] = append(activity[partner], id)
+			}
+		}
+		for r := 0; r < p; r++ {
+			stepDone[r] = s.addMarker(fmt.Sprintf("hd:rs:s%d:done:%d", step, r), 0, -1, activity[r]...)
+		}
+	}
+	// Rank r now owns fully reduced chunk r.
+	for r := 0; r < p; r++ {
+		var deps []int
+		if prev := arrival[r][r]; prev >= 0 {
+			deps = append(deps, prev)
+		}
+		id := s.addMarker(fmt.Sprintf("hd:rs:done:%d", r), r, nodes[r], deps...)
+		arrival[r][r] = id
+	}
+
+	// All-gather: doubling, reversing the halving order.
+	for step := d - 1; step >= 0; step-- {
+		// Snapshot arrivals: both directions of a step exchange blocks
+		// simultaneously, based on pre-step state.
+		snapshot := make([][]int, p)
+		for r := range snapshot {
+			snapshot[r] = append([]int(nil), arrival[r]...)
+		}
+		activity := make([][]int, p)
+		for r := 0; r < p; r++ {
+			partner := r ^ (p >> (step + 1))
+			lo, hi := blockOf(r, step+1) // r's currently held block
+			ch, err := channel(r, partner)
+			if err != nil {
+				return nil, err
+			}
+			first := true
+			for c := lo; c < hi; c++ {
+				var deps []int
+				if prev := snapshot[r][c]; prev >= 0 {
+					deps = append(deps, prev)
+				}
+				if stepDone[r] >= 0 {
+					deps = append(deps, stepDone[r])
+				}
+				label := fmt.Sprintf("hd:ag:s%d:%d->%d:c%d", step, r, partner, c)
+				id := s.addTransfer(label, ch, c, part.Sizes[c],
+					nodeBuf(nodes[r]), nodeBuf(nodes[partner]), false, deps...)
+				if !first {
+					s.transfers[id].noAlpha = true
+				}
+				first = false
+				s.markFinal(id, nodes[partner])
+				arrival[partner][c] = id
+				activity[r] = append(activity[r], id)
+				activity[partner] = append(activity[partner], id)
+			}
+		}
+		for r := 0; r < p; r++ {
+			stepDone[r] = s.addMarker(fmt.Sprintf("hd:ag:s%d:done:%d", step, r), 0, -1, activity[r]...)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,223 @@
+package collective
+
+import (
+	"testing"
+
+	"ccube/internal/topology"
+)
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree([]int{-1, 0, 0}); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	bad := [][]int{
+		{0, 1},     // no root
+		{-1, -1},   // two roots
+		{-1, 1},    // self-parent
+		{-1, 5},    // out of range
+		{-1, 2, 1}, // cycle between 1 and 2
+	}
+	for i, p := range bad {
+		if _, err := NewTree(p); err == nil {
+			t.Errorf("bad tree %d accepted: %v", i, p)
+		}
+	}
+}
+
+func TestInorderTreeShape(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16, 64} {
+		tr := InorderTree(p)
+		if tr.Root != p-1 {
+			t.Errorf("P=%d root = %d, want %d", p, tr.Root, p-1)
+		}
+		if got := len(tr.Children[tr.Root]); got != 1 {
+			t.Errorf("P=%d root children = %d, want 1", p, got)
+		}
+		if tr.MaxChildren() > 2 {
+			t.Errorf("P=%d max fan-out = %d, want <= 2", p, tr.MaxChildren())
+		}
+		// Depth should be logarithmic: <= log2(p) + 1.
+		maxDepth := 1
+		for n := 1; n < p; n *= 2 {
+			maxDepth++
+		}
+		if d := tr.Depth(); d > maxDepth {
+			t.Errorf("P=%d depth = %d, want <= %d", p, d, maxDepth)
+		}
+	}
+}
+
+func TestShiftTreeComplementaryLeaves(t *testing.T) {
+	// Two-tree property for power-of-two P: a node that is internal in T1 is
+	// a leaf in T2 and vice versa (so combined, both trees keep every node
+	// busy).
+	for _, p := range []int{4, 8, 16, 32} {
+		t1, t2 := DoubleTrees(p)
+		for i := 0; i < p; i++ {
+			internal1 := len(t1.Children[i]) > 0
+			internal2 := len(t2.Children[i]) > 0
+			if internal1 && internal2 {
+				t.Errorf("P=%d node %d internal in both trees", p, i)
+			}
+			if !internal1 && !internal2 {
+				t.Errorf("P=%d node %d leaf in both trees", p, i)
+			}
+		}
+	}
+}
+
+func TestTraversals(t *testing.T) {
+	tr, _ := NewTree([]int{-1, 0, 0, 1, 1})
+	post := tr.PostOrder()
+	pre := tr.PreOrder()
+	if len(post) != 5 || len(pre) != 5 {
+		t.Fatalf("traversal lengths %d %d", len(post), len(pre))
+	}
+	if post[len(post)-1] != 0 {
+		t.Errorf("postorder must end at root, got %v", post)
+	}
+	if pre[0] != 0 {
+		t.Errorf("preorder must start at root, got %v", pre)
+	}
+	// Postorder: children before parents.
+	pos := map[int]int{}
+	for i, v := range post {
+		pos[v] = i
+	}
+	for v, p := range tr.Parent {
+		if p >= 0 && pos[v] > pos[p] {
+			t.Errorf("postorder: child %d after parent %d", v, p)
+		}
+	}
+}
+
+func TestDGX1TreesStructure(t *testing.T) {
+	t1, t2 := DGX1Trees()
+	if t1.Root != 4 || t2.Root != 5 {
+		t.Fatalf("roots = %d,%d, want 4,5", t1.Root, t2.Root)
+	}
+	if t1.MaxChildren() > 2 || t2.MaxChildren() > 2 {
+		t.Fatal("DGX-1 trees must be binary")
+	}
+	// Mirror relationship: t2 = t1 under i XOR 1.
+	for i := 0; i < 8; i++ {
+		m := i ^ 1
+		want := -1
+		if t1.Parent[i] != -1 {
+			want = t1.Parent[i] ^ 1
+		}
+		if t2.Parent[m] != want {
+			t.Errorf("t2.Parent[%d] = %d, want mirror %d", m, t2.Parent[m], want)
+		}
+	}
+}
+
+// pairSet collects the undirected node pairs used as edges by a tree.
+func pairSet(tr Tree) map[[2]int]bool {
+	set := make(map[[2]int]bool)
+	for v, p := range tr.Parent {
+		if p < 0 {
+			continue
+		}
+		a, b := v, p
+		if a > b {
+			a, b = b, a
+		}
+		set[[2]int{a, b}] = true
+	}
+	return set
+}
+
+func TestDGX1TreesConflictOnlyOnDuplicatedPairs(t *testing.T) {
+	// The pairs appearing in both trees must be exactly pairs that carry two
+	// parallel NVLinks on the hardware model — the property that makes the
+	// overlapped double tree feasible (paper §IV-A).
+	t1, t2 := DGX1Trees()
+	s1, s2 := pairSet(t1), pairSet(t2)
+	g := topology.DGX1(topology.DefaultDGX1Config())
+	for pair := range s1 {
+		if !s2[pair] {
+			continue
+		}
+		chs := g.ChannelsBetween(topology.NodeID(pair[0]), topology.NodeID(pair[1]))
+		if len(chs) < 2 {
+			t.Errorf("pair %v used by both trees but has %d channels", pair, len(chs))
+		}
+	}
+}
+
+func TestDGX1TreesNeedExactlyOneDetourEach(t *testing.T) {
+	g := topology.DGX1(topology.DefaultDGX1Config())
+	t1, t2 := DGX1Trees()
+	count := func(tr Tree) int {
+		n := 0
+		for v, p := range tr.Parent {
+			if p < 0 {
+				continue
+			}
+			if !g.HasDirect(topology.NodeID(v), topology.NodeID(p)) {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(t1); got != 1 {
+		t.Errorf("tree 1 has %d detour edges, want 1", got)
+	}
+	if got := count(t2); got != 1 {
+		t.Errorf("tree 2 has %d detour edges, want 1", got)
+	}
+	// The detour edges are 2-4 (tree 1) and 3-5 (tree 2), matching the
+	// paper's GPU0/GPU1 intermediates.
+	if t1.Parent[2] != 4 {
+		t.Errorf("tree 1 detour edge: parent[2] = %d, want 4", t1.Parent[2])
+	}
+	if t2.Parent[3] != 5 {
+		t.Errorf("tree 2 detour edge: parent[3] = %d, want 5", t2.Parent[3])
+	}
+}
+
+func TestDGX1TreesRoutableWithExclusiveChannels(t *testing.T) {
+	// Both trees, both directions, one shared router: every claim must
+	// succeed without sharing — the core feasibility property of the C-Cube
+	// channel mapping.
+	g := topology.DGX1(topology.DefaultDGX1Config())
+	nodes := g.GPUs()
+	router := topology.NewRouter(g)
+	t1, t2 := DGX1Trees()
+	for ti, tr := range []Tree{t1, t2} {
+		if _, err := assignRoutes(g, nodes, tr, router, false); err != nil {
+			t.Fatalf("tree %d not routable exclusively: %v", ti+1, err)
+		}
+	}
+}
+
+func TestTreeChunksRoundRobin(t *testing.T) {
+	c0 := treeChunks(7, 2, 0)
+	c1 := treeChunks(7, 2, 1)
+	want0 := []int{0, 2, 4, 6}
+	want1 := []int{1, 3, 5}
+	for i := range want0 {
+		if c0[i] != want0[i] {
+			t.Fatalf("tree 0 chunks = %v", c0)
+		}
+	}
+	for i := range want1 {
+		if c1[i] != want1[i] {
+			t.Fatalf("tree 1 chunks = %v", c1)
+		}
+	}
+}
+
+func TestShiftPreservesValidity(t *testing.T) {
+	for p := 2; p <= 33; p++ {
+		t1 := InorderTree(p)
+		t2 := t1.Shift(p)
+		if len(t2.Parent) != p {
+			t.Fatalf("P=%d shifted tree has %d nodes", p, len(t2.Parent))
+		}
+		if t2.Depth() != t1.Depth() {
+			t.Errorf("P=%d shift changed depth %d -> %d", p, t1.Depth(), t2.Depth())
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"ccube/internal/collective"
+	"ccube/internal/dnn"
+	"ccube/internal/train"
+)
+
+func TestDGX1Systems(t *testing.T) {
+	hi := DGX1(HighBandwidth)
+	lo := DGX1(LowBandwidth)
+	if hi.Name() != "dgx1-high" || lo.Name() != "dgx1-low" {
+		t.Fatalf("names = %q, %q", hi.Name(), lo.Name())
+	}
+	if hi.Graph.Channel(0).Bandwidth != 4*lo.Graph.Channel(0).Bandwidth {
+		t.Fatal("low bandwidth is not 1/4 of high")
+	}
+}
+
+func TestAllReduceFacade(t *testing.T) {
+	sys := DGX1(HighBandwidth)
+	base, err := sys.AllReduce(AllReduceOptions{Algorithm: collective.AlgDoubleTree, Bytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := sys.AllReduce(AllReduceOptions{Algorithm: collective.AlgDoubleTreeOverlap, Bytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Total >= base.Total {
+		t.Fatalf("overlap %v >= baseline %v", over.Total, base.Total)
+	}
+}
+
+func TestTrainFacadeAndCompare(t *testing.T) {
+	sys := DGX1(HighBandwidth)
+	results, err := sys.CompareModes(dnn.ZFNet(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("modes = %d, want 5", len(results))
+	}
+	if results[train.ModeCC].IterTime > results[train.ModeB].IterTime {
+		t.Fatal("CC slower than B")
+	}
+}
+
+func TestClusterSystem(t *testing.T) {
+	sys := Cluster(16)
+	if sys.Graph.NumNodes() != 16 {
+		t.Fatalf("nodes = %d", sys.Graph.NumNodes())
+	}
+	res, err := sys.AllReduce(AllReduceOptions{
+		Algorithm: collective.AlgDoubleTreeOverlap, Bytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 {
+		t.Fatal("non-positive total")
+	}
+}
+
+func TestAllReduceErrorPropagation(t *testing.T) {
+	sys := DGX1(HighBandwidth)
+	if _, err := sys.AllReduce(AllReduceOptions{Algorithm: collective.AlgRing, Bytes: -1}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+	if _, err := sys.Train(TrainOptions{Model: dnn.Model{}, Batch: 1, Mode: train.ModeB}); err == nil {
+		t.Fatal("empty model accepted")
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	c, err := NewClusterOfDGX1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGPUs() != 16 {
+		t.Fatalf("gpus = %d", c.NumGPUs())
+	}
+	base, err := c.AllReduce(16<<20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cluster for the chained run (schedules claim channels).
+	c2, err := NewClusterOfDGX1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := c2.AllReduce(16<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chained.Total >= base.Total {
+		t.Fatalf("chained %v >= barriered %v", chained.Total, base.Total)
+	}
+	res, err := c2.Train(TrainOptions{Model: dnn.ZFNet(), Batch: 32, Mode: train.ModeCC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterTime <= 0 {
+		t.Fatal("no iteration time")
+	}
+	if _, err := c2.Train(TrainOptions{Model: dnn.ZFNet(), Batch: 32, Mode: train.ModeR}); err == nil {
+		t.Fatal("ring accepted on cluster")
+	}
+}

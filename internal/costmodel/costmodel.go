@@ -1,0 +1,145 @@
+// Package costmodel implements the linear (alpha-beta) communication cost
+// models of the paper's §II-C: ring AllReduce (Eq. 2), pipelined tree
+// AllReduce (Eqs. 3-6) with the optimal chunk count (Eq. 4), and the
+// overlapped tree of §III-C (Eq. 7).
+//
+// Notation follows the paper:
+//
+//	N — message size in bytes
+//	K — number of chunks
+//	P — number of processors
+//	α — per-transfer latency (seconds)
+//	β — inverse bandwidth (seconds per byte)
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds the model inputs.
+type Params struct {
+	Alpha float64 // seconds per transfer
+	Beta  float64 // seconds per byte (1/bandwidth)
+	P     int     // number of processors
+	N     float64 // message size in bytes
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.Alpha < 0:
+		return fmt.Errorf("costmodel: alpha %v < 0", p.Alpha)
+	case p.Beta <= 0:
+		return fmt.Errorf("costmodel: beta %v <= 0", p.Beta)
+	case p.P < 2:
+		return fmt.Errorf("costmodel: P %d < 2", p.P)
+	case p.N <= 0:
+		return fmt.Errorf("costmodel: N %v <= 0", p.N)
+	}
+	return nil
+}
+
+// Log2P returns log2(P) as used in the tree-depth terms. P need not be a
+// power of two; the model uses the real-valued logarithm.
+func (p Params) Log2P() float64 { return math.Log2(float64(p.P)) }
+
+// AllGather returns Eq. (1): (P-1)(α + βN/P).
+func AllGather(p Params) float64 {
+	return float64(p.P-1) * (p.Alpha + p.Beta*p.N/float64(p.P))
+}
+
+// Ring returns Eq. (2), the ring AllReduce time:
+// 2(P-1)α + 2((P-1)/P)βN.
+func Ring(p Params) float64 {
+	pf := float64(p.P)
+	return 2*(pf-1)*p.Alpha + 2*((pf-1)/pf)*p.Beta*p.N
+}
+
+// TreePhase returns Eq. (3), the time of one tree phase (reduction or
+// broadcast) with K chunks: (log(P) + K)(α + βN/K).
+func TreePhase(p Params, k int) float64 {
+	return (p.Log2P() + float64(k)) * (p.Alpha + p.Beta*p.N/float64(k))
+}
+
+// KOpt returns Eq. (4), the chunk count minimizing Eq. (3):
+// sqrt(log(P)·βN/α). The result is clamped to at least 1; when α is zero the
+// model has no latency penalty for chunking and KOpt is unbounded, so the
+// caller-provided max is returned.
+func KOpt(p Params, max int) int {
+	if p.Alpha == 0 {
+		return max
+	}
+	k := math.Sqrt(p.Log2P() * p.Beta * p.N / p.Alpha)
+	ki := int(math.Round(k))
+	if ki < 1 {
+		ki = 1
+	}
+	if max > 0 && ki > max {
+		ki = max
+	}
+	return ki
+}
+
+// Tree returns Eq. (6), the two-phase tree AllReduce at the optimal chunk
+// count: 2·log(P)α + 2βN + 4·sqrt(αβN·log(P)).
+func Tree(p Params) float64 {
+	return 2*p.Log2P()*p.Alpha + 2*p.Beta*p.N + 4*math.Sqrt(p.Alpha*p.Beta*p.N*p.Log2P())
+}
+
+// TreeAtK returns the two-phase tree AllReduce time at an explicit chunk
+// count (2× Eq. 3), for ablations against Eq. 6's optimum.
+func TreeAtK(p Params, k int) float64 {
+	return 2 * TreePhase(p, k)
+}
+
+// Overlapped returns Eq. (7), the overlapped (C1) tree AllReduce:
+// 2·log(P)α + βN + 3·sqrt(αβN·log(P)).
+//
+// The overlapped tree doubles the effective pipeline depth but needs only a
+// single pass: 2·log(P) + K steps instead of 2(log(P) + K).
+func Overlapped(p Params) float64 {
+	return 2*p.Log2P()*p.Alpha + p.Beta*p.N + 3*math.Sqrt(p.Alpha*p.Beta*p.N*p.Log2P())
+}
+
+// OverlappedAtK returns the overlapped tree time at an explicit chunk count:
+// (2·log(P) + K)(α + βN/K).
+func OverlappedAtK(p Params, k int) float64 {
+	return (2*p.Log2P() + float64(k)) * (p.Alpha + p.Beta*p.N/float64(k))
+}
+
+// HalvingDoubling returns the recursive halving-doubling AllReduce time
+// [Thakur et al. 52]: 2·log2(P)·α + 2·βN·(P-1)/P — the ring's bandwidth
+// term at the tree's latency term.
+func HalvingDoubling(p Params) float64 {
+	pf := float64(p.P)
+	return 2*p.Log2P()*p.Alpha + 2*p.Beta*p.N*(pf-1)/pf
+}
+
+// GradientTurnaround returns the model time until the *first* chunk of an
+// AllReduce is fully reduced and broadcast back to every node — the metric
+// C-Cube's computation chaining depends on (paper Fig. 7).
+//
+// For the non-overlapped tree the first chunk turns around only after the
+// whole reduction phase ((log P + K)·hop) plus one broadcast descent
+// (log P·hop). For the overlapped tree it turns around after a single
+// up-and-down traversal: 2·log P·hop, independent of K.
+func GradientTurnaround(p Params, k int, overlapped bool) float64 {
+	hop := p.Alpha + p.Beta*p.N/float64(k)
+	if overlapped {
+		return 2 * p.Log2P() * hop
+	}
+	return (2*p.Log2P() + float64(k)) * hop
+}
+
+// SpeedupOverlappedVsTree returns T_tree / T_overlapped at the shared
+// optimal K of the baseline tree — the model series of paper Fig. 12(b).
+func SpeedupOverlappedVsTree(p Params) float64 {
+	return Tree(p) / Overlapped(p)
+}
+
+// RingVsTreeRatio returns (1/T_tree)/(1/T_ring) = T_ring/T_tree, the series
+// of paper Fig. 4. Values above 1 mean the tree algorithm wins.
+func RingVsTreeRatio(p Params) float64 {
+	return Ring(p) / Tree(p)
+}

@@ -1,0 +1,219 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// params from the NCCL 2.4 blog scale ([25] in the paper): NVLink-class
+// bandwidth and microsecond-class latency.
+func testParams() Params {
+	return Params{Alpha: 3e-6, Beta: 1 / 25e9, P: 8, N: 64 << 20}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Alpha: -1, Beta: 1, P: 2, N: 1},
+		{Alpha: 1, Beta: 0, P: 2, N: 1},
+		{Alpha: 1, Beta: 1, P: 1, N: 1},
+		{Alpha: 1, Beta: 1, P: 2, N: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d validated", i)
+		}
+	}
+}
+
+func TestRingMatchesClosedForm(t *testing.T) {
+	p := testParams()
+	// Eq. (2) expanded by hand.
+	pf := float64(p.P)
+	want := 2*(pf-1)*p.Alpha + 2*(pf-1)/pf*p.Beta*p.N
+	if got := Ring(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Ring = %v, want %v", got, want)
+	}
+	// Ring is also exactly 2x AllGather.
+	if got, want := Ring(p), 2*AllGather(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Ring = %v, want 2*AllGather = %v", got, want)
+	}
+}
+
+func TestTreeEqualsTwoPhasesAtKOpt(t *testing.T) {
+	// Substituting KOpt back into 2*Eq.(3) must give Eq.(6), up to the
+	// integer rounding of K.
+	p := testParams()
+	k := KOpt(p, 0)
+	got := TreeAtK(p, k)
+	want := Tree(p)
+	if rel := math.Abs(got-want) / want; rel > 0.01 {
+		t.Fatalf("TreeAtK(KOpt)=%v vs Tree=%v, rel err %v", got, want, rel)
+	}
+}
+
+func TestKOptIsMinimizer(t *testing.T) {
+	p := testParams()
+	k := KOpt(p, 0)
+	best := TreePhase(p, k)
+	for _, other := range []int{k / 2, k - 1, k + 1, k * 2} {
+		if other < 1 {
+			continue
+		}
+		if TreePhase(p, other) < best*(1-1e-9) {
+			t.Fatalf("K=%d beats KOpt=%d: %v < %v", other, k, TreePhase(p, other), best)
+		}
+	}
+}
+
+func TestKOptZeroAlphaReturnsMax(t *testing.T) {
+	p := testParams()
+	p.Alpha = 0
+	if got := KOpt(p, 256); got != 256 {
+		t.Fatalf("KOpt with alpha=0 = %d, want max=256", got)
+	}
+}
+
+func TestKOptClamping(t *testing.T) {
+	p := Params{Alpha: 1, Beta: 1e-15, P: 2, N: 1} // KOpt would round to 0
+	if got := KOpt(p, 0); got != 1 {
+		t.Fatalf("KOpt = %d, want clamp to 1", got)
+	}
+	p2 := testParams()
+	if got := KOpt(p2, 4); got != 4 {
+		t.Fatalf("KOpt = %d, want clamp to max 4", got)
+	}
+}
+
+func TestOverlappedBeatsTree(t *testing.T) {
+	// Eq.(7) < Eq.(6) for all valid params: the overlapped tree removes one
+	// βN term and one sqrt term.
+	f := func(a, b, n uint16, p uint16) bool {
+		pr := Params{
+			Alpha: float64(a)*1e-8 + 1e-9,
+			Beta:  (float64(b) + 1) / (65536 * 25e9),
+			P:     2 + int(p)%1023,
+			N:     float64(n)*1e4 + 1,
+		}
+		return Overlapped(pr) < Tree(pr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlappedSpeedupBounds(t *testing.T) {
+	// T_tree/T_overlapped -> 2 as bandwidth dominates, -> 1 as latency
+	// dominates.
+	p := testParams()
+	p.N = 1 << 30 // bandwidth dominated
+	if s := SpeedupOverlappedVsTree(p); s < 1.7 || s > 2.0 {
+		t.Fatalf("bandwidth-dominated speedup = %v, want in (1.7, 2.0]", s)
+	}
+	p.N = 64 // latency dominated
+	if s := SpeedupOverlappedVsTree(p); s < 1.0 || s > 1.2 {
+		t.Fatalf("latency-dominated speedup = %v, want ~1", s)
+	}
+}
+
+func TestRingVsTreeCrossover(t *testing.T) {
+	// Paper Fig. 4: for small messages tree wins (ratio > 1); for large
+	// messages at small node counts ring wins slightly (ratio < 1, by up to
+	// ~14%); and for large node counts tree wins even at large N.
+	small := testParams()
+	small.N = 16 << 10
+	if r := RingVsTreeRatio(small); r <= 1 {
+		t.Errorf("small-message ratio = %v, want > 1 (tree wins)", r)
+	}
+	large := testParams()
+	large.N = 256 << 20
+	if r := RingVsTreeRatio(large); r >= 1 {
+		t.Errorf("large-message small-P ratio = %v, want < 1 (ring wins)", r)
+	}
+	if r := RingVsTreeRatio(large); r < 0.8 {
+		t.Errorf("ring advantage too large: ratio = %v, paper reports <= ~14%%", r)
+	}
+	largeP := large
+	largeP.P = 1024
+	if r := RingVsTreeRatio(largeP); r <= 1 {
+		t.Errorf("large-P ratio = %v, want > 1 (tree scales better)", r)
+	}
+}
+
+func TestGradientTurnaroundOverlappedIndependentOfK(t *testing.T) {
+	p := testParams()
+	t64 := GradientTurnaround(p, 64, true)
+	t256 := GradientTurnaround(p, 256, true)
+	// With more chunks the hop is smaller, so turnaround shrinks; but the
+	// non-overlapped version grows with K while overlapped only has the
+	// fixed 2logP pipeline.
+	if t256 >= t64 {
+		t.Fatalf("overlapped turnaround grew with K: %v -> %v", t64, t256)
+	}
+	b64 := GradientTurnaround(p, 64, false)
+	if b64 <= t64 {
+		t.Fatalf("baseline turnaround %v <= overlapped %v", b64, t64)
+	}
+}
+
+func TestGradientTurnaroundSpeedupGrowsWithChunks(t *testing.T) {
+	// Paper Fig. 14(b): with many chunks (large messages), the first chunk
+	// no longer waits for the rest, so the speedup is large (up to 69x).
+	p := testParams()
+	p.P = 1024
+	speedup := func(k int) float64 {
+		return GradientTurnaround(p, k, false) / GradientTurnaround(p, k, true)
+	}
+	if s := speedup(1); s > 1.6 {
+		t.Errorf("speedup at K=1 = %v, want ~1 (no pipelining to exploit)", s)
+	}
+	if s := speedup(256); s < 10 {
+		t.Errorf("speedup at K=256 = %v, want >> 1", s)
+	}
+	if speedup(256) <= speedup(16) {
+		t.Error("turnaround speedup does not grow with chunk count")
+	}
+}
+
+func TestStepCountIdentity(t *testing.T) {
+	// The defining structural difference: baseline runs 2(logP + K) steps,
+	// overlapped runs 2logP + K. Verify via the AtK forms with beta-only
+	// cost (alpha=hop, beta=0 -> every step costs alpha).
+	p := Params{Alpha: 1, Beta: 1e-18, P: 16, N: 1}
+	k := 10
+	base := TreeAtK(p, k)
+	over := OverlappedAtK(p, k)
+	logP := p.Log2P()
+	if math.Abs(base-2*(logP+float64(k))) > 1e-6 {
+		t.Fatalf("baseline steps = %v, want %v", base, 2*(logP+float64(k)))
+	}
+	if math.Abs(over-(2*logP+float64(k))) > 1e-6 {
+		t.Fatalf("overlapped steps = %v, want %v", over, 2*logP+float64(k))
+	}
+}
+
+func TestPropertyMonotonicity(t *testing.T) {
+	// All model times increase with N and decrease with bandwidth.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		p := Params{
+			Alpha: rng.Float64() * 1e-5,
+			Beta:  (rng.Float64() + 0.01) / 25e9,
+			P:     2 << rng.Intn(9),
+			N:     float64(int64(1) << (10 + rng.Intn(18))),
+		}
+		bigger := p
+		bigger.N *= 2
+		for name, fn := range map[string]func(Params) float64{
+			"ring": Ring, "tree": Tree, "overlapped": Overlapped,
+		} {
+			if fn(bigger) <= fn(p) {
+				t.Fatalf("%s not monotone in N at %+v", name, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end time = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineEqualTimesPreserveScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAndNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.After(10, func() {
+		fired = append(fired, e.Now())
+		e.After(15, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 25 {
+		t.Fatalf("fired = %v, want [10 25]", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(5, func() { ran = true })
+	ev.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(25)
+	if len(got) != 2 || e.Now() != 25 {
+		t.Fatalf("after RunUntil(25): fired=%v now=%v", got, e.Now())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("after Run: fired=%v", got)
+	}
+}
+
+func TestResourceSerializesAndRecordsIntervals(t *testing.T) {
+	r := NewResource("link")
+	s1, e1 := r.reserve(0, 10, 1)
+	s2, e2 := r.reserve(0, 10, 2)
+	if s1 != 0 || e1 != 10 || s2 != 10 || e2 != 20 {
+		t.Fatalf("reservations: [%v,%v) [%v,%v)", s1, e1, s2, e2)
+	}
+	if err := r.ValidateSerialized(); err != nil {
+		t.Fatal(err)
+	}
+	if r.BusyTime() != 20 {
+		t.Fatalf("busy = %v, want 20", r.BusyTime())
+	}
+	if u := r.Utilization(40); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestResourceSlowdown(t *testing.T) {
+	r := NewResource("gpu0")
+	r.SetSlowdown(1.5)
+	_, end := r.reserve(0, 100, 1)
+	if end != 150 {
+		t.Fatalf("slowed duration end = %v, want 150", end)
+	}
+}
+
+func TestResourceSlowdownBelowOnePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetSlowdown(0.5) did not panic")
+		}
+	}()
+	NewResource("x").SetSlowdown(0.5)
+}
+
+func TestGraphLinearChain(t *testing.T) {
+	g := NewGraph()
+	r := NewResource("r")
+	a := g.Add("a", r, 10)
+	b := g.Add("b", r, 20, a)
+	c := g.Add("c", r, 30, b)
+	end := g.Run()
+	if end != 60 {
+		t.Fatalf("makespan = %v, want 60", end)
+	}
+	if g.End(a) != 10 || g.End(b) != 30 || g.End(c) != 60 {
+		t.Fatalf("ends = %v %v %v", g.End(a), g.End(b), g.End(c))
+	}
+}
+
+func TestGraphResourceContention(t *testing.T) {
+	// Two independent tasks on one resource serialize; on two resources they
+	// run in parallel.
+	g1 := NewGraph()
+	r := NewResource("r")
+	g1.Add("a", r, 10)
+	g1.Add("b", r, 10)
+	if end := g1.Run(); end != 20 {
+		t.Fatalf("shared resource makespan = %v, want 20", end)
+	}
+
+	g2 := NewGraph()
+	g2.Add("a", NewResource("r1"), 10)
+	g2.Add("b", NewResource("r2"), 10)
+	if end := g2.Run(); end != 10 {
+		t.Fatalf("separate resources makespan = %v, want 10", end)
+	}
+}
+
+func TestGraphDiamondDependency(t *testing.T) {
+	g := NewGraph()
+	src := g.Add("src", nil, 5)
+	l := g.Add("l", NewResource("rl"), 10, src)
+	rr := g.Add("r", NewResource("rr"), 20, src)
+	sink := g.Add("sink", nil, 0, l, rr)
+	end := g.Run()
+	if end != 25 {
+		t.Fatalf("makespan = %v, want 25", end)
+	}
+	if g.Task(sink).Ready != 25 {
+		t.Fatalf("sink ready = %v, want 25", g.Task(sink).Ready)
+	}
+}
+
+func TestGraphFIFOGrantOrderIsDeterministic(t *testing.T) {
+	// A task that becomes ready earlier must be granted the resource first,
+	// even if it was added later.
+	g := NewGraph()
+	r := NewResource("r")
+	slow := g.Add("slow-prereq", nil, 100)
+	late := g.Add("late", r, 10, slow) // ready at 100
+	early := g.Add("early", r, 10)     // ready at 0
+	g.Run()
+	if g.Task(early).Start != 0 {
+		t.Fatalf("early start = %v, want 0", g.Task(early).Start)
+	}
+	if g.Task(late).Start != 100 {
+		t.Fatalf("late start = %v, want 100", g.Task(late).Start)
+	}
+}
+
+func TestGraphSetEarliest(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("a", NewResource("r"), 10)
+	g.SetEarliest(a, 50)
+	g.Run()
+	if g.Task(a).Start != 50 {
+		t.Fatalf("start = %v, want 50", g.Task(a).Start)
+	}
+}
+
+func TestGraphCycleDetection(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("a", nil, 1)
+	b := g.Add("b", nil, 1, a)
+	g.AddDeps(a, b) // cycle
+	defer func() {
+		if recover() == nil {
+			t.Error("cyclic graph did not panic")
+		}
+	}()
+	g.Run()
+}
+
+func TestGraphCriticalPath(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("a", nil, 10)
+	b := g.Add("b", nil, 5)
+	c := g.Add("c", nil, 20, a, b) // critical predecessor is a
+	g.Run()
+	path := g.CriticalPath()
+	if len(path) != 2 || path[0] != a || path[1] != c {
+		t.Fatalf("critical path = %v, want [%d %d]", path, a, c)
+	}
+}
+
+func TestGraphRunTwicePanics(t *testing.T) {
+	g := NewGraph()
+	g.Add("a", nil, 1)
+	g.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	g.Run()
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPipelineMatchesAlphaBetaModel(t *testing.T) {
+	// A K-chunk pipeline over a depth-d chain of links must finish in
+	// (d + K - 1) * hop, the closed form behind the paper's Eq. (3).
+	const (
+		d   = 3
+		k   = 8
+		hop = Time(100)
+	)
+	g := NewGraph()
+	links := make([]*Resource, d)
+	for i := range links {
+		links[i] = NewResource("link")
+	}
+	// task id of chunk c on link l
+	ids := make([][]int, d)
+	for l := 0; l < d; l++ {
+		ids[l] = make([]int, k)
+		for c := 0; c < k; c++ {
+			var deps []int
+			if l > 0 {
+				deps = append(deps, ids[l-1][c])
+			}
+			ids[l][c] = g.Add("hop", links[l], hop, deps...)
+		}
+	}
+	end := g.Run()
+	want := Time(d+k-1) * hop
+	if end != want {
+		t.Fatalf("pipeline makespan = %v, want %v", end, want)
+	}
+	for _, r := range links {
+		if err := r.ValidateSerialized(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Task is a unit of work in a dependency graph. A task becomes ready when all
+// of its dependencies have ended; it then occupies its Resource (if any) for
+// Duration. Tasks without a Resource model pure delays (or instantaneous
+// joins when Duration is zero).
+type Task struct {
+	ID       int
+	Label    string
+	Resource *Resource // nil for a delay/join task
+	Duration Time
+
+	// Filled in by Graph.Run.
+	Ready Time // when all dependencies ended
+	Start Time // when the resource was granted
+	End   Time // Start + Duration (after resource slowdown)
+
+	deps       int // remaining unfinished dependencies
+	depsTotal  int
+	dependents []int
+	scheduled  bool
+	done       bool
+	earliest   Time // lower bound on readiness independent of deps
+}
+
+// Graph is a DAG of Tasks executed over serialized Resources. Build it once,
+// then call Run; the computed Start/End times answer every timing question an
+// experiment asks.
+type Graph struct {
+	tasks []*Task
+	ran   bool
+}
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// NumTasks reports how many tasks have been added.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// Task returns the task with the given id.
+func (g *Graph) Task(id int) *Task { return g.tasks[id] }
+
+// Add appends a task occupying res for d, depending on the given task ids,
+// and returns its id. A nil res models a pure delay.
+func (g *Graph) Add(label string, res *Resource, d Time, deps ...int) int {
+	if g.ran {
+		panic("des: adding task to a graph that already ran")
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("des: task %q has negative duration %v", label, d))
+	}
+	id := len(g.tasks)
+	t := &Task{ID: id, Label: label, Resource: res, Duration: d}
+	g.tasks = append(g.tasks, t)
+	g.AddDeps(id, deps...)
+	return id
+}
+
+// AddDeps declares that task id depends on each task in deps. Dependencies
+// must already exist and must precede id (the graph is built topologically).
+func (g *Graph) AddDeps(id int, deps ...int) {
+	t := g.tasks[id]
+	for _, d := range deps {
+		if d < 0 || d >= len(g.tasks) {
+			panic(fmt.Sprintf("des: task %q depends on unknown task %d", t.Label, d))
+		}
+		if d == id {
+			panic(fmt.Sprintf("des: task %q depends on itself", t.Label))
+		}
+		g.tasks[d].dependents = append(g.tasks[d].dependents, id)
+		t.deps++
+		t.depsTotal++
+	}
+}
+
+// SetEarliest sets a lower bound on when the task may become ready,
+// independent of its dependencies (e.g. an external arrival time).
+func (g *Graph) SetEarliest(id int, t Time) {
+	if g.ran {
+		panic("des: mutating a graph that already ran")
+	}
+	g.tasks[id].earliest = t
+}
+
+// readyHeap orders tasks by (ready time, id) for deterministic FIFO grants.
+type readyHeap []*Task
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].Ready != h[j].Ready {
+		return h[i].Ready < h[j].Ready
+	}
+	return h[i].ID < h[j].ID
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(*Task)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Run executes the graph and returns the makespan (max task End). It panics
+// if the graph contains a dependency cycle (tasks would remain unexecuted).
+// Run may be called once per graph.
+func (g *Graph) Run() Time {
+	if g.ran {
+		panic("des: graph ran twice")
+	}
+	g.ran = true
+
+	var ready readyHeap
+	for _, t := range g.tasks {
+		if t.deps == 0 {
+			t.Ready = t.earliest
+			t.scheduled = true
+			heap.Push(&ready, t)
+		}
+	}
+
+	var makespan Time
+	executed := 0
+	for ready.Len() > 0 {
+		t := heap.Pop(&ready).(*Task)
+		if t.Resource != nil {
+			t.Start, t.End = t.Resource.reserve(t.Ready, t.Duration, t.ID)
+		} else {
+			t.Start = t.Ready
+			t.End = t.Start + t.Duration
+		}
+		t.done = true
+		executed++
+		if t.End > makespan {
+			makespan = t.End
+		}
+		for _, did := range t.dependents {
+			d := g.tasks[did]
+			if t.End > d.Ready {
+				d.Ready = t.End
+			}
+			d.deps--
+			if d.deps == 0 {
+				if d.earliest > d.Ready {
+					d.Ready = d.earliest
+				}
+				d.scheduled = true
+				heap.Push(&ready, d)
+			}
+		}
+	}
+	if executed != len(g.tasks) {
+		panic(fmt.Sprintf("des: dependency cycle: %d of %d tasks executed", executed, len(g.tasks)))
+	}
+	return makespan
+}
+
+// Ran reports whether Run has executed.
+func (g *Graph) Ran() bool { return g.ran }
+
+// End returns the end time of task id (valid after Run).
+func (g *Graph) End(id int) Time { return g.tasks[id].End }
+
+// Makespan recomputes the maximum End across all tasks (valid after Run).
+func (g *Graph) Makespan() Time {
+	var m Time
+	for _, t := range g.tasks {
+		if t.End > m {
+			m = t.End
+		}
+	}
+	return m
+}
+
+// CriticalPath returns one chain of task ids ending at the makespan task,
+// following, at each step, the dependency whose End equals the task's Ready
+// time. Useful for explaining where time went in an experiment.
+func (g *Graph) CriticalPath() []int {
+	if len(g.tasks) == 0 {
+		return nil
+	}
+	// Find the makespan task.
+	last := g.tasks[0]
+	for _, t := range g.tasks[1:] {
+		if t.End > last.End {
+			last = t
+		}
+	}
+	// Build reverse dependency lists lazily: find, for each task on the path,
+	// a predecessor that determined its readiness.
+	prev := make(map[int][]int, len(g.tasks))
+	for _, t := range g.tasks {
+		for _, did := range t.dependents {
+			prev[did] = append(prev[did], t.ID)
+		}
+	}
+	var path []int
+	cur := last
+	for {
+		path = append(path, cur.ID)
+		var next *Task
+		for _, pid := range prev[cur.ID] {
+			p := g.tasks[pid]
+			if p.End == cur.Ready {
+				next = p
+				break
+			}
+		}
+		if next == nil {
+			break
+		}
+		cur = next
+	}
+	// Reverse into source-to-sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

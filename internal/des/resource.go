@@ -1,0 +1,102 @@
+package des
+
+import "fmt"
+
+// Interval is a half-open occupancy window [Start, End) on a Resource.
+type Interval struct {
+	Start, End Time
+	TaskID     int
+}
+
+// Resource is a serialized server: at most one task occupies it at a time,
+// and tasks are granted in the order they become ready (FIFO by ready time,
+// ties broken deterministically by task sequence). Physical links and GPU
+// compute streams are Resources.
+type Resource struct {
+	Name string
+
+	freeAt Time
+	busy   []Interval // recorded occupancy, in grant order
+
+	// Slowdown multiplies every duration scheduled on this resource, in
+	// parts-per-million (1_000_000 = no slowdown). It models resource "taxes"
+	// such as detour-forwarding kernels stealing SM time on a GPU.
+	slowdownPPM int64
+}
+
+// NewResource returns an idle resource with no slowdown.
+func NewResource(name string) *Resource {
+	return &Resource{Name: name, slowdownPPM: 1_000_000}
+}
+
+// SetSlowdown sets a multiplicative duration factor. factor must be >= 1.
+func (r *Resource) SetSlowdown(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("des: slowdown factor %v < 1 on %s", factor, r.Name))
+	}
+	r.slowdownPPM = int64(factor * 1_000_000)
+}
+
+// scaled applies the resource slowdown to a duration.
+func (r *Resource) scaled(d Time) Time {
+	if r.slowdownPPM == 1_000_000 {
+		return d
+	}
+	return Time(int64(d) * r.slowdownPPM / 1_000_000)
+}
+
+// reserve grants the resource to a task that became ready at `ready` for
+// duration d, returning the granted [start, end) window.
+func (r *Resource) reserve(ready Time, d Time, taskID int) (start, end Time) {
+	start = ready
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + r.scaled(d)
+	r.freeAt = end
+	r.busy = append(r.busy, Interval{Start: start, End: end, TaskID: taskID})
+	return start, end
+}
+
+// FreeAt reports when the resource next becomes idle.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Busy returns the recorded occupancy intervals in grant order. The returned
+// slice is owned by the resource; callers must not mutate it.
+func (r *Resource) Busy() []Interval { return r.busy }
+
+// BusyTime returns the total occupied time on the resource.
+func (r *Resource) BusyTime() Time {
+	var total Time
+	for _, iv := range r.busy {
+		total += iv.End - iv.Start
+	}
+	return total
+}
+
+// Utilization returns BusyTime divided by the horizon (0 if horizon is 0).
+func (r *Resource) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime()) / float64(horizon)
+}
+
+// Reset clears occupancy so the resource can be reused for another run.
+func (r *Resource) Reset() {
+	r.freeAt = 0
+	r.busy = r.busy[:0]
+}
+
+// ValidateSerialized checks that recorded intervals never overlap; it returns
+// an error naming the first violation. This is a structural invariant of the
+// simulator itself and is asserted by tests after every experiment run.
+func (r *Resource) ValidateSerialized() error {
+	for i := 1; i < len(r.busy); i++ {
+		if r.busy[i].Start < r.busy[i-1].End {
+			return fmt.Errorf("des: resource %s: interval %d [%v,%v) overlaps previous [%v,%v)",
+				r.Name, i, r.busy[i].Start, r.busy[i].End, r.busy[i-1].Start, r.busy[i-1].End)
+		}
+	}
+	return nil
+}

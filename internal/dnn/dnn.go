@@ -1,0 +1,195 @@
+// Package dnn describes the neural networks of the paper's evaluation —
+// ZFNet, VGG-16, and ResNet-50 — as per-layer parameter and FLOP profiles
+// derived from the real architectures, plus a device compute-time model.
+//
+// The training simulator needs exactly two things per layer: how many
+// gradient bytes it contributes to the AllReduce and how long its forward /
+// backward computation takes. Both come from the architecture itself
+// (parameter shapes, feature-map sizes), which is why the paper's Fig. 17 —
+// parameter size grows with layer index while compute time shrinks — falls
+// out of the construction rather than being hand-tuned.
+package dnn
+
+import (
+	"fmt"
+
+	"ccube/internal/des"
+)
+
+// BytesPerParam is the gradient element size (fp32).
+const BytesPerParam = 4
+
+// Layer is one trainable layer: a parameter count, per-sample forward
+// FLOPs, and per-sample activation (output feature map) bytes. Backward
+// compute is modeled as 2x forward (one pass for input gradients, one for
+// weight gradients), the standard approximation. Activation bytes drive the
+// memory-bound component of layer time: CNN layers are frequently limited
+// by feature-map traffic rather than arithmetic (paper §V-C, citing
+// fused-layer CNN accelerators [8]), which is why per-layer time *shrinks*
+// with depth while FLOPs stay roughly balanced.
+type Layer struct {
+	Name     string
+	Params   int64   // trainable parameter count (elements)
+	FwdFLOPs float64 // forward FLOPs per input sample
+	ActBytes int64   // output activation bytes per input sample
+}
+
+// BwdFLOPs returns the backward FLOPs per sample.
+func (l Layer) BwdFLOPs() float64 { return 2 * l.FwdFLOPs }
+
+// GradientBytes returns the layer's contribution to the AllReduce message.
+func (l Layer) GradientBytes() int64 { return l.Params * BytesPerParam }
+
+// Model is an ordered list of layers (forward order; the gradient buffer is
+// laid out in the same order, layer 0 first, as in paper Fig. 8).
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// NumLayers returns the layer count.
+func (m Model) NumLayers() int { return len(m.Layers) }
+
+// TotalParams returns the total trainable parameter count.
+func (m Model) TotalParams() int64 {
+	var sum int64
+	for _, l := range m.Layers {
+		sum += l.Params
+	}
+	return sum
+}
+
+// GradientBytes returns the total AllReduce message size.
+func (m Model) GradientBytes() int64 { return m.TotalParams() * BytesPerParam }
+
+// LayerBytes returns per-layer gradient sizes in forward order.
+func (m Model) LayerBytes() []int64 {
+	out := make([]int64, len(m.Layers))
+	for i, l := range m.Layers {
+		out[i] = l.GradientBytes()
+	}
+	return out
+}
+
+// TotalFwdFLOPs returns forward FLOPs per sample across all layers.
+func (m Model) TotalFwdFLOPs() float64 {
+	var sum float64
+	for _, l := range m.Layers {
+		sum += l.FwdFLOPs
+	}
+	return sum
+}
+
+// Validate checks that the model is trainable and orderable.
+func (m Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("dnn: model %q has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		if l.Params < 0 || l.FwdFLOPs < 0 {
+			return fmt.Errorf("dnn: model %q layer %d (%s) has negative params/FLOPs", m.Name, i, l.Name)
+		}
+	}
+	if m.TotalParams() == 0 {
+		return fmt.Errorf("dnn: model %q has no parameters", m.Name)
+	}
+	return nil
+}
+
+// Device models one GPU's compute and memory throughput. A layer's time is
+// the roofline maximum of its arithmetic time and its feature-map traffic
+// time, plus a fixed kernel overhead.
+type Device struct {
+	// PeakFLOPS is the peak fp32 throughput (V100: ~15.7e12).
+	PeakFLOPS float64
+	// Efficiency is the achieved fraction of peak for dense layers.
+	Efficiency float64
+	// MemBandwidth is the achievable HBM bandwidth in bytes/second.
+	MemBandwidth float64
+	// MemTrafficFactor scales activation bytes into total feature-map
+	// traffic (read input + write output + backward reuse).
+	MemTrafficFactor float64
+	// LayerOverhead is the fixed per-layer kernel cost.
+	LayerOverhead des.Time
+}
+
+// V100 returns the device model used throughout the evaluation, matching
+// the paper's DGX-1 GPUs (15.7 TFLOP/s fp32, 900 GB/s HBM2).
+func V100() Device {
+	return Device{
+		PeakFLOPS:        15.7e12,
+		Efficiency:       0.45,
+		MemBandwidth:     900e9,
+		MemTrafficFactor: 3,
+		LayerOverhead:    10 * des.Microsecond,
+	}
+}
+
+// flopsTime converts a FLOP count to virtual time on the device.
+func (d Device) flopsTime(flops float64) des.Time {
+	sec := flops / (d.PeakFLOPS * d.Efficiency)
+	return des.Time(sec * float64(des.Second))
+}
+
+// memTime converts activation bytes to feature-map traffic time; devices
+// without a memory model (MemBandwidth == 0) are purely compute-bound.
+func (d Device) memTime(actBytes float64) des.Time {
+	if d.MemBandwidth == 0 {
+		return 0
+	}
+	sec := actBytes * d.MemTrafficFactor / d.MemBandwidth
+	return des.Time(sec * float64(des.Second))
+}
+
+// roofline returns the max of arithmetic and memory time.
+func (d Device) roofline(flops, actBytes float64) des.Time {
+	ct := d.flopsTime(flops)
+	mt := d.memTime(actBytes)
+	if mt > ct {
+		return mt
+	}
+	return ct
+}
+
+// FwdTime returns the forward time of one layer at the given batch size.
+func (d Device) FwdTime(l Layer, batch int) des.Time {
+	b := float64(batch)
+	return d.LayerOverhead + d.roofline(l.FwdFLOPs*b, float64(l.ActBytes)*b)
+}
+
+// BwdTime returns the backward time of one layer at the given batch size
+// (2x the arithmetic, 2x the feature-map traffic).
+func (d Device) BwdTime(l Layer, batch int) des.Time {
+	b := float64(batch)
+	return d.LayerOverhead + d.roofline(l.BwdFLOPs()*b, 2*float64(l.ActBytes)*b)
+}
+
+// FwdTimes returns per-layer forward times in forward order.
+func (d Device) FwdTimes(m Model, batch int) []des.Time {
+	out := make([]des.Time, len(m.Layers))
+	for i, l := range m.Layers {
+		out[i] = d.FwdTime(l, batch)
+	}
+	return out
+}
+
+// BwdTimes returns per-layer backward times in forward order (the backward
+// pass executes them in reverse).
+func (d Device) BwdTimes(m Model, batch int) []des.Time {
+	out := make([]des.Time, len(m.Layers))
+	for i, l := range m.Layers {
+		out[i] = d.BwdTime(l, batch)
+	}
+	return out
+}
+
+// IterTime returns the single-GPU compute time of one iteration (forward +
+// backward, no communication) — the basis of the paper's "ideal linear
+// speedup" normalization in Fig. 13.
+func (d Device) IterTime(m Model, batch int) des.Time {
+	var total des.Time
+	for _, l := range m.Layers {
+		total += d.FwdTime(l, batch) + d.BwdTime(l, batch)
+	}
+	return total
+}

@@ -1,0 +1,299 @@
+package dnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccube/internal/des"
+)
+
+func TestModelParameterCounts(t *testing.T) {
+	// Parameter totals must land near the published sizes.
+	cases := []struct {
+		model    Model
+		want     float64 // millions
+		tolerant float64 // relative tolerance
+	}{
+		{ResNet50(), 25.6e6, 0.03},
+		{VGG16(), 138e6, 0.03},
+		{ZFNet(), 62e6, 0.10},
+	}
+	for _, c := range cases {
+		got := float64(c.model.TotalParams())
+		if rel := absf(got-c.want) / c.want; rel > c.tolerant {
+			t.Errorf("%s params = %.1fM, want ~%.1fM (rel err %.3f)",
+				c.model.Name, got/1e6, c.want/1e6, rel)
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestResNet50FLOPs(t *testing.T) {
+	// ResNet-50 forward is ~4 GFLOPs per 224x224 image (counting
+	// multiply-add as 2 FLOPs, ~8.2 GFLOPs with that convention).
+	got := ResNet50().TotalFwdFLOPs()
+	if got < 6e9 || got > 10e9 {
+		t.Errorf("ResNet-50 fwd FLOPs = %.2e, want ~8e9", got)
+	}
+}
+
+func TestModelsValidate(t *testing.T) {
+	for _, m := range EvaluationModels() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	for _, c := range []PatternCase{Case1, Case2, Case3} {
+		if err := SyntheticPattern(c).Validate(); err != nil {
+			t.Errorf("case %d: %v", c, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"zfnet", "vgg16", "resnet50"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m.Name, err)
+		}
+	}
+	if _, err := ByName("alexnet"); err == nil {
+		t.Error("ByName accepted unknown model")
+	}
+}
+
+func TestResNet50Fig17Pattern(t *testing.T) {
+	// Fig. 17: as layer index grows, parameter size trends up and compute
+	// time trends down. Check the trend by comparing the first-quarter and
+	// last-quarter averages.
+	m := ResNet50()
+	n := len(m.Layers)
+	q := n / 4
+	var firstParams, lastParams, firstFLOPs, lastFLOPs float64
+	for i := 0; i < q; i++ {
+		firstParams += float64(m.Layers[i].Params)
+		firstFLOPs += m.Layers[i].FwdFLOPs
+	}
+	for i := n - q; i < n; i++ {
+		lastParams += float64(m.Layers[i].Params)
+		lastFLOPs += m.Layers[i].FwdFLOPs
+	}
+	if lastParams <= firstParams {
+		t.Errorf("late-layer params %.0f <= early %.0f, want growth", lastParams, firstParams)
+	}
+	if lastFLOPs >= firstFLOPs {
+		t.Errorf("late-layer FLOPs %.0f >= early %.0f, want shrinkage", lastFLOPs, firstFLOPs)
+	}
+}
+
+func TestDeviceTimes(t *testing.T) {
+	d := V100()
+	m := ResNet50()
+	fwd := d.FwdTimes(m, 64)
+	bwd := d.BwdTimes(m, 64)
+	if len(fwd) != len(m.Layers) || len(bwd) != len(m.Layers) {
+		t.Fatal("per-layer time lengths wrong")
+	}
+	var fwdTotal des.Time
+	for i := range fwd {
+		if fwd[i] <= 0 || bwd[i] <= 0 {
+			t.Fatalf("layer %d times fwd=%v bwd=%v", i, fwd[i], bwd[i])
+		}
+		if bwd[i] <= fwd[i] {
+			t.Fatalf("layer %d backward %v <= forward %v", i, bwd[i], fwd[i])
+		}
+		fwdTotal += fwd[i]
+	}
+	// ResNet-50 batch-64 forward on a V100-class device: tens of ms.
+	if fwdTotal < 20*des.Millisecond || fwdTotal > 200*des.Millisecond {
+		t.Errorf("ResNet-50 b64 forward = %v, want tens of ms", fwdTotal)
+	}
+	if it := d.IterTime(m, 64); it <= fwdTotal {
+		t.Errorf("iteration time %v <= forward time %v", it, fwdTotal)
+	}
+}
+
+func TestDeviceTimeScalesWithBatch(t *testing.T) {
+	d := V100()
+	l := ResNet50().Layers[10]
+	t32 := d.FwdTime(l, 32)
+	t64 := d.FwdTime(l, 64)
+	if t64 <= t32 {
+		t.Errorf("fwd time did not grow with batch: %v -> %v", t32, t64)
+	}
+}
+
+func TestSyntheticPatternsShareTotals(t *testing.T) {
+	base := SyntheticPattern(Case1)
+	for _, c := range []PatternCase{Case2, Case3} {
+		m := SyntheticPattern(c)
+		if rel := absf(float64(m.TotalParams()-base.TotalParams())) / float64(base.TotalParams()); rel > 0.01 {
+			t.Errorf("case %d params differ from case 1 by %.3f", c, rel)
+		}
+		if rel := absf(m.TotalFwdFLOPs()-base.TotalFwdFLOPs()) / base.TotalFwdFLOPs(); rel > 0.01 {
+			t.Errorf("case %d FLOPs differ from case 1 by %.3f", c, rel)
+		}
+	}
+}
+
+func TestSyntheticPatternShapes(t *testing.T) {
+	c1 := SyntheticPattern(Case1)
+	if c1.Layers[0].Params >= c1.Layers[7].Params {
+		t.Error("case 1 params must grow with layer index")
+	}
+	if c1.Layers[0].FwdFLOPs <= c1.Layers[7].FwdFLOPs {
+		t.Error("case 1 compute must shrink with layer index")
+	}
+	c2 := SyntheticPattern(Case2)
+	if c2.Layers[0].FwdFLOPs >= c2.Layers[7].FwdFLOPs {
+		t.Error("case 2 compute must grow with layer index")
+	}
+	c3 := SyntheticPattern(Case3)
+	if c3.Layers[0].Params <= c3.Layers[7].Params {
+		t.Error("case 3 communication must be concentrated early")
+	}
+}
+
+func TestMLPGradientMatchesNumerical(t *testing.T) {
+	// Spot-check the analytic backward pass against central differences.
+	m := NewMLP([]int{3, 4, 2}, 42)
+	x := [][]float32{{0.5, -0.2, 0.8}}
+	y := [][]float32{{1.0, -1.0}}
+	grad := m.GradBuffer(x, y)
+
+	const eps = 1e-3
+	checks := []int{0, 5, 11, len(grad) - 1}
+	for _, idx := range checks {
+		plus := m.Clone()
+		minus := m.Clone()
+		perturb(plus, idx, eps)
+		perturb(minus, idx, -eps)
+		num := (plus.Loss(x, y) - minus.Loss(x, y)) / (2 * eps)
+		if diff := absf(num - float64(grad[idx])); diff > 2e-2*(1+absf(num)) {
+			t.Errorf("grad[%d] = %v, numerical %v", idx, grad[idx], num)
+		}
+	}
+}
+
+// perturb adds eps to the idx-th element of the flattened parameter vector.
+func perturb(m *MLP, idx int, eps float64) {
+	for l := 0; l < m.NumLayers(); l++ {
+		nw := len(m.weights[l])
+		nb := len(m.biases[l])
+		if idx < nw {
+			m.weights[l][idx] += float32(eps)
+			return
+		}
+		idx -= nw
+		if idx < nb {
+			m.biases[l][idx] += float32(eps)
+			return
+		}
+		idx -= nb
+	}
+	panic("index out of range")
+}
+
+func TestMLPTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP([]int{2, 8, 1}, 1)
+	// Learn y = x0 + x1.
+	xs := make([][]float32, 64)
+	ys := make([][]float32, 64)
+	for i := range xs {
+		a, b := rng.Float32()-0.5, rng.Float32()-0.5
+		xs[i] = []float32{a, b}
+		ys[i] = []float32{a + b}
+	}
+	before := m.Loss(xs, ys)
+	elems := m.LayerElems()
+	for step := 0; step < 500; step++ {
+		grad := m.GradBuffer(xs, ys)
+		off := 0
+		for l := 0; l < m.NumLayers(); l++ {
+			m.ApplyLayer(l, grad[off:off+elems[l]], 0.05, 1/float32(len(xs)))
+			off += elems[l]
+		}
+	}
+	after := m.Loss(xs, ys)
+	if after > before/10 {
+		t.Errorf("loss %.4f -> %.4f, want >10x reduction", before, after)
+	}
+}
+
+func TestMLPCloneAndEquality(t *testing.T) {
+	m := NewMLP([]int{2, 3, 1}, 5)
+	c := m.Clone()
+	if !m.WeightsEqual(c) {
+		t.Fatal("clone not equal")
+	}
+	c.weights[0][0] += 1
+	if m.WeightsEqual(c) {
+		t.Fatal("modified clone still equal")
+	}
+}
+
+func TestMLPLayerElemsLayout(t *testing.T) {
+	m := NewMLP([]int{3, 4, 2}, 1)
+	elems := m.LayerElems()
+	want := []int{3*4 + 4, 4*2 + 2}
+	for i := range want {
+		if elems[i] != want[i] {
+			t.Fatalf("LayerElems = %v, want %v", elems, want)
+		}
+	}
+	if m.TotalElems() != want[0]+want[1] {
+		t.Fatalf("TotalElems = %d", m.TotalElems())
+	}
+	if got := len(m.GradBuffer([][]float32{{1, 2, 3}}, [][]float32{{0, 0}})); got != m.TotalElems() {
+		t.Fatalf("GradBuffer length = %d, want %d", got, m.TotalElems())
+	}
+}
+
+func TestBERTBaseShape(t *testing.T) {
+	m := BERTBase()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ~110M parameters.
+	got := float64(m.TotalParams())
+	if got < 100e6 || got > 120e6 {
+		t.Errorf("BERT-Base params = %.1fM, want ~110M", got/1e6)
+	}
+	// Embeddings + 12 blocks x 2 sublayers + pooler.
+	if n := m.NumLayers(); n != 1+24+1 {
+		t.Errorf("layers = %d, want 26", n)
+	}
+	// The embedding layer carries a large parameter share at near-zero
+	// compute (the Case-3 hazard for chaining).
+	emb := m.Layers[0]
+	if share := float64(emb.Params) / float64(m.TotalParams()); share < 0.15 || share > 0.30 {
+		t.Errorf("embedding parameter share = %.2f, want ~0.22", share)
+	}
+	if emb.FwdFLOPs > m.Layers[1].FwdFLOPs/100 {
+		t.Errorf("embedding FLOPs %.2e not negligible vs attention %.2e",
+			emb.FwdFLOPs, m.Layers[1].FwdFLOPs)
+	}
+	if _, err := ByName("bert-base"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBERTChainingPaysCase3Penalty(t *testing.T) {
+	// The embedding layer (first dequeued, huge gradients) delays the first
+	// forward step: C-Cube's first-forward wait on BERT must exceed
+	// ResNet-50's relative to comm time. This is a dnn-level sanity hook;
+	// the full study lives in the train package tests.
+	m := BERTBase()
+	layerBytes := m.LayerBytes()
+	if layerBytes[0] < layerBytes[1]*5 {
+		t.Errorf("embedding bytes %d not dominant over block bytes %d",
+			layerBytes[0], layerBytes[1])
+	}
+}

@@ -1,0 +1,207 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a small real multi-layer perceptron (fp32, tanh hidden units, MSE
+// loss) used to demonstrate the paper's accuracy claim end to end: because
+// C-Cube changes *when* communication happens but not the order of any
+// computation, data-parallel training through the chained collectives
+// produces bit-identical weights to the unchained baseline. The simulated
+// profiles in this package carry the timing story; the MLP carries the
+// numerics story.
+type MLP struct {
+	sizes   []int
+	weights [][]float32 // weights[l]: (out x in) row-major
+	biases  [][]float32
+}
+
+// NewMLP builds an MLP with the given layer sizes (at least input and
+// output) and deterministic small random weights.
+func NewMLP(sizes []int, seed int64) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("dnn: MLP needs >= 2 sizes, got %v", sizes))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float32, in*out)
+		scale := float32(1 / math.Sqrt(float64(in)))
+		for i := range w {
+			w[i] = (rng.Float32()*2 - 1) * scale
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, make([]float32, out))
+	}
+	return m
+}
+
+// NumLayers returns the trainable layer count.
+func (m *MLP) NumLayers() int { return len(m.weights) }
+
+// LayerElems returns the flattened gradient element count per layer
+// (weights then biases), the layout used by GradBuffer and ApplyLayer.
+func (m *MLP) LayerElems() []int {
+	out := make([]int, m.NumLayers())
+	for l := range m.weights {
+		out[l] = len(m.weights[l]) + len(m.biases[l])
+	}
+	return out
+}
+
+// TotalElems returns the total gradient buffer length.
+func (m *MLP) TotalElems() int {
+	total := 0
+	for _, e := range m.LayerElems() {
+		total += e
+	}
+	return total
+}
+
+// forward computes per-layer activations (including the input as act[0]).
+func (m *MLP) forward(x []float32) [][]float32 {
+	act := make([][]float32, len(m.sizes))
+	act[0] = x
+	for l := 0; l < m.NumLayers(); l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		a := make([]float32, out)
+		for o := 0; o < out; o++ {
+			sum := m.biases[l][o]
+			row := m.weights[l][o*in : (o+1)*in]
+			for i := 0; i < in; i++ {
+				sum += row[i] * act[l][i]
+			}
+			if l < m.NumLayers()-1 {
+				sum = float32(math.Tanh(float64(sum)))
+			}
+			a[o] = sum
+		}
+		act[l+1] = a
+	}
+	return act
+}
+
+// Predict runs a forward pass and returns the output activations.
+func (m *MLP) Predict(x []float32) []float32 {
+	act := m.forward(x)
+	return act[len(act)-1]
+}
+
+// Loss returns the summed squared error over a batch.
+func (m *MLP) Loss(xs, ys [][]float32) float64 {
+	var loss float64
+	for s := range xs {
+		out := m.Predict(xs[s])
+		for j := range out {
+			d := float64(out[j] - ys[s][j])
+			loss += d * d
+		}
+	}
+	return loss
+}
+
+// GradBuffer computes the summed gradient of the MSE loss over the batch,
+// flattened layer-major (layer 0's weights, layer 0's biases, layer 1's
+// weights, ...) — the exact layout the AllReduce operates on.
+func (m *MLP) GradBuffer(xs, ys [][]float32) []float32 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("dnn: %d inputs vs %d targets", len(xs), len(ys)))
+	}
+	gw := make([][]float32, m.NumLayers())
+	gb := make([][]float32, m.NumLayers())
+	for l := range gw {
+		gw[l] = make([]float32, len(m.weights[l]))
+		gb[l] = make([]float32, len(m.biases[l]))
+	}
+	for s := range xs {
+		act := m.forward(xs[s])
+		out := act[len(act)-1]
+		// dL/dout for MSE (summed).
+		delta := make([]float32, len(out))
+		for j := range out {
+			delta[j] = 2 * (out[j] - ys[s][j])
+		}
+		for l := m.NumLayers() - 1; l >= 0; l-- {
+			in, outN := m.sizes[l], m.sizes[l+1]
+			var prevDelta []float32
+			if l > 0 {
+				prevDelta = make([]float32, in)
+			}
+			for o := 0; o < outN; o++ {
+				d := delta[o]
+				row := m.weights[l][o*in : (o+1)*in]
+				grow := gw[l][o*in : (o+1)*in]
+				for i := 0; i < in; i++ {
+					grow[i] += d * act[l][i]
+					if l > 0 {
+						prevDelta[i] += d * row[i]
+					}
+				}
+				gb[l][o] += d
+			}
+			if l > 0 {
+				// tanh'(z) = 1 - a^2 on the hidden activation.
+				for i := range prevDelta {
+					a := act[l][i]
+					prevDelta[i] *= 1 - a*a
+				}
+				delta = prevDelta
+			}
+		}
+	}
+	buf := make([]float32, 0, m.TotalElems())
+	for l := 0; l < m.NumLayers(); l++ {
+		buf = append(buf, gw[l]...)
+		buf = append(buf, gb[l]...)
+	}
+	return buf
+}
+
+// ApplyLayer applies an SGD step to one layer from its flattened gradient
+// slice: w -= lr * grad * scale. scale typically divides by the global batch
+// size when gradients were summed across GPUs.
+func (m *MLP) ApplyLayer(layer int, grad []float32, lr, scale float32) {
+	nw := len(m.weights[layer])
+	if len(grad) != nw+len(m.biases[layer]) {
+		panic(fmt.Sprintf("dnn: layer %d gradient has %d elements, want %d",
+			layer, len(grad), nw+len(m.biases[layer])))
+	}
+	for i := range m.weights[layer] {
+		m.weights[layer][i] -= lr * grad[i] * scale
+	}
+	for i := range m.biases[layer] {
+		m.biases[layer][i] -= lr * grad[nw+i] * scale
+	}
+}
+
+// Clone returns a deep copy (for running baseline and C-Cube trainings from
+// identical initial weights).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{sizes: append([]int(nil), m.sizes...)}
+	for l := range m.weights {
+		c.weights = append(c.weights, append([]float32(nil), m.weights[l]...))
+		c.biases = append(c.biases, append([]float32(nil), m.biases[l]...))
+	}
+	return c
+}
+
+// WeightsEqual reports whether two MLPs have bit-identical parameters.
+func (m *MLP) WeightsEqual(o *MLP) bool {
+	for l := range m.weights {
+		for i := range m.weights[l] {
+			if m.weights[l][i] != o.weights[l][i] {
+				return false
+			}
+		}
+		for i := range m.biases[l] {
+			if m.biases[l][i] != o.biases[l][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

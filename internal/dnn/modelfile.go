@@ -1,0 +1,72 @@
+package dnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Custom model files let downstream users run the training simulator on
+// their own networks without writing Go: a JSON document listing the model
+// name and per-layer profiles, consumed by `ccube-train -model-file`.
+//
+//	{
+//	  "name": "my-net",
+//	  "layers": [
+//	    {"name": "conv1", "params": 9408, "fwd_flops": 2.36e8, "act_bytes": 3211264},
+//	    {"name": "fc",    "params": 513000, "fwd_flops": 1.02e6, "act_bytes": 4000}
+//	  ]
+//	}
+type modelFile struct {
+	Name   string      `json:"name"`
+	Layers []layerFile `json:"layers"`
+}
+
+type layerFile struct {
+	Name     string  `json:"name"`
+	Params   int64   `json:"params"`
+	FwdFLOPs float64 `json:"fwd_flops"`
+	ActBytes int64   `json:"act_bytes"`
+}
+
+// ReadModel parses a model description from JSON and validates it.
+func ReadModel(r io.Reader) (Model, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var mf modelFile
+	if err := dec.Decode(&mf); err != nil {
+		return Model{}, fmt.Errorf("dnn: parsing model file: %w", err)
+	}
+	if mf.Name == "" {
+		return Model{}, fmt.Errorf("dnn: model file has no name")
+	}
+	m := Model{Name: mf.Name}
+	for i, l := range mf.Layers {
+		if l.Name == "" {
+			l.Name = fmt.Sprintf("layer%d", i)
+		}
+		if l.Params < 0 || l.FwdFLOPs < 0 || l.ActBytes < 0 {
+			return Model{}, fmt.Errorf("dnn: layer %d (%s) has negative fields", i, l.Name)
+		}
+		m.Layers = append(m.Layers, Layer{
+			Name: l.Name, Params: l.Params, FwdFLOPs: l.FwdFLOPs, ActBytes: l.ActBytes,
+		})
+	}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+// WriteModel serializes a model to the JSON model-file format.
+func WriteModel(w io.Writer, m Model) error {
+	mf := modelFile{Name: m.Name}
+	for _, l := range m.Layers {
+		mf.Layers = append(mf.Layers, layerFile{
+			Name: l.Name, Params: l.Params, FwdFLOPs: l.FwdFLOPs, ActBytes: l.ActBytes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(mf)
+}

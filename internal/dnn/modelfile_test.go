@@ -1,0 +1,61 @@
+package dnn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelFileRoundTrip(t *testing.T) {
+	orig := ResNet50()
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.NumLayers() != orig.NumLayers() {
+		t.Fatalf("round trip changed shape: %s/%d vs %s/%d",
+			got.Name, got.NumLayers(), orig.Name, orig.NumLayers())
+	}
+	if got.TotalParams() != orig.TotalParams() {
+		t.Fatalf("params %d != %d", got.TotalParams(), orig.TotalParams())
+	}
+	for i := range got.Layers {
+		if got.Layers[i] != orig.Layers[i] {
+			t.Fatalf("layer %d differs: %+v vs %+v", i, got.Layers[i], orig.Layers[i])
+		}
+	}
+}
+
+func TestReadModelValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{`},
+		{"no name", `{"layers":[{"params":1,"fwd_flops":1}]}`},
+		{"no layers", `{"name":"x"}`},
+		{"negative", `{"name":"x","layers":[{"params":-1,"fwd_flops":1}]}`},
+		{"zero params total", `{"name":"x","layers":[{"params":0,"fwd_flops":1}]}`},
+		{"unknown field", `{"name":"x","typo":1,"layers":[{"params":1,"fwd_flops":1}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadModel(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestReadModelDefaultsLayerNames(t *testing.T) {
+	m, err := ReadModel(strings.NewReader(
+		`{"name":"x","layers":[{"params":10,"fwd_flops":1},{"params":20,"fwd_flops":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Layers[0].Name != "layer0" || m.Layers[1].Name != "layer1" {
+		t.Fatalf("default names = %q, %q", m.Layers[0].Name, m.Layers[1].Name)
+	}
+}

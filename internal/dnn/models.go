@@ -1,0 +1,264 @@
+package dnn
+
+import "fmt"
+
+// conv appends a 2-D convolution layer. Parameters are kernel*kernel*in*out
+// plus out biases (batch-norm scale/shift folded into the same count when
+// bn is set); FLOPs are 2*k*k*cin*cout per output pixel.
+func conv(name string, k, cin, cout, outH, outW int, bn bool) Layer {
+	params := int64(k*k*cin*cout) + int64(cout)
+	if bn {
+		params += int64(2 * cout)
+	}
+	flops := 2 * float64(k*k*cin*cout) * float64(outH*outW)
+	return Layer{
+		Name:     name,
+		Params:   params,
+		FwdFLOPs: flops,
+		ActBytes: int64(outH*outW*cout) * BytesPerParam,
+	}
+}
+
+// fc appends a fully connected layer: in*out weights + out biases.
+func fc(name string, in, out int) Layer {
+	return Layer{
+		Name:     name,
+		Params:   int64(in*out) + int64(out),
+		FwdFLOPs: 2 * float64(in*out),
+		ActBytes: int64(out) * BytesPerParam,
+	}
+}
+
+// ZFNet returns the ZFNet architecture [Zeiler & Fergus 2014]: five
+// convolutions and three fully connected layers over 224x224 input. Like
+// AlexNet, most of its ~62M parameters sit in the FC layers at the end —
+// the friendliest possible shape for C-Cube's Case-1 chaining.
+func ZFNet() Model {
+	return Model{
+		Name: "zfnet",
+		Layers: []Layer{
+			conv("conv1", 7, 3, 96, 110, 110, false),
+			conv("conv2", 5, 96, 256, 26, 26, false),
+			conv("conv3", 3, 256, 384, 13, 13, false),
+			conv("conv4", 3, 384, 384, 13, 13, false),
+			conv("conv5", 3, 384, 256, 13, 13, false),
+			fc("fc6", 256*6*6, 4096),
+			fc("fc7", 4096, 4096),
+			fc("fc8", 4096, 1000),
+		},
+	}
+}
+
+// VGG16 returns VGG-16 [Simonyan & Zisserman 2015]: thirteen 3x3
+// convolutions in five blocks plus three FC layers (~138M parameters).
+// VGG-16 is the backbone of the Single Stage Detector workload in the
+// paper's Fig. 1.
+func VGG16() Model {
+	type blk struct {
+		convs, cin, cout, hw int
+	}
+	blocks := []blk{
+		{2, 3, 64, 224},
+		{2, 64, 128, 112},
+		{3, 128, 256, 56},
+		{3, 256, 512, 28},
+		{3, 512, 512, 14},
+	}
+	var layers []Layer
+	for bi, b := range blocks {
+		cin := b.cin
+		for ci := 0; ci < b.convs; ci++ {
+			layers = append(layers,
+				conv(fmt.Sprintf("conv%d_%d", bi+1, ci+1), 3, cin, b.cout, b.hw, b.hw, false))
+			cin = b.cout
+		}
+	}
+	layers = append(layers,
+		fc("fc6", 512*7*7, 4096),
+		fc("fc7", 4096, 4096),
+		fc("fc8", 4096, 1000),
+	)
+	return Model{Name: "vgg16", Layers: layers}
+}
+
+// ResNet50 returns ResNet-50 [He et al. 2016] (~25.6M parameters): a 7x7
+// stem followed by four stages of bottleneck blocks ([3,4,6,3]) and a final
+// FC layer. ResNet-50 is the backbone of Mask R-CNN in Fig. 1 and the
+// subject of Fig. 17: parameter size grows with layer index (channel counts
+// double per stage) while per-layer compute shrinks (feature maps shrink
+// faster), the Case-1 pattern C-Cube exploits.
+func ResNet50() Model {
+	layers := []Layer{conv("stem", 7, 3, 64, 112, 112, true)}
+	type stage struct {
+		blocks, mid, out, hw int
+	}
+	stages := []stage{
+		{3, 64, 256, 56},
+		{4, 128, 512, 28},
+		{6, 256, 1024, 14},
+		{3, 512, 2048, 7},
+	}
+	cin := 64
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			pre := fmt.Sprintf("s%db%d", si+1, b+1)
+			layers = append(layers,
+				conv(pre+"_reduce", 1, cin, st.mid, st.hw, st.hw, true),
+				conv(pre+"_3x3", 3, st.mid, st.mid, st.hw, st.hw, true),
+				conv(pre+"_expand", 1, st.mid, st.out, st.hw, st.hw, true),
+			)
+			if b == 0 {
+				layers = append(layers,
+					conv(pre+"_proj", 1, cin, st.out, st.hw, st.hw, true))
+			}
+			cin = st.out
+		}
+	}
+	layers = append(layers, fc("fc", 2048, 1000))
+	return Model{Name: "resnet50", Layers: layers}
+}
+
+// BERTBase returns a BERT-Base-class transformer encoder (~110M
+// parameters): token/position embeddings followed by 12 identical encoder
+// blocks (multi-head attention + feed-forward) and a pooler, profiled at a
+// sequence length of 128.
+//
+// Transformers stress C-Cube differently than CNNs: the embedding layer —
+// the *first* layer the next forward pass needs — carries ~22% of all
+// gradient bytes at nearly zero compute (the paper's Case-3 hazard), while
+// the encoder blocks are uniform (neither Case 1 nor Case 2). The training
+// simulator exposes how much of the chaining benefit survives.
+func BERTBase() Model {
+	const (
+		hidden = 768
+		ffn    = 3072
+		layers = 12
+		vocab  = 30522
+		maxPos = 512
+		seqLen = 128
+	)
+	m := Model{Name: "bert-base"}
+	// Embeddings: vocab + position + segment tables, plus layer norm.
+	embParams := int64(vocab*hidden + maxPos*hidden + 2*hidden + 2*hidden)
+	m.Layers = append(m.Layers, Layer{
+		Name:     "embeddings",
+		Params:   embParams,
+		FwdFLOPs: float64(seqLen * hidden), // table lookups + add: negligible
+		ActBytes: int64(seqLen * hidden * BytesPerParam),
+	})
+	for l := 0; l < layers; l++ {
+		// Attention: Q,K,V,O projections (4 * h*h) + biases + layer norm.
+		attnParams := int64(4*hidden*hidden + 4*hidden + 2*hidden)
+		// QKVO projections: 4 * 2*h*h per token; attention scores+context:
+		// 2 * 2*seq*h per token.
+		attnFLOPs := float64(seqLen) * (8*float64(hidden)*float64(hidden) +
+			4*float64(seqLen)*float64(hidden))
+		m.Layers = append(m.Layers, Layer{
+			Name:     fmt.Sprintf("enc%d_attn", l+1),
+			Params:   attnParams,
+			FwdFLOPs: attnFLOPs,
+			ActBytes: int64(seqLen * hidden * BytesPerParam),
+		})
+		// Feed-forward: h->4h->h plus biases + layer norm.
+		ffnParams := int64(2*hidden*ffn + hidden + ffn + 2*hidden)
+		ffnFLOPs := float64(seqLen) * 4 * float64(hidden) * float64(ffn)
+		m.Layers = append(m.Layers, Layer{
+			Name:     fmt.Sprintf("enc%d_ffn", l+1),
+			Params:   ffnParams,
+			FwdFLOPs: ffnFLOPs,
+			ActBytes: int64(seqLen * ffn * BytesPerParam),
+		})
+	}
+	m.Layers = append(m.Layers, fc("pooler", hidden, hidden))
+	return m
+}
+
+// ByName returns a model by its evaluation name.
+func ByName(name string) (Model, error) {
+	switch name {
+	case "zfnet":
+		return ZFNet(), nil
+	case "vgg16":
+		return VGG16(), nil
+	case "resnet50":
+		return ResNet50(), nil
+	case "bert-base":
+		return BERTBase(), nil
+	default:
+		return Model{}, fmt.Errorf("dnn: unknown model %q (want zfnet, vgg16, resnet50, or bert-base)", name)
+	}
+}
+
+// EvaluationModels returns the three models of the paper's Fig. 13, in the
+// order the figure presents them.
+func EvaluationModels() []Model {
+	return []Model{ZFNet(), VGG16(), ResNet50()}
+}
+
+// PatternCase labels the communication/computation patterns of Fig. 16.
+type PatternCase int
+
+const (
+	// Case1: compute shrinks and communication grows with layer index — the
+	// common CNN pattern, ideal for chaining.
+	Case1 PatternCase = iota + 1
+	// Case2: compute grows with layer index; forward bubbles appear because
+	// later layers' communication is not finished when earlier (fast)
+	// forward layers complete.
+	Case2
+	// Case3: communication is concentrated in the early layers; the first
+	// gradient chunks turn around late.
+	Case3
+)
+
+// SyntheticPattern builds an 8-layer synthetic model exhibiting one of the
+// Fig. 16 cases. Total parameters and FLOPs are held constant across cases
+// so that only the per-layer distribution differs.
+func SyntheticPattern(c PatternCase) Model {
+	// Totals are balanced so that, on a low-bandwidth DGX-1 at batch 64, the
+	// AllReduce time is comparable to the forward-pass time — the regime
+	// where the per-layer distribution (not the totals) decides whether
+	// chaining stalls.
+	const (
+		layers      = 8
+		totalParams = int64(32 << 20) // 32M params (128 MB gradients)
+		totalFLOPs  = 1.2e9           // per sample
+	)
+	// Weights 1..8 ascending; reversed for the opposite direction.
+	asc := make([]float64, layers)
+	var wsum float64
+	for i := range asc {
+		asc[i] = float64(i + 1)
+		wsum += asc[i]
+	}
+	shape := func(w []float64, i int) float64 { return w[i] / wsum }
+	rev := func(w []float64) []float64 {
+		out := make([]float64, len(w))
+		for i := range w {
+			out[i] = w[len(w)-1-i]
+		}
+		return out
+	}
+
+	var paramW, flopW []float64
+	switch c {
+	case Case1:
+		paramW, flopW = asc, rev(asc) // params grow, compute shrinks
+	case Case2:
+		paramW, flopW = asc, asc // both grow: latter layers compute-heavy
+	case Case3:
+		paramW, flopW = rev(asc), rev(asc) // comm concentrated early
+	default:
+		panic(fmt.Sprintf("dnn: unknown pattern case %d", c))
+	}
+
+	m := Model{Name: fmt.Sprintf("synthetic-case%d", int(c))}
+	for i := 0; i < layers; i++ {
+		m.Layers = append(m.Layers, Layer{
+			Name:     fmt.Sprintf("L%d", i+1),
+			Params:   int64(float64(totalParams) * shape(paramW, i)),
+			FwdFLOPs: totalFLOPs * shape(flopW, i),
+		})
+	}
+	return m
+}

@@ -1,0 +1,66 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each FigN function runs the relevant models/simulations and
+// returns the same rows or series the paper reports, annotated with the
+// paper's headline numbers for side-by-side comparison (EXPERIMENTS.md
+// records the outcome of one full run).
+package experiments
+
+import (
+	"fmt"
+
+	"ccube/internal/report"
+	"ccube/internal/topology"
+)
+
+// Experiment is one reproducible figure/table.
+type Experiment struct {
+	ID          string // e.g. "fig12a"
+	Description string
+	Run         func() ([]*report.Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "AllReduce fraction of execution time (MLPerf suite, 8-GPU DGX-1)", Fig1},
+		{"fig3", "One-shot vs layer-wise vs slicing AllReduce (ResNet-50 parameters)", Fig3},
+		{"fig4", "Ring vs tree AllReduce cost-model ratio over P and N", Fig4},
+		{"fig12a", "Overlapped tree (C1) vs baseline (B) communication on DGX-1", Fig12a},
+		{"fig12b", "Measured C1/B speedup vs alpha-beta model", Fig12b},
+		{"fig13", "Normalized training performance: B/C1/C2/R/CC across models, batches, bandwidth", Fig13},
+		{"fig14a", "Scale-out: C1 vs ring communication ratio (4-1024 nodes)", Fig14a},
+		{"fig14b", "Scale-out: gradient turnaround speedup of C1 over B", Fig14b},
+		{"fig15", "Detour-node overhead: per-GPU normalized performance", Fig15},
+		{"fig16", "Communication/computation patterns: chaining behavior per case", Fig16},
+		{"fig17", "ResNet-50 per-layer parameter size vs computation time", Fig17},
+		{"ext-dgx2", "Extension (paper §VI future work): C-Cube on a DGX-2/NVSwitch crossbar", ExtDGX2},
+		{"ext-validate", "Extension: simulator vs closed-form cost models, all algorithms", ExtValidate},
+		{"ext-hier", "Extension: hierarchical C-Cube across multiple DGX-1 boxes", ExtHierarchical},
+		{"ext-transformer", "Extension: C-Cube on a BERT-Base transformer (Case-3 embedding hazard)", ExtTransformer},
+		{"ext-ablation", "Extension: design-choice ablations (chunking, detours, trees, overlap direction)", ExtAblation},
+		{"ext-autotune", "Extension: simulated algorithm auto-tuning across sizes and platforms", ExtAutotune},
+		{"ext-hetero", "Extension: algorithm sensitivity to a degraded NVLink", ExtHetero},
+		{"ext-interference", "Extension: two concurrent collectives sharing one DGX-1", ExtInterference},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// dgx1 returns the evaluation platform in its high-bandwidth configuration.
+func dgx1() *topology.Graph { return topology.DGX1(topology.DefaultDGX1Config()) }
+
+// dgx1Low returns the low-bandwidth configuration (paper: AllReduce kernels
+// given 4x fewer threads, modeling a PCIe-class interconnect).
+func dgx1Low() *topology.Graph {
+	cfg := topology.DefaultDGX1Config()
+	cfg.LowBandwidth = true
+	return topology.DGX1(cfg)
+}

@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"ccube/internal/report"
+	"ccube/internal/validate"
+)
+
+// ExtValidate cross-checks the discrete-event simulator against the
+// closed-form alpha-beta cost models for every algorithm (the paper's
+// Fig. 12(b) methodology, extended to the whole algorithm zoo).
+func ExtValidate() ([]*report.Table, error) {
+	entries, err := validate.CrossCheck(
+		[]int{4, 8, 16, 32},
+		[]int64{1 << 20, 16 << 20, 64 << 20},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{validate.Table(entries)}, nil
+}

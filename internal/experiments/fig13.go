@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccube/internal/dnn"
+	"ccube/internal/report"
+	"ccube/internal/topology"
+	"ccube/internal/train"
+)
+
+// fig13Batches are the per-GPU batch sizes of the training study.
+var fig13Batches = []int{16, 32, 64}
+
+// Fig13Cell is one (model, batch, bandwidth, mode) measurement.
+type Fig13Cell struct {
+	Model     string
+	Batch     int
+	Bandwidth string // "low" or "high"
+	Mode      train.Mode
+	Result    *train.Result
+}
+
+// Fig13Sweep runs the full training grid and returns every cell.
+func Fig13Sweep() ([]Fig13Cell, error) {
+	var cells []Fig13Cell
+	for _, bw := range []string{"low", "high"} {
+		var g *topology.Graph
+		if bw == "low" {
+			g = dgx1Low()
+		} else {
+			g = dgx1()
+		}
+		for _, model := range dnn.EvaluationModels() {
+			for _, batch := range fig13Batches {
+				for _, mode := range train.Modes() {
+					res, err := train.Run(train.Config{
+						Model: model, Batch: batch, Graph: g, Mode: mode,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("fig13 %s b%d %s %s: %w", model.Name, batch, bw, mode, err)
+					}
+					cells = append(cells, Fig13Cell{
+						Model: model.Name, Batch: batch, Bandwidth: bw, Mode: mode, Result: res,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Fig13 reproduces the normalized-performance grid (Fig. 13) plus the
+// paper's §V-B2 summary aggregates: C1 ~10% avg (up to 20%) over B, CC ~32%
+// avg (up to 61%) over B, CC up to 31% over R, peak efficiency ~98%.
+func Fig13() ([]*report.Table, error) {
+	cells, err := Fig13Sweep()
+	if err != nil {
+		return nil, err
+	}
+
+	grid := report.New("Fig 13: normalized performance (1.0 = ideal linear speedup)",
+		"bandwidth", "model", "batch", "B", "C1", "C2", "R", "CC")
+	type key struct {
+		bw, model string
+		batch     int
+	}
+	rows := map[key]map[train.Mode]*train.Result{}
+	var order []key
+	for _, c := range cells {
+		k := key{c.Bandwidth, c.Model, c.Batch}
+		if rows[k] == nil {
+			rows[k] = map[train.Mode]*train.Result{}
+			order = append(order, k)
+		}
+		rows[k][c.Mode] = c.Result
+	}
+	for _, k := range order {
+		r := rows[k]
+		grid.AddRow(k.bw, k.model, fmt.Sprintf("%d", k.batch),
+			report.F2(r[train.ModeB].Normalized),
+			report.F2(r[train.ModeC1].Normalized),
+			report.F2(r[train.ModeC2].Normalized),
+			report.F2(r[train.ModeR].Normalized),
+			report.F2(r[train.ModeCC].Normalized),
+		)
+	}
+
+	summary := report.New("Fig 13 summary: speedups over baselines",
+		"comparison", "average", "maximum", "paper")
+	avgMax := func(num, den train.Mode) (avg, max float64) {
+		var sum float64
+		n := 0
+		for _, k := range order {
+			s := float64(rows[k][den].IterTime) / float64(rows[k][num].IterTime)
+			sum += s
+			if s > max {
+				max = s
+			}
+			n++
+		}
+		return sum / float64(n), max
+	}
+	for _, cmp := range []struct {
+		name     string
+		num, den train.Mode
+		paper    string
+	}{
+		{"C1 vs B", train.ModeC1, train.ModeB, "+10% avg, +20% max"},
+		{"C2 vs B", train.ModeC2, train.ModeB, "slightly above C1"},
+		{"CC vs B", train.ModeCC, train.ModeB, "+32% avg, +61% max"},
+		{"CC vs R", train.ModeCC, train.ModeR, "up to +31%"},
+	} {
+		avg, max := avgMax(cmp.num, cmp.den)
+		summary.AddRow(cmp.name,
+			report.Percent(avg-1), report.Percent(max-1), cmp.paper)
+	}
+	var peak float64
+	for _, k := range order {
+		if e := rows[k][train.ModeCC].Normalized; e > peak {
+			peak = e
+		}
+	}
+	summary.AddNote("peak CC efficiency: %s (paper: up to 98%%)", report.Percent(peak))
+	return []*report.Table{grid, summary}, nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccube/internal/report"
+	"ccube/internal/scaleout"
+)
+
+// fig14Config returns the scale-out sweep. Tests and the default bench run
+// cap at 256 nodes to keep a single run fast; `ccube-bench -fig 14 -max-nodes
+// 1024` runs the paper's full range.
+func fig14Config(maxNodes int) scaleout.Config {
+	cfg := scaleout.DefaultConfig()
+	var counts []int
+	for _, p := range cfg.NodeCounts {
+		if p <= maxNodes {
+			counts = append(counts, p)
+		}
+	}
+	cfg.NodeCounts = counts
+	return cfg
+}
+
+// Fig14MaxNodes bounds the default sweep size.
+var Fig14MaxNodes = 256
+
+// Fig14a reproduces the scale-out communication comparison: the performance
+// ratio of the overlapped tree (C1) over the ring as nodes grow, for 16kB /
+// 1MB / 64MB messages. Paper headline: up to ~20x for small messages where
+// latency dominates; down to ~35% improvement at 64MB; C1 overtakes ring as
+// node count grows.
+func Fig14a() ([]*report.Table, error) {
+	pts, err := scaleout.Run(fig14Config(Fig14MaxNodes))
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Fig 14(a): C1 / ring communication performance ratio (switched fabric)",
+		"nodes", "16kB", "1MB", "64MB")
+	rows := map[int]map[int64]scaleout.Point{}
+	var order []int
+	for _, p := range pts {
+		if rows[p.Nodes] == nil {
+			rows[p.Nodes] = map[int64]scaleout.Point{}
+			order = append(order, p.Nodes)
+		}
+		rows[p.Nodes][p.Bytes] = p
+	}
+	for _, n := range order {
+		t.AddRow(fmt.Sprintf("%d", n),
+			report.Ratio(rows[n][16<<10].OverlapVsRing()),
+			report.Ratio(rows[n][1<<20].OverlapVsRing()),
+			report.Ratio(rows[n][64<<20].OverlapVsRing()),
+		)
+	}
+	t.AddNote("paper: up to ~20x at small sizes; benefit shrinks at 64MB; grows with node count")
+	return []*report.Table{t}, nil
+}
+
+// Fig14b reproduces the gradient-turnaround study: the speedup of C1's
+// turnaround over B's. Paper headline: ~29x average, up to 69x; no benefit
+// for small messages with few chunks.
+func Fig14b() ([]*report.Table, error) {
+	pts, err := scaleout.Run(fig14Config(Fig14MaxNodes))
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Fig 14(b): gradient turnaround speedup, C1 vs B",
+		"nodes", "16kB", "1MB", "64MB")
+	rows := map[int]map[int64]scaleout.Point{}
+	var order []int
+	for _, p := range pts {
+		if rows[p.Nodes] == nil {
+			rows[p.Nodes] = map[int64]scaleout.Point{}
+			order = append(order, p.Nodes)
+		}
+		rows[p.Nodes][p.Bytes] = p
+	}
+	var sum float64
+	var count int
+	var max float64
+	for _, n := range order {
+		cells := []string{fmt.Sprintf("%d", n)}
+		for _, sz := range []int64{16 << 10, 1 << 20, 64 << 20} {
+			s := rows[n][sz].TurnaroundSpeedup()
+			cells = append(cells, report.Ratio(s))
+			sum += s
+			count++
+			if s > max {
+				max = s
+			}
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("average %.1fx, max %.1fx (paper: 29x average, up to 69x)", sum/float64(count), max)
+	return []*report.Table{t}, nil
+}

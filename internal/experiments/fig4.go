@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ccube/internal/costmodel"
+	"ccube/internal/report"
+	"ccube/internal/topology"
+)
+
+// Fig4Params returns the alpha-beta parameters used for the model figures:
+// NVLink-class bandwidth and microsecond-class latency (from the NCCL 2.4
+// scaling post the paper cites as [25]).
+func Fig4Params() costmodel.Params {
+	return costmodel.Params{
+		Alpha: topology.NVLinkLatency.Seconds(),
+		Beta:  1 / topology.NVLinkBandwidth,
+	}
+}
+
+// Fig4 reproduces the ring-vs-tree performance-model comparison: the ratio
+// (1/T_tree)/(1/T_ring) = T_ring/T_tree over node count and message size.
+// Ratios above 1 mean the tree algorithm wins. Paper headline: tree wins for
+// small messages and at scale; ring wins by up to ~14% for large messages on
+// few nodes.
+func Fig4() ([]*report.Table, error) {
+	sizes := []int64{16 << 10, 256 << 10, 1 << 20, 16 << 20, 64 << 20, 256 << 20}
+	nodes := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+
+	cols := []string{"P \\ N"}
+	for _, n := range sizes {
+		cols = append(cols, report.Bytes(n))
+	}
+	t := report.New("Fig 4: T_ring / T_tree from the alpha-beta model (>1 = tree wins)", cols...)
+	minRatio := 1.0
+	for _, p := range nodes {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, n := range sizes {
+			pr := Fig4Params()
+			pr.P = p
+			pr.N = float64(n)
+			r := costmodel.RingVsTreeRatio(pr)
+			if r < minRatio {
+				minRatio = r
+			}
+			row = append(row, report.F2(r))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("worst case for tree: ratio %.2f (paper: ring wins by up to ~14%%)", minRatio)
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,323 @@
+// Package gpusim is a functional emulation of the paper's proof-of-concept:
+// C-Cube implemented as persistent kernels synchronized entirely on the
+// device side. Each GPU is a set of goroutines ("persistent kernels") —
+// reduce, broadcast, detour-forwarding, and forward-compute consumers —
+// that communicate only through p2psync mailboxes and semaphores (Fig. 11)
+// and per-GPU gradient queues (Fig. 9). No Go channels, mutexes, or host
+// coordination appear on the data path.
+//
+// The package answers the correctness questions the real-system prototype
+// answers: the chained algorithms deadlock-free deliver exact AllReduce
+// results, chunks arrive in order per tree, detour kernels forward
+// transparently, and gradient queuing releases layers exactly when their
+// chunks are in. Timing questions are answered by the des-based simulator
+// in internal/collective.
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+
+	"ccube/internal/chunk"
+	"ccube/internal/collective"
+	"ccube/internal/gradqueue"
+	"ccube/internal/p2psync"
+)
+
+// Config describes one emulated AllReduce.
+type Config struct {
+	// Trees are the logical reduction trees (1 = single tree, 2 = double
+	// tree). Chunks are assigned round-robin across trees, as in the
+	// schedule-based simulator.
+	Trees []collective.Tree
+
+	// Detours maps a tree edge (child, parent) to the intermediate GPU that
+	// statically forwards its traffic in both directions (paper §IV-A). Use
+	// DGX1Detours for the paper's mapping.
+	Detours map[[2]int]int
+
+	// Chunks is the number of pipeline chunks (must be >= len(Trees)).
+	Chunks int
+
+	// Overlap chains each chunk's broadcast with the ongoing reduction
+	// (C1). When false the root broadcasts only after its tree's entire
+	// reduction completes (baseline).
+	Overlap bool
+
+	// MailboxDepth is the number of receive buffers per channel direction
+	// (default 2).
+	MailboxDepth int
+
+	// LayerElems optionally enables gradient queuing: element counts per
+	// layer (summing to the input length). Each GPU then runs a
+	// forward-compute consumer that dequeues layers in order and invokes
+	// OnLayer with the layer's freshly reduced gradients.
+	LayerElems []int
+
+	// OnLayer is called by GPU g's compute kernel when layer l is dequeued,
+	// with a view of the reduced gradient slice. May be nil.
+	OnLayer func(gpu, layer int, grad []float32)
+}
+
+// Result reports the outcome of one emulated AllReduce.
+type Result struct {
+	// Buffers are the per-GPU gradient buffers after the operation; every
+	// buffer must equal the element-wise sum of the inputs.
+	Buffers [][]float32
+
+	// ArrivalOrder[g] lists chunk indices in the order GPU g enqueued them
+	// (per-tree in-order arrival can be checked against it).
+	ArrivalOrder [][]int
+
+	// DequeueOrder[g] lists layers in dequeue order (gradient queuing only).
+	DequeueOrder [][]int
+}
+
+// DGX1Detours returns the detour map of the paper's DGX-1 mapping: tree 1's
+// GPU2->GPU4 edge through GPU0 and tree 2's GPU3->GPU5 edge through GPU1.
+func DGX1Detours() map[[2]int]int {
+	return map[[2]int]int{
+		{2, 4}: 0,
+		{3, 5}: 1,
+	}
+}
+
+// edgeLink is the mailbox pair for one tree edge direction, possibly with a
+// forwarding kernel in the middle.
+type edgeLink struct {
+	first *p2psync.Mailbox // sender writes here
+	last  *p2psync.Mailbox // receiver reads here (== first when direct)
+}
+
+// newEdgeLink builds the mailboxes for an edge and, when detoured, starts
+// the static forwarding kernel on the intermediate GPU: a persistent loop
+// moving nChunks chunks from the inbound to the outbound mailbox.
+func newEdgeLink(depth, nChunks int, detoured bool, wg *sync.WaitGroup) edgeLink {
+	in := p2psync.NewMailbox(depth)
+	if !detoured {
+		return edgeLink{first: in, last: in}
+	}
+	out := p2psync.NewMailbox(depth)
+	wg.Add(1)
+	go func() { // forwarding kernel (paper §IV-A)
+		defer wg.Done()
+		for i := 0; i < nChunks; i++ {
+			in.Recv(func(data []float32) { out.Send(data) })
+		}
+	}()
+	return edgeLink{first: in, last: out}
+}
+
+// AllReduce runs the emulation over per-GPU input vectors and returns the
+// reduced buffers. All inputs must share one length.
+func AllReduce(inputs [][]float32, cfg Config) (*Result, error) {
+	p := len(inputs)
+	if p < 2 {
+		return nil, fmt.Errorf("gpusim: %d GPUs", p)
+	}
+	elems := len(inputs[0])
+	for g, in := range inputs {
+		if len(in) != elems {
+			return nil, fmt.Errorf("gpusim: GPU %d has %d elements, want %d", g, len(in), elems)
+		}
+	}
+	if elems == 0 {
+		return nil, fmt.Errorf("gpusim: empty inputs")
+	}
+	if len(cfg.Trees) == 0 {
+		return nil, fmt.Errorf("gpusim: no trees")
+	}
+	for ti, tr := range cfg.Trees {
+		if len(tr.Parent) != p {
+			return nil, fmt.Errorf("gpusim: tree %d spans %d nodes, want %d", ti, len(tr.Parent), p)
+		}
+	}
+	k := cfg.Chunks
+	if k < len(cfg.Trees) {
+		return nil, fmt.Errorf("gpusim: %d chunks for %d trees", k, len(cfg.Trees))
+	}
+	if int64(k) > int64(elems) {
+		return nil, fmt.Errorf("gpusim: %d chunks for %d elements", k, elems)
+	}
+	depth := cfg.MailboxDepth
+	if depth == 0 {
+		depth = 2
+	}
+
+	part := chunk.Split(int64(elems), k)
+	res := &Result{
+		Buffers:      make([][]float32, p),
+		ArrivalOrder: make([][]int, p),
+	}
+	for g := range res.Buffers {
+		res.Buffers[g] = append([]float32(nil), inputs[g]...)
+	}
+	slice := func(g, c int) []float32 {
+		lo := part.Offsets[c]
+		return res.Buffers[g][lo : lo+part.Sizes[c]]
+	}
+
+	// Gradient queues (optional).
+	var queues []*gradqueue.Queue
+	var arrivalMu []sync.Mutex
+	arrivalMu = make([]sync.Mutex, p)
+	if cfg.LayerElems != nil {
+		total := 0
+		layerBytes := make([]int64, len(cfg.LayerElems))
+		for i, e := range cfg.LayerElems {
+			if e < 0 {
+				return nil, fmt.Errorf("gpusim: layer %d has %d elements", i, e)
+			}
+			total += e
+			layerBytes[i] = int64(e)
+		}
+		if total != elems {
+			return nil, fmt.Errorf("gpusim: layers cover %d elements, inputs have %d", total, elems)
+		}
+		table := chunk.BuildLayerChunkTable(layerBytes, part)
+		queues = make([]*gradqueue.Queue, p)
+		for g := range queues {
+			queues[g] = gradqueue.New(k, table)
+		}
+		res.DequeueOrder = make([][]int, p)
+	}
+
+	enqueue := func(g, c int) {
+		arrivalMu[g].Lock()
+		res.ArrivalOrder[g] = append(res.ArrivalOrder[g], c)
+		arrivalMu[g].Unlock()
+		if queues != nil {
+			queues[g].Enqueue(c)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for ti, tr := range cfg.Trees {
+		chunks := treeChunkList(k, len(cfg.Trees), ti)
+		runTree(tr, chunks, cfg, depth, slice, enqueue, &wg)
+	}
+
+	// Forward-compute consumers (gradient queuing).
+	layerOffsets := make([]int, len(cfg.LayerElems)+1)
+	for i, e := range cfg.LayerElems {
+		layerOffsets[i+1] = layerOffsets[i] + e
+	}
+	if queues != nil {
+		for g := 0; g < p; g++ {
+			g := g
+			wg.Add(1)
+			go func() { // forward-compute kernel
+				defer wg.Done()
+				for {
+					l, ok := queues[g].DequeueLayer()
+					if !ok {
+						return
+					}
+					res.DequeueOrder[g] = append(res.DequeueOrder[g], l)
+					if cfg.OnLayer != nil {
+						cfg.OnLayer(g, l, res.Buffers[g][layerOffsets[l]:layerOffsets[l+1]])
+					}
+				}
+			}()
+		}
+	}
+
+	wg.Wait()
+	return res, nil
+}
+
+func treeChunkList(k, numTrees, t int) []int {
+	var out []int
+	for c := t; c < k; c += numTrees {
+		out = append(out, c)
+	}
+	return out
+}
+
+// runTree launches the persistent kernels for one tree: a reduce kernel per
+// GPU and a broadcast kernel per non-root GPU (plus forwarding kernels
+// inside detoured edge links).
+func runTree(tr collective.Tree, chunks []int, cfg Config, depth int,
+	slice func(g, c int) []float32, enqueue func(g, c int), wg *sync.WaitGroup) {
+
+	p := len(tr.Parent)
+	up := make([]edgeLink, p)   // up[v]: v -> parent(v)
+	down := make([]edgeLink, p) // down[v]: parent(v) -> v
+	for v := 0; v < p; v++ {
+		if tr.Parent[v] < 0 {
+			continue
+		}
+		_, detoured := cfg.Detours[[2]int{v, tr.Parent[v]}]
+		up[v] = newEdgeLink(depth, len(chunks), detoured, wg)
+		down[v] = newEdgeLink(depth, len(chunks), detoured, wg)
+	}
+
+	// Barrier for the non-overlapped tree: the root's broadcast waits until
+	// its reduction phase has consumed every chunk.
+	reductionDone := p2psync.NewSemaphore(0, 0)
+
+	for v := 0; v < p; v++ {
+		v := v
+		isRoot := v == tr.Root
+		children := tr.Children[v]
+
+		// Reduce kernel: accumulate children contributions chunk by chunk,
+		// then pass up (or, at the root, hand to broadcast).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, c := range chunks {
+				local := slice(v, c)
+				for _, w := range children {
+					up[w].last.Recv(func(data []float32) {
+						for i := range local {
+							local[i] += data[i]
+						}
+					})
+				}
+				if !isRoot {
+					up[v].first.Send(local)
+					continue
+				}
+				// Chunk fully reduced at the root.
+				enqueue(v, c)
+				if cfg.Overlap {
+					for _, w := range children {
+						down[w].first.Send(local)
+					}
+				} else {
+					reductionDone.Post()
+				}
+			}
+			if isRoot && !cfg.Overlap {
+				// Separate broadcast phase (baseline, Fig. 5(a)).
+				reductionDone.Check(int64(len(chunks)))
+				for _, c := range chunks {
+					local := slice(v, c)
+					for _, w := range children {
+						down[w].first.Send(local)
+					}
+				}
+			}
+		}()
+
+		// Broadcast kernel: receive the final value, enqueue it, forward to
+		// children.
+		if !isRoot {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, c := range chunks {
+					local := slice(v, c)
+					down[v].last.Recv(func(data []float32) {
+						copy(local, data)
+					})
+					enqueue(v, c)
+					for _, w := range children {
+						down[w].first.Send(local)
+					}
+				}
+			}()
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccube/internal/collective"
+)
+
+func randInputs(rng *rand.Rand, gpus, elems int) ([][]float32, []float32) {
+	inputs := make([][]float32, gpus)
+	want := make([]float32, elems)
+	for g := range inputs {
+		inputs[g] = make([]float32, elems)
+		for j := range inputs[g] {
+			inputs[g][j] = float32(rng.Intn(200) - 100)
+			want[j] += inputs[g][j]
+		}
+	}
+	return inputs, want
+}
+
+func checkSum(t *testing.T, res *Result, want []float32) {
+	t.Helper()
+	for g, buf := range res.Buffers {
+		for j := range buf {
+			if buf[j] != want[j] {
+				t.Fatalf("GPU %d elem %d = %v, want %v", g, j, buf[j], want[j])
+			}
+		}
+	}
+}
+
+func dgx1Config(chunks int, overlap bool) Config {
+	t1, t2 := collective.DGX1Trees()
+	return Config{
+		Trees:   []collective.Tree{t1, t2},
+		Detours: DGX1Detours(),
+		Chunks:  chunks,
+		Overlap: overlap,
+	}
+}
+
+func TestTreeAllReduceCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, overlap := range []bool{false, true} {
+		for _, chunks := range []int{2, 7, 32} {
+			inputs, want := randInputs(rng, 8, 1000)
+			res, err := AllReduce(inputs, dgx1Config(chunks, overlap))
+			if err != nil {
+				t.Fatalf("overlap=%v chunks=%d: %v", overlap, chunks, err)
+			}
+			checkSum(t, res, want)
+		}
+	}
+}
+
+func TestSingleTreeAllReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	t1, _ := collective.DGX1Trees()
+	inputs, want := randInputs(rng, 8, 512)
+	res, err := AllReduce(inputs, Config{
+		Trees:   []collective.Tree{t1},
+		Detours: DGX1Detours(),
+		Chunks:  16,
+		Overlap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, res, want)
+}
+
+func TestGenericTreesVariousSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range []int{2, 4, 8, 16} {
+		t1, t2 := collective.DoubleTrees(p)
+		inputs, want := randInputs(rng, p, 300)
+		res, err := AllReduce(inputs, Config{
+			Trees:   []collective.Tree{t1, t2},
+			Chunks:  10,
+			Overlap: true,
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		checkSum(t, res, want)
+	}
+}
+
+func TestPerTreeInOrderArrival(t *testing.T) {
+	// Observation #3: each GPU must see each tree's chunks in increasing
+	// order. Tree 0 owns even chunks, tree 1 odd chunks.
+	rng := rand.New(rand.NewSource(4))
+	inputs, _ := randInputs(rng, 8, 2048)
+	res, err := AllReduce(inputs, dgx1Config(32, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, order := range res.ArrivalOrder {
+		if len(order) != 32 {
+			t.Fatalf("GPU %d enqueued %d chunks, want 32", g, len(order))
+		}
+		lastEven, lastOdd := -1, -1
+		for _, c := range order {
+			if c%2 == 0 {
+				if c < lastEven {
+					t.Fatalf("GPU %d: tree-0 chunk %d after %d", g, c, lastEven)
+				}
+				lastEven = c
+			} else {
+				if c < lastOdd {
+					t.Fatalf("GPU %d: tree-1 chunk %d after %d", g, c, lastOdd)
+				}
+				lastOdd = c
+			}
+		}
+	}
+}
+
+func TestGradientQueueChaining(t *testing.T) {
+	// Layers dequeue strictly in order on every GPU, and each layer's
+	// gradients are already the global sums when OnLayer fires.
+	rng := rand.New(rand.NewSource(5))
+	layerElems := []int{100, 200, 300, 400}
+	elems := 1000
+	inputs, want := randInputs(rng, 8, elems)
+
+	type seen struct {
+		layer int
+		ok    bool
+	}
+	// Per-GPU callbacks run on that GPU's single compute kernel; no locking.
+	observed := make([][]seen, 8)
+
+	cfg := dgx1Config(16, true)
+	cfg.LayerElems = layerElems
+	offsets := []int{0, 100, 300, 600, 1000}
+	cfg.OnLayer = func(gpu, layer int, grad []float32) {
+		good := true
+		for j := range grad {
+			if grad[j] != want[offsets[layer]+j] {
+				good = false
+				break
+			}
+		}
+		observed[gpu] = append(observed[gpu], seen{layer, good})
+	}
+	res, err := AllReduce(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, res, want)
+	for g := range observed {
+		if len(observed[g]) != len(layerElems) {
+			t.Fatalf("GPU %d saw %d layers, want %d", g, len(observed[g]), len(layerElems))
+		}
+		for i, s := range observed[g] {
+			if s.layer != i {
+				t.Fatalf("GPU %d dequeued layer %d at position %d", g, s.layer, i)
+			}
+			if !s.ok {
+				t.Fatalf("GPU %d layer %d gradients not fully reduced at dequeue", g, s.layer)
+			}
+		}
+		for i, l := range res.DequeueOrder[g] {
+			if l != i {
+				t.Fatalf("GPU %d dequeue order %v", g, res.DequeueOrder[g])
+			}
+		}
+	}
+}
+
+func TestBaselineVsOverlapSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inputs, _ := randInputs(rng, 8, 777)
+	base, err := AllReduce(inputs, dgx1Config(9, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := AllReduce(inputs, dgx1Config(9, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree reduction order is identical, so results are bit-identical —
+	// the basis of the paper's "no impact on accuracy" claim.
+	for g := range base.Buffers {
+		for j := range base.Buffers[g] {
+			if base.Buffers[g][j] != over.Buffers[g][j] {
+				t.Fatalf("GPU %d elem %d differs between baseline and overlap", g, j)
+			}
+		}
+	}
+}
+
+func TestRingAllReduceCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []int{2, 4, 8, 13} {
+		inputs, want := randInputs(rng, p, 500)
+		res, err := AllReduceRing(inputs, 0)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		checkSum(t, res, want)
+	}
+}
+
+func TestRingArrivalOrderDiffersPerGPU(t *testing.T) {
+	// The ring's first completed chunk differs per GPU (chunk (i+1) mod P at
+	// GPU i) — the property that prevents gradient queuing on ring.
+	rng := rand.New(rand.NewSource(8))
+	inputs, _ := randInputs(rng, 8, 256)
+	res, err := AllReduceRing(inputs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firsts := make(map[int]bool)
+	for g, order := range res.ArrivalOrder {
+		if len(order) != 8 {
+			t.Fatalf("GPU %d arrival count %d, want 8", g, len(order))
+		}
+		if order[0] != (g+1)%8 {
+			t.Fatalf("GPU %d first chunk %d, want %d", g, order[0], (g+1)%8)
+		}
+		firsts[order[0]] = true
+	}
+	if len(firsts) != 8 {
+		t.Fatalf("first-chunk set has %d distinct values, want 8", len(firsts))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t1, t2 := collective.DGX1Trees()
+	good := [][]float32{make([]float32, 10), make([]float32, 10)}
+	cases := []struct {
+		name   string
+		inputs [][]float32
+		cfg    Config
+	}{
+		{"one gpu", [][]float32{make([]float32, 10)}, Config{Trees: []collective.Tree{t1}, Chunks: 2}},
+		{"mismatched lengths", [][]float32{make([]float32, 10), make([]float32, 9)}, Config{Trees: []collective.Tree{t1}, Chunks: 2}},
+		{"no trees", good, Config{Chunks: 2}},
+		{"wrong tree size", good, Config{Trees: []collective.Tree{t1, t2}, Chunks: 2}},
+		{"too few chunks", good, Config{Trees: []collective.Tree{t1, t2}, Chunks: 1}},
+	}
+	for _, c := range cases {
+		if _, err := AllReduce(c.inputs, c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestLayerElemsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	inputs, _ := randInputs(rng, 8, 100)
+	cfg := dgx1Config(4, true)
+	cfg.LayerElems = []int{50, 40} // sums to 90, not 100
+	if _, err := AllReduce(inputs, cfg); err == nil {
+		t.Fatal("mismatched layer elements accepted")
+	}
+}
+
+func TestPropertyRandomConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 20; iter++ {
+		p := []int{2, 4, 8, 16, 32}[rng.Intn(5)]
+		t1, t2 := collective.DoubleTrees(p)
+		trees := []collective.Tree{t1}
+		if rng.Intn(2) == 1 {
+			trees = append(trees, t2)
+		}
+		chunks := rng.Intn(30) + len(trees)
+		elems := chunks + rng.Intn(2000)
+		inputs, want := randInputs(rng, p, elems)
+		res, err := AllReduce(inputs, Config{
+			Trees:        trees,
+			Chunks:       chunks,
+			Overlap:      rng.Intn(2) == 1,
+			MailboxDepth: rng.Intn(3) + 1,
+		})
+		if err != nil {
+			t.Fatalf("iter %d (p=%d chunks=%d elems=%d): %v", iter, p, chunks, elems, err)
+		}
+		checkSum(t, res, want)
+	}
+}

@@ -1,0 +1,124 @@
+package gpusim
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"ccube/internal/chunk"
+	"ccube/internal/p2psync"
+)
+
+// AllReduceHalvingDoubling runs recursive halving-doubling as one
+// persistent kernel per GPU, exchanging blocks with XOR partners through
+// mailboxes — on the DGX-1 every XOR-distance pair has a direct NVLink, so
+// the emulation mirrors a feasible kernel placement. P must be a power of
+// two; the message splits into exactly P chunks.
+func AllReduceHalvingDoubling(inputs [][]float32, mailboxDepth int) (*Result, error) {
+	p := len(inputs)
+	if p < 2 || p&(p-1) != 0 {
+		return nil, fmt.Errorf("gpusim: halving-doubling over %d GPUs (need power of two)", p)
+	}
+	elems := len(inputs[0])
+	for g, in := range inputs {
+		if len(in) != elems {
+			return nil, fmt.Errorf("gpusim: GPU %d has %d elements, want %d", g, len(in), elems)
+		}
+	}
+	if elems < p {
+		return nil, fmt.Errorf("gpusim: %d elements for %d chunks", elems, p)
+	}
+	if mailboxDepth == 0 {
+		mailboxDepth = 2
+	}
+	d := bits.TrailingZeros(uint(p))
+
+	part := chunk.Split(int64(elems), p)
+	res := &Result{
+		Buffers:      make([][]float32, p),
+		ArrivalOrder: make([][]int, p),
+	}
+	for g := range res.Buffers {
+		res.Buffers[g] = append([]float32(nil), inputs[g]...)
+	}
+	slice := func(g, c int) []float32 {
+		lo := part.Offsets[c]
+		return res.Buffers[g][lo : lo+part.Sizes[c]]
+	}
+
+	// inbox[r][s]: what r receives in exchange step s (steps 0..2d-1: first
+	// d are reduce-scatter, last d are all-gather). Both partners send their
+	// whole block before receiving, so each step's mailbox must hold a full
+	// block (p >> (s+1) chunks for RS step s, mirrored for AG) or the
+	// symmetric sends deadlock.
+	blockChunks := func(step int) int {
+		s := step
+		if step >= d {
+			s = 2*d - 1 - step
+		}
+		n := p >> (s + 1)
+		if n < mailboxDepth {
+			n = mailboxDepth
+		}
+		return n
+	}
+	inbox := make([][]*p2psync.Mailbox, p)
+	for r := range inbox {
+		inbox[r] = make([]*p2psync.Mailbox, 2*d)
+		for s := range inbox[r] {
+			inbox[r][s] = p2psync.NewMailbox(blockChunks(s))
+		}
+	}
+
+	blockOf := func(r, s int) (int, int) {
+		size := p >> s
+		lo := (r / size) * size
+		return lo, lo + size
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		r := r
+		wg.Add(1)
+		go func() { // halving-doubling kernel for GPU r
+			defer wg.Done()
+			// Recursive halving reduce-scatter.
+			for s := 0; s < d; s++ {
+				partner := r ^ (p >> (s + 1))
+				sendLo, sendHi := blockOf(partner, s+1)
+				for c := sendLo; c < sendHi; c++ {
+					inbox[partner][s].Send(slice(r, c))
+				}
+				recvLo, recvHi := blockOf(r, s+1)
+				for c := recvLo; c < recvHi; c++ {
+					dst := slice(r, c)
+					inbox[r][s].Recv(func(data []float32) {
+						for i := range dst {
+							dst[i] += data[i]
+						}
+					})
+				}
+			}
+			res.ArrivalOrder[r] = append(res.ArrivalOrder[r], r)
+			// Recursive doubling all-gather.
+			for s := d - 1; s >= 0; s-- {
+				partner := r ^ (p >> (s + 1))
+				step := 2*d - 1 - s
+				sendLo, sendHi := blockOf(r, s+1)
+				for c := sendLo; c < sendHi; c++ {
+					inbox[partner][step].Send(slice(r, c))
+				}
+				recvLo, recvHi := blockOf(partner, s+1)
+				for c := recvLo; c < recvHi; c++ {
+					dst := slice(r, c)
+					inbox[r][step].Recv(func(data []float32) {
+						copy(dst, data)
+					})
+					res.ArrivalOrder[r] = append(res.ArrivalOrder[r], c)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return res, nil
+}

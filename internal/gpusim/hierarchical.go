@@ -1,0 +1,293 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+
+	"ccube/internal/chunk"
+	"ccube/internal/collective"
+	"ccube/internal/gradqueue"
+	"ccube/internal/p2psync"
+)
+
+// Hierarchical emulation: the multi-node C-Cube composition (see
+// internal/collective/hierarchical.go) executed as real persistent kernels.
+// Each box runs intra-node reduce and broadcast kernels; each box leader
+// additionally runs inter-node kernels over the fabric. Chaining between
+// levels uses counting semaphores with the Fig. 11 `check` primitive: level
+// N+1's kernel for chunk c spins until level N's progress counter covers c
+// — exactly how a device-side implementation would compose the phases
+// without host round-trips.
+
+// HierConfig describes one emulated hierarchical AllReduce.
+type HierConfig struct {
+	Boxes  int // number of 8-GPU boxes
+	Chunks int
+	// Chained: chunk-level chaining across levels; false = phase barriers.
+	Chained bool
+	// MailboxDepth is the per-channel receive-buffer count (default 2).
+	MailboxDepth int
+
+	// LayerElems optionally enables gradient queuing on every GPU of the
+	// cluster (element counts per layer, summing to the input length); each
+	// GPU then runs a forward-compute consumer invoking OnLayer in dequeue
+	// order — the C-Cube chaining carried through all three levels.
+	LayerElems []int
+	OnLayer    func(gpu, layer int, grad []float32)
+}
+
+// AllReduceHierarchical runs the emulation over len(inputs) = Boxes*8 GPU
+// input vectors and returns the reduced buffers.
+func AllReduceHierarchical(inputs [][]float32, cfg HierConfig) (*Result, error) {
+	if cfg.Boxes < 2 {
+		return nil, fmt.Errorf("gpusim: hierarchical over %d boxes", cfg.Boxes)
+	}
+	if len(inputs) != cfg.Boxes*8 {
+		return nil, fmt.Errorf("gpusim: %d inputs for %d boxes", len(inputs), cfg.Boxes)
+	}
+	elems := len(inputs[0])
+	for g, in := range inputs {
+		if len(in) != elems {
+			return nil, fmt.Errorf("gpusim: GPU %d has %d elements, want %d", g, len(in), elems)
+		}
+	}
+	k := cfg.Chunks
+	if k < 1 {
+		return nil, fmt.Errorf("gpusim: %d chunks", k)
+	}
+	if k > elems {
+		return nil, fmt.Errorf("gpusim: %d chunks for %d elements", k, elems)
+	}
+	depth := cfg.MailboxDepth
+	if depth == 0 {
+		depth = 2
+	}
+
+	part := chunk.Split(int64(elems), k)
+	res := &Result{
+		Buffers:      make([][]float32, len(inputs)),
+		ArrivalOrder: make([][]int, len(inputs)),
+	}
+	for g := range res.Buffers {
+		res.Buffers[g] = append([]float32(nil), inputs[g]...)
+	}
+	slice := func(g, c int) []float32 {
+		lo := part.Offsets[c]
+		return res.Buffers[g][lo : lo+part.Sizes[c]]
+	}
+	// Gradient queues (optional): enqueue on every recorded arrival.
+	var queues []*gradqueue.Queue
+	layerOffsets := make([]int, len(cfg.LayerElems)+1)
+	if cfg.LayerElems != nil {
+		total := 0
+		layerBytes := make([]int64, len(cfg.LayerElems))
+		for i, e := range cfg.LayerElems {
+			if e < 0 {
+				return nil, fmt.Errorf("gpusim: layer %d has %d elements", i, e)
+			}
+			total += e
+			layerBytes[i] = int64(e)
+			layerOffsets[i+1] = layerOffsets[i] + e
+		}
+		if total != elems {
+			return nil, fmt.Errorf("gpusim: layers cover %d elements, inputs have %d", total, elems)
+		}
+		table := chunk.BuildLayerChunkTable(layerBytes, part)
+		queues = make([]*gradqueue.Queue, len(inputs))
+		for g := range queues {
+			queues[g] = gradqueue.New(k, table)
+		}
+		res.DequeueOrder = make([][]int, len(inputs))
+	}
+
+	var arrivalMu sync.Mutex
+	record := func(g, c int) {
+		arrivalMu.Lock()
+		res.ArrivalOrder[g] = append(res.ArrivalOrder[g], c)
+		arrivalMu.Unlock()
+		if queues != nil {
+			queues[g].Enqueue(c)
+		}
+	}
+
+	intraTree, _ := collective.DGX1Trees()
+	interTree := collective.InorderTree(cfg.Boxes)
+	leader := intraTree.Root // participant index of the fabric-attached GPU
+
+	// Progress counters chaining the levels (Fig. 11 `check` consumers).
+	boxReduced := make([]*p2psync.Semaphore, cfg.Boxes)
+	leaderHas := make([]*p2psync.Semaphore, cfg.Boxes)
+	for b := range boxReduced {
+		boxReduced[b] = p2psync.NewSemaphore(0, 0)
+		leaderHas[b] = p2psync.NewSemaphore(0, 0)
+	}
+	gate := func(sem *p2psync.Semaphore, c int) {
+		if cfg.Chained {
+			sem.Check(int64(c) + 1)
+		} else {
+			sem.Check(int64(k)) // barrier: the whole previous phase
+		}
+	}
+
+	gpu := func(b, v int) int { return b*8 + v }
+	var wg sync.WaitGroup
+
+	// --- Intra-box reduction kernels ---
+	intraUp := make([][]*p2psync.Mailbox, cfg.Boxes) // [box][childParticipant]
+	for b := 0; b < cfg.Boxes; b++ {
+		intraUp[b] = make([]*p2psync.Mailbox, 8)
+		for v := 0; v < 8; v++ {
+			if intraTree.Parent[v] >= 0 {
+				intraUp[b][v] = p2psync.NewMailbox(depth)
+			}
+		}
+	}
+	for b := 0; b < cfg.Boxes; b++ {
+		for v := 0; v < 8; v++ {
+			b, v := b, v
+			wg.Add(1)
+			go func() { // intra reduce kernel
+				defer wg.Done()
+				for c := 0; c < k; c++ {
+					local := slice(gpu(b, v), c)
+					for _, w := range intraTree.Children[v] {
+						intraUp[b][w].Recv(func(data []float32) {
+							for i := range local {
+								local[i] += data[i]
+							}
+						})
+					}
+					if v != intraTree.Root {
+						intraUp[b][v].Send(local)
+					} else {
+						boxReduced[b].Post()
+					}
+				}
+			}()
+		}
+	}
+
+	// --- Inter-box kernels on the leaders ---
+	interUp := make([]*p2psync.Mailbox, cfg.Boxes)
+	interDown := make([]*p2psync.Mailbox, cfg.Boxes)
+	for b := 0; b < cfg.Boxes; b++ {
+		if interTree.Parent[b] >= 0 {
+			interUp[b] = p2psync.NewMailbox(depth)
+			interDown[b] = p2psync.NewMailbox(depth)
+		}
+	}
+	for b := 0; b < cfg.Boxes; b++ {
+		b := b
+		isRoot := b == interTree.Root
+		wg.Add(1)
+		go func() { // inter reduce kernel on box b's leader
+			defer wg.Done()
+			for c := 0; c < k; c++ {
+				gate(boxReduced[b], c)
+				local := slice(gpu(b, leader), c)
+				for _, w := range interTree.Children[b] {
+					interUp[w].Recv(func(data []float32) {
+						for i := range local {
+							local[i] += data[i]
+						}
+					})
+				}
+				if !isRoot {
+					interUp[b].Send(local)
+					continue
+				}
+				// Globally reduced at the inter root's leader.
+				record(gpu(b, leader), c)
+				leaderHas[b].Post()
+				for _, w := range interTree.Children[b] {
+					interDown[w].Send(local)
+				}
+			}
+		}()
+		if !isRoot {
+			wg.Add(1)
+			go func() { // inter broadcast kernel on box b's leader
+				defer wg.Done()
+				for c := 0; c < k; c++ {
+					local := slice(gpu(b, leader), c)
+					interDown[b].Recv(func(data []float32) {
+						copy(local, data)
+					})
+					record(gpu(b, leader), c)
+					leaderHas[b].Post()
+					for _, w := range interTree.Children[b] {
+						interDown[w].Send(local)
+					}
+				}
+			}()
+		}
+	}
+
+	// --- Intra-box broadcast kernels ---
+	intraDown := make([][]*p2psync.Mailbox, cfg.Boxes)
+	for b := 0; b < cfg.Boxes; b++ {
+		intraDown[b] = make([]*p2psync.Mailbox, 8)
+		for v := 0; v < 8; v++ {
+			if intraTree.Parent[v] >= 0 {
+				intraDown[b][v] = p2psync.NewMailbox(depth)
+			}
+		}
+	}
+	for b := 0; b < cfg.Boxes; b++ {
+		for v := 0; v < 8; v++ {
+			b, v := b, v
+			if v == intraTree.Root {
+				wg.Add(1)
+				go func() { // leader's intra broadcast source
+					defer wg.Done()
+					for c := 0; c < k; c++ {
+						gate(leaderHas[b], c)
+						local := slice(gpu(b, v), c)
+						for _, w := range intraTree.Children[v] {
+							intraDown[b][w].Send(local)
+						}
+					}
+				}()
+				continue
+			}
+			wg.Add(1)
+			go func() { // non-leader broadcast kernel
+				defer wg.Done()
+				for c := 0; c < k; c++ {
+					local := slice(gpu(b, v), c)
+					intraDown[b][v].Recv(func(data []float32) {
+						copy(local, data)
+					})
+					record(gpu(b, v), c)
+					for _, w := range intraTree.Children[v] {
+						intraDown[b][w].Send(local)
+					}
+				}
+			}()
+		}
+	}
+
+	// Forward-compute consumers (gradient queuing).
+	if queues != nil {
+		for g := range inputs {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					l, ok := queues[g].DequeueLayer()
+					if !ok {
+						return
+					}
+					res.DequeueOrder[g] = append(res.DequeueOrder[g], l)
+					if cfg.OnLayer != nil {
+						cfg.OnLayer(g, l, res.Buffers[g][layerOffsets[l]:layerOffsets[l+1]])
+					}
+				}
+			}()
+		}
+	}
+
+	wg.Wait()
+	return res, nil
+}

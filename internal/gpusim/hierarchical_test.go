@@ -1,0 +1,149 @@
+package gpusim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHierarchicalEmulationCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, boxes := range []int{2, 3, 4} {
+		for _, chained := range []bool{false, true} {
+			inputs, want := randInputs(rng, boxes*8, 600)
+			res, err := AllReduceHierarchical(inputs, HierConfig{
+				Boxes: boxes, Chunks: 8, Chained: chained,
+			})
+			if err != nil {
+				t.Fatalf("boxes=%d chained=%v: %v", boxes, chained, err)
+			}
+			checkSum(t, res, want)
+		}
+	}
+}
+
+func TestHierarchicalEmulationInOrderArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	inputs, _ := randInputs(rng, 16, 512)
+	res, err := AllReduceHierarchical(inputs, HierConfig{Boxes: 2, Chunks: 16, Chained: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, order := range res.ArrivalOrder {
+		if len(order) != 16 {
+			t.Fatalf("GPU %d arrivals = %d, want 16", g, len(order))
+		}
+		for c := 1; c < len(order); c++ {
+			if order[c] != order[c-1]+1 {
+				t.Fatalf("GPU %d arrivals out of order: %v", g, order)
+			}
+		}
+	}
+}
+
+func TestHierarchicalEmulationMatchesFlat(t *testing.T) {
+	// The hierarchical composition must compute the same sums as a flat
+	// tree over all GPUs (integer data: exact equality regardless of
+	// reduction order differences... the orders differ, so use values whose
+	// sums are exact in fp32: small integers).
+	rng := rand.New(rand.NewSource(93))
+	inputs, want := randInputs(rng, 16, 400)
+	hier, err := AllReduceHierarchical(inputs, HierConfig{Boxes: 2, Chunks: 4, Chained: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, hier, want)
+}
+
+func TestHierarchicalEmulationValidation(t *testing.T) {
+	inputs := make([][]float32, 16)
+	for i := range inputs {
+		inputs[i] = make([]float32, 32)
+	}
+	bad := []HierConfig{
+		{Boxes: 1, Chunks: 4},
+		{Boxes: 2, Chunks: 0},
+		{Boxes: 2, Chunks: 64}, // more chunks than elements
+		{Boxes: 3, Chunks: 4},  // 16 inputs != 24
+	}
+	for i, cfg := range bad {
+		if _, err := AllReduceHierarchical(inputs, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestHierarchicalEmulationBaselineSameResultAsChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	inputs, _ := randInputs(rng, 24, 333)
+	base, err := AllReduceHierarchical(inputs, HierConfig{Boxes: 3, Chunks: 7, Chained: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := AllReduceHierarchical(inputs, HierConfig{Boxes: 3, Chunks: 7, Chained: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range base.Buffers {
+		for j := range base.Buffers[g] {
+			if base.Buffers[g][j] != chained.Buffers[g][j] {
+				t.Fatalf("GPU %d elem %d differs between barriered and chained", g, j)
+			}
+		}
+	}
+}
+
+func TestHierarchicalGradientQueueChaining(t *testing.T) {
+	// Gradient queuing across the whole cluster: every GPU dequeues layers
+	// in order, each with fully reduced gradients, while the three-level
+	// collective is still in flight.
+	rng := rand.New(rand.NewSource(95))
+	layerElems := []int{50, 150, 300}
+	inputs, want := randInputs(rng, 16, 500)
+	var mu sync.Mutex
+	good := true
+	cfg := HierConfig{
+		Boxes: 2, Chunks: 10, Chained: true,
+		LayerElems: layerElems,
+		OnLayer: func(gpu, layer int, grad []float32) {
+			offsets := []int{0, 50, 200, 500}
+			for j := range grad {
+				if grad[j] != want[offsets[layer]+j] {
+					mu.Lock()
+					good = false
+					mu.Unlock()
+					return
+				}
+			}
+		},
+	}
+	res, err := AllReduceHierarchical(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, res, want)
+	if !good {
+		t.Fatal("a layer was dequeued before its gradients were fully reduced")
+	}
+	for g, order := range res.DequeueOrder {
+		if len(order) != 3 {
+			t.Fatalf("GPU %d dequeued %d layers", g, len(order))
+		}
+		for i, l := range order {
+			if l != i {
+				t.Fatalf("GPU %d dequeue order %v", g, order)
+			}
+		}
+	}
+}
+
+func TestHierarchicalLayerElemsValidation(t *testing.T) {
+	inputs := make([][]float32, 16)
+	for i := range inputs {
+		inputs[i] = make([]float32, 100)
+	}
+	cfg := HierConfig{Boxes: 2, Chunks: 4, LayerElems: []int{30, 30}}
+	if _, err := AllReduceHierarchical(inputs, cfg); err == nil {
+		t.Fatal("mismatched layer elements accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+
+	"ccube/internal/chunk"
+	"ccube/internal/p2psync"
+)
+
+// AllReduceRing runs the ring algorithm (paper "R") as one persistent kernel
+// per GPU: P-1 reduce-scatter steps then P-1 all-gather steps, neighbors
+// linked by mailboxes. It exists both as a baseline for the emulation tests
+// and to demonstrate the ring's lack of the in-order property: the recorded
+// ArrivalOrder differs per GPU, which is why ring cannot feed the gradient
+// queue (Observation #3).
+func AllReduceRing(inputs [][]float32, mailboxDepth int) (*Result, error) {
+	p := len(inputs)
+	if p < 2 {
+		return nil, fmt.Errorf("gpusim: ring over %d GPUs", p)
+	}
+	elems := len(inputs[0])
+	for g, in := range inputs {
+		if len(in) != elems {
+			return nil, fmt.Errorf("gpusim: GPU %d has %d elements, want %d", g, len(in), elems)
+		}
+	}
+	if elems < p {
+		return nil, fmt.Errorf("gpusim: %d elements for %d ring chunks", elems, p)
+	}
+	if mailboxDepth == 0 {
+		mailboxDepth = 2
+	}
+
+	part := chunk.Split(int64(elems), p)
+	res := &Result{
+		Buffers:      make([][]float32, p),
+		ArrivalOrder: make([][]int, p),
+	}
+	for g := range res.Buffers {
+		res.Buffers[g] = append([]float32(nil), inputs[g]...)
+	}
+	slice := func(g, c int) []float32 {
+		lo := part.Offsets[c]
+		return res.Buffers[g][lo : lo+part.Sizes[c]]
+	}
+	mod := func(x int) int { return ((x % p) + p) % p }
+
+	// inbox[i] carries traffic from GPU i-1 to GPU i.
+	inbox := make([]*p2psync.Mailbox, p)
+	for i := range inbox {
+		inbox[i] = p2psync.NewMailbox(mailboxDepth)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		i := i
+		wg.Add(1)
+		go func() { // ring kernel for GPU i
+			defer wg.Done()
+			// Reduce-scatter: at step s, send chunk (i-s), accumulate chunk
+			// (i-1-s) from the left neighbor.
+			for s := 0; s < p-1; s++ {
+				inbox[mod(i+1)].Send(slice(i, mod(i-s)))
+				dst := slice(i, mod(i-1-s))
+				inbox[i].Recv(func(data []float32) {
+					for j := range dst {
+						dst[j] += data[j]
+					}
+				})
+			}
+			// GPU i now owns the fully reduced chunk (i+1) mod p.
+			res.ArrivalOrder[i] = append(res.ArrivalOrder[i], mod(i+1))
+			// All-gather: at step s, send chunk (i+1-s), overwrite chunk
+			// (i-s) from the left neighbor.
+			for s := 0; s < p-1; s++ {
+				inbox[mod(i+1)].Send(slice(i, mod(i+1-s)))
+				c := mod(i - s)
+				dst := slice(i, c)
+				inbox[i].Recv(func(data []float32) {
+					copy(dst, data)
+				})
+				res.ArrivalOrder[i] = append(res.ArrivalOrder[i], c)
+			}
+		}()
+	}
+	wg.Wait()
+	return res, nil
+}

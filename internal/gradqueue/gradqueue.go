@@ -1,0 +1,108 @@
+// Package gradqueue implements the paper's gradient queuing architecture
+// (Fig. 9), the mechanism that lets C-Cube chain communication with the
+// *next iteration's forward computation* (§III-D).
+//
+// The components map one-to-one onto the figure:
+//
+//   - Enqueue Semaphore — counts fully reduced gradient chunks that have
+//     arrived (posted by the broadcast phase as each chunk lands);
+//   - Gradient Queue — the storage itself; as in the paper, it is the
+//     gradient buffer reused in place (the tree algorithm writes reduced
+//     chunks back to the addresses they started from, so FIFO order is the
+//     memory order and queuing costs no extra memory);
+//   - Layer Index Counter (LIC) — the next layer whose forward pass should
+//     start;
+//   - Layer-Chunk Table — each layer's last chunk offset; layer L may be
+//     dequeued once the enqueue count covers LastChunk[L].
+//
+// Because the double tree delivers two in-order chunk streams (one per
+// tree), the enqueue semaphore counts the *contiguous prefix* of arrived
+// chunks rather than raw arrivals; for a single tree the two are identical.
+package gradqueue
+
+import (
+	"fmt"
+
+	"ccube/internal/chunk"
+	"ccube/internal/p2psync"
+)
+
+// Queue is a concurrent gradient queue for one GPU. Producer side: the
+// broadcast/reduce kernels call Enqueue as chunks complete. Consumer side:
+// the forward-compute kernel calls DequeueLayer for layers 0..L-1 in order.
+type Queue struct {
+	table chunk.LayerChunkTable
+
+	mu       p2psync.SpinLock
+	arrived  []bool
+	prefix   int                // contiguous arrived prefix length
+	enqueued *p2psync.Semaphore // the Enqueue Semaphore: counts the prefix
+
+	lic int // Layer Index Counter
+}
+
+// New returns a queue for numChunks chunks and the given layer-chunk table.
+func New(numChunks int, table chunk.LayerChunkTable) *Queue {
+	if numChunks < 1 {
+		panic(fmt.Sprintf("gradqueue: %d chunks", numChunks))
+	}
+	for i, last := range table.LastChunk {
+		if last < 0 || last >= numChunks {
+			panic(fmt.Sprintf("gradqueue: layer %d last chunk %d out of range [0,%d)", i, last, numChunks))
+		}
+	}
+	return &Queue{
+		table:    table,
+		arrived:  make([]bool, numChunks),
+		enqueued: p2psync.NewSemaphore(0, 0),
+	}
+}
+
+// Enqueue records that chunk c has been fully reduced and broadcast to this
+// GPU, advancing the enqueue semaphore over the contiguous prefix. Chunks
+// may arrive from multiple streams (one per tree); double enqueue panics —
+// it would mean a broadcast kernel delivered the same chunk twice.
+func (q *Queue) Enqueue(c int) {
+	q.mu.Lock()
+	if c < 0 || c >= len(q.arrived) {
+		q.mu.Unlock()
+		panic(fmt.Sprintf("gradqueue: enqueue of chunk %d out of range", c))
+	}
+	if q.arrived[c] {
+		q.mu.Unlock()
+		panic(fmt.Sprintf("gradqueue: chunk %d enqueued twice", c))
+	}
+	q.arrived[c] = true
+	advance := 0
+	for q.prefix < len(q.arrived) && q.arrived[q.prefix] {
+		q.prefix++
+		advance++
+	}
+	q.mu.Unlock()
+	for i := 0; i < advance; i++ {
+		q.enqueued.Post()
+	}
+}
+
+// DequeueLayer blocks (spinning, as a persistent kernel would) until every
+// chunk of the LIC-th layer has been enqueued, then advances the LIC and
+// returns the layer index. It returns ok=false once all layers have been
+// dequeued. DequeueLayer must be called from a single consumer.
+func (q *Queue) DequeueLayer() (layer int, ok bool) {
+	if q.lic >= q.table.NumLayers() {
+		return 0, false
+	}
+	layer = q.lic
+	q.enqueued.Check(int64(q.table.LastChunk[layer]) + 1)
+	q.lic++
+	return layer, true
+}
+
+// LIC returns the current Layer Index Counter value.
+func (q *Queue) LIC() int { return q.lic }
+
+// Enqueued returns the current enqueue-semaphore count (contiguous chunks).
+func (q *Queue) Enqueued() int64 { return q.enqueued.Count() }
+
+// NumLayers returns the layer count of the table.
+func (q *Queue) NumLayers() int { return q.table.NumLayers() }

@@ -1,0 +1,213 @@
+package gradqueue
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ccube/internal/chunk"
+)
+
+func table(layerBytes []int64, chunks int) chunk.LayerChunkTable {
+	var total int64
+	for _, b := range layerBytes {
+		total += b
+	}
+	return chunk.BuildLayerChunkTable(layerBytes, chunk.Split(total, chunks))
+}
+
+func TestDequeueInOrderArrival(t *testing.T) {
+	// 3 layers over 4 chunks: layer ends at chunks 0, 1, 3.
+	tab := table([]int64{10, 10, 20}, 4)
+	q := New(4, tab)
+	var got []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			l, ok := q.DequeueLayer()
+			if !ok {
+				return
+			}
+			got = append(got, l)
+		}
+	}()
+	for c := 0; c < 4; c++ {
+		q.Enqueue(c)
+	}
+	<-done
+	if len(got) != 3 {
+		t.Fatalf("dequeued %v, want 3 layers", got)
+	}
+	for i, l := range got {
+		if l != i {
+			t.Fatalf("layers dequeued out of order: %v", got)
+		}
+	}
+}
+
+func TestDequeueBlocksUntilLayerComplete(t *testing.T) {
+	tab := table([]int64{10, 10}, 4) // layer 0 -> chunk 1, layer 1 -> chunk 3
+	q := New(4, tab)
+	dequeued := make(chan int, 2)
+	go func() {
+		for {
+			l, ok := q.DequeueLayer()
+			if !ok {
+				close(dequeued)
+				return
+			}
+			dequeued <- l
+		}
+	}()
+	q.Enqueue(0)
+	select {
+	case l := <-dequeued:
+		t.Fatalf("layer %d dequeued with only chunk 0 enqueued", l)
+	default:
+	}
+	q.Enqueue(1)
+	if l := <-dequeued; l != 0 {
+		t.Fatalf("first dequeue = %d, want 0", l)
+	}
+	q.Enqueue(2)
+	q.Enqueue(3)
+	if l := <-dequeued; l != 1 {
+		t.Fatalf("second dequeue = %d, want 1", l)
+	}
+	if _, open := <-dequeued; open {
+		t.Fatal("queue did not terminate after last layer")
+	}
+}
+
+func TestOutOfOrderArrivalAcrossTrees(t *testing.T) {
+	// Two interleaved streams (even chunks from tree 0, odd from tree 1) can
+	// deliver out of global order; the prefix semantics must still dequeue
+	// layers only when all earlier chunks are present.
+	tab := table([]int64{25, 25, 25, 25}, 8)
+	q := New(8, tab)
+	var got []int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			l, ok := q.DequeueLayer()
+			if !ok {
+				return
+			}
+			got = append(got, l)
+		}
+	}()
+	// Tree 1 races ahead: all odd chunks land first.
+	for _, c := range []int{1, 3, 5, 7} {
+		q.Enqueue(c)
+	}
+	if n := q.Enqueued(); n != 0 {
+		t.Fatalf("prefix count = %d with chunk 0 missing, want 0", n)
+	}
+	for _, c := range []int{0, 2, 4, 6} {
+		q.Enqueue(c)
+	}
+	wg.Wait()
+	if len(got) != 4 {
+		t.Fatalf("dequeued %d layers, want 4", len(got))
+	}
+	if q.Enqueued() != 8 {
+		t.Fatalf("final enqueue count = %d, want 8", q.Enqueued())
+	}
+}
+
+func TestLICAdvancesMonotonically(t *testing.T) {
+	tab := table([]int64{1, 1, 1, 1, 1}, 5)
+	q := New(5, tab)
+	if q.LIC() != 0 {
+		t.Fatalf("initial LIC = %d", q.LIC())
+	}
+	for c := 0; c < 5; c++ {
+		q.Enqueue(c)
+		l, ok := q.DequeueLayer()
+		if !ok || l != c {
+			t.Fatalf("dequeue %d = (%d,%v)", c, l, ok)
+		}
+		if q.LIC() != c+1 {
+			t.Fatalf("LIC = %d after dequeuing layer %d", q.LIC(), c)
+		}
+	}
+	if _, ok := q.DequeueLayer(); ok {
+		t.Fatal("dequeue past last layer succeeded")
+	}
+}
+
+func TestDoubleEnqueuePanics(t *testing.T) {
+	q := New(2, table([]int64{10}, 2))
+	q.Enqueue(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("double enqueue did not panic")
+		}
+	}()
+	q.Enqueue(0)
+}
+
+func TestEnqueueOutOfRangePanics(t *testing.T) {
+	q := New(2, table([]int64{10}, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range enqueue did not panic")
+		}
+	}()
+	q.Enqueue(5)
+}
+
+func TestConcurrentProducersPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 30; iter++ {
+		nLayers := rng.Intn(10) + 1
+		layers := make([]int64, nLayers)
+		for i := range layers {
+			layers[i] = int64(rng.Intn(50) + 1)
+		}
+		chunks := rng.Intn(20) + 1
+		tab := table(layers, chunks)
+		k := tab.LastChunk[nLayers-1] + 1
+		// The partition may produce fewer chunks than requested; size the
+		// queue by what the table references.
+		q := New(k, tab)
+
+		perm := rng.Perm(k)
+		mid := k / 2
+		var wg sync.WaitGroup
+		for _, half := range [][]int{perm[:mid], perm[mid:]} {
+			half := half
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, c := range half {
+					q.Enqueue(c)
+				}
+			}()
+		}
+		var got []int
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				l, ok := q.DequeueLayer()
+				if !ok {
+					return
+				}
+				got = append(got, l)
+			}
+		}()
+		wg.Wait()
+		if len(got) != nLayers {
+			t.Fatalf("iter %d: dequeued %d layers, want %d", iter, len(got), nLayers)
+		}
+		for i := range got {
+			if got[i] != i {
+				t.Fatalf("iter %d: out-of-order dequeue %v", iter, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package p2psync
+
+// Mailbox is a bounded single-producer single-consumer queue of data chunks,
+// built purely from the Fig. 11 semaphores. It models one direction of an
+// inter-GPU channel: the sender's persistent kernel writes into the
+// receiver's receive buffers and posts; the receiver waits, consumes, and
+// frees the slot — exactly how the overlapped tree hands chunks between tree
+// levels without host intervention.
+type Mailbox struct {
+	slots [][]float32
+	fill  *Semaphore // counts occupied slots
+	space *Semaphore // counts free slots
+	head  int        // consumer cursor (single consumer)
+	tail  int        // producer cursor (single producer)
+}
+
+// NewMailbox returns a mailbox with the given pipeline depth (number of
+// receive buffers).
+func NewMailbox(depth int) *Mailbox {
+	if depth < 1 {
+		panic("p2psync: mailbox depth < 1")
+	}
+	return &Mailbox{
+		slots: make([][]float32, depth),
+		fill:  NewSemaphore(0, int64(depth)),
+		space: NewSemaphore(int64(depth), int64(depth)),
+	}
+}
+
+// Send copies data into the next receive buffer, blocking (spinning) while
+// all buffers are occupied.
+func (m *Mailbox) Send(data []float32) {
+	m.space.Wait()
+	m.slots[m.tail] = append(m.slots[m.tail][:0], data...)
+	m.tail = (m.tail + 1) % len(m.slots)
+	m.fill.Post()
+}
+
+// Recv calls consume on the oldest chunk while the slot is still owned by
+// the receiver, then frees the slot. It blocks (spinning) while the mailbox
+// is empty. The slice passed to consume must not be retained — the slot is
+// reused after Recv returns. Consuming in-slot is how the reduce kernels
+// accumulate directly out of the receive buffer.
+func (m *Mailbox) Recv(consume func(data []float32)) {
+	m.fill.Wait()
+	consume(m.slots[m.head])
+	m.head = (m.head + 1) % len(m.slots)
+	m.space.Post()
+}
+
+// RecvCopy returns a freshly allocated copy of the oldest chunk.
+func (m *Mailbox) RecvCopy() []float32 {
+	var out []float32
+	m.Recv(func(data []float32) {
+		out = append([]float32(nil), data...)
+	})
+	return out
+}
+
+// Len reports the number of occupied slots.
+func (m *Mailbox) Len() int { return int(m.fill.Count()) }

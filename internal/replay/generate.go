@@ -1,0 +1,57 @@
+package replay
+
+import (
+	"ccube/internal/des"
+	"ccube/internal/dnn"
+)
+
+// FromModel generates the one-shot training trace a C-Cube-style framework
+// issues for one iteration of a model: the full backward pass, a single
+// AllReduce of every gradient, the full forward pass. The trace captures
+// only the issue order — replay decides how long each op takes on a given
+// platform/algorithm.
+func FromModel(m dnn.Model, batch int, dev dnn.Device) Trace {
+	var bwd, fwd des.Time
+	for _, l := range m.Layers {
+		bwd += dev.BwdTime(l, batch)
+		fwd += dev.FwdTime(l, batch)
+	}
+	return Trace{
+		Name: m.Name + "-oneshot",
+		Ops: []Op{
+			{Kind: "compute", ComputeUs: bwd.Micros()},
+			{Kind: "allreduce", Bytes: m.GradientBytes()},
+			{Kind: "compute", ComputeUs: fwd.Micros()},
+		},
+	}
+}
+
+// FromModelBucketed generates the DDP-style trace: backward interleaved
+// with one AllReduce per gradient bucket (in backward order), then the
+// forward pass. Buckets group layers from the end of the model until
+// bucketBytes accumulate.
+func FromModelBucketed(m dnn.Model, batch int, dev dnn.Device, bucketBytes int64) Trace {
+	t := Trace{Name: m.Name + "-bucketed"}
+	var bucket int64
+	var pending des.Time
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		pending += dev.BwdTime(m.Layers[l], batch)
+		bucket += m.Layers[l].GradientBytes()
+		if bucket >= bucketBytes || l == 0 {
+			if pending > 0 {
+				t.Ops = append(t.Ops, Op{Kind: "compute", ComputeUs: pending.Micros()})
+				pending = 0
+			}
+			if bucket > 0 {
+				t.Ops = append(t.Ops, Op{Kind: "allreduce", Bytes: bucket})
+				bucket = 0
+			}
+		}
+	}
+	var fwd des.Time
+	for _, l := range m.Layers {
+		fwd += dev.FwdTime(l, batch)
+	}
+	t.Ops = append(t.Ops, Op{Kind: "compute", ComputeUs: fwd.Micros()})
+	return t
+}

@@ -1,0 +1,179 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccube/internal/collective"
+	"ccube/internal/dnn"
+	"ccube/internal/topology"
+)
+
+func dgx1() *topology.Graph { return topology.DGX1(topology.DefaultDGX1Config()) }
+
+func simpleTrace() Trace {
+	return Trace{
+		Name: "t",
+		Ops: []Op{
+			{Kind: "compute", ComputeUs: 1000},
+			{Kind: "allreduce", Bytes: 16 << 20},
+			{Kind: "compute", ComputeUs: 500},
+			{Kind: "allgather", Bytes: 1 << 20},
+		},
+	}
+}
+
+func TestReplayBasics(t *testing.T) {
+	res, err := Run(simpleTrace(), Config{Graph: dgx1(), Algorithm: collective.AlgDoubleTreeOverlap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerOp) != 4 {
+		t.Fatalf("per-op results = %d", len(res.PerOp))
+	}
+	// Ops are serialized: starts equal the previous op's end.
+	for i := 1; i < len(res.PerOp); i++ {
+		if res.PerOp[i].Start != res.PerOp[i-1].End {
+			t.Fatalf("op %d starts at %v, previous ended %v", i, res.PerOp[i].Start, res.PerOp[i-1].End)
+		}
+	}
+	if res.Total != res.PerOp[3].End {
+		t.Fatalf("total %v != last end %v", res.Total, res.PerOp[3].End)
+	}
+	if res.ComputeTime+res.CommTime != res.Total {
+		t.Fatalf("compute %v + comm %v != total %v", res.ComputeTime, res.CommTime, res.Total)
+	}
+	if f := res.CommFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("comm fraction %v", f)
+	}
+	// The compute ops contribute exactly 1.5ms.
+	if got := res.ComputeTime.Micros(); got < 1499 || got > 1501 {
+		t.Fatalf("compute time %vus, want 1500", got)
+	}
+}
+
+func TestReplayAlgorithmMatters(t *testing.T) {
+	tr := Trace{Name: "comm", Ops: []Op{{Kind: "allreduce", Bytes: 64 << 20}}}
+	base, err := Run(tr, Config{Graph: dgx1(), Algorithm: collective.AlgDoubleTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := Run(tr, Config{Graph: dgx1(), Algorithm: collective.AlgDoubleTreeOverlap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Total >= base.Total {
+		t.Fatalf("overlap replay %v >= baseline %v", over.Total, base.Total)
+	}
+}
+
+func TestReplayAllPrimitives(t *testing.T) {
+	tr := Trace{Name: "prims", Ops: []Op{
+		{Kind: "broadcast", Bytes: 4 << 20},
+		{Kind: "reduce", Bytes: 4 << 20},
+		{Kind: "reducescatter", Bytes: 4 << 20},
+		{Kind: "allgather", Bytes: 4 << 20},
+	}}
+	res, err := Run(tr, Config{Graph: dgx1(), Algorithm: collective.AlgRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range res.PerOp {
+		if op.Duration <= 0 {
+			t.Fatalf("op %d (%s) duration %v", i, op.Op.Kind, op.Duration)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, simpleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "t" || len(got.Ops) != 4 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	bad := []string{
+		`{}`,
+		`{"name":"x"}`,
+		`{"name":"x","ops":[{"kind":"warp"}]}`,
+		`{"name":"x","ops":[{"kind":"compute"}]}`,
+		`{"name":"x","ops":[{"kind":"allreduce"}]}`,
+		`{"name":"x","ops":[{"kind":"allreduce","bytes":1}],"extra":1}`,
+	}
+	for i, s := range bad {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestFromModelMatchesTrainShape(t *testing.T) {
+	// Replaying the one-shot trace must land near the train package's B
+	// iteration time (same phases, no chaining in either).
+	m := dnn.ResNet50()
+	dev := dnn.V100()
+	tr := FromModel(m, 64, dev)
+	if len(tr.Ops) != 3 {
+		t.Fatalf("one-shot trace ops = %d", len(tr.Ops))
+	}
+	res, err := Run(tr, Config{Graph: dgx1(), Algorithm: collective.AlgDoubleTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dev.IterTime(m, 64)
+	if res.ComputeTime < want-want/100 || res.ComputeTime > want+want/100 {
+		t.Fatalf("replayed compute %v vs model %v", res.ComputeTime, want)
+	}
+}
+
+func TestFromModelBucketed(t *testing.T) {
+	m := dnn.ResNet50()
+	tr := FromModelBucketed(m, 64, dnn.V100(), 25<<20)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var comm, bytes int64
+	for _, op := range tr.Ops {
+		if op.Kind == "allreduce" {
+			comm++
+			bytes += op.Bytes
+		}
+	}
+	if comm < 3 {
+		t.Fatalf("bucketed trace has %d allreduces, want several", comm)
+	}
+	if bytes != m.GradientBytes() {
+		t.Fatalf("bucketed bytes %d != gradients %d", bytes, m.GradientBytes())
+	}
+	// Bucketed replay pays more invocations and pipeline fills: total comm
+	// time must exceed the one-shot trace's.
+	one, err := Run(FromModel(m, 64, dnn.V100()), Config{Graph: dgx1(), Algorithm: collective.AlgRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucketed, err := Run(tr, Config{Graph: dgx1(), Algorithm: collective.AlgRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bucketed.CommTime <= one.CommTime {
+		t.Fatalf("bucketed comm %v <= one-shot %v", bucketed.CommTime, one.CommTime)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Trace{}, Config{Graph: dgx1()}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := Run(simpleTrace(), Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// WriteCSV emits the table as CSV (header row + data rows; title and notes
+// are omitted — CSV output feeds plotting pipelines, not humans).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown emits the table as GitHub-flavored Markdown (title as a
+// heading, notes as a trailing list) — for pasting experiment results into
+// issues and docs.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	escape := func(s string) string {
+		return strings.ReplaceAll(s, "|", "\\|")
+	}
+	b.WriteString("|")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", escape(c))
+	}
+	b.WriteString("\n|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("|")
+		for _, cell := range row {
+			fmt.Fprintf(&b, " %s |", escape(cell))
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteString("\n")
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

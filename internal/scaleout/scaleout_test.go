@@ -1,0 +1,116 @@
+package scaleout
+
+import (
+	"testing"
+)
+
+func smallSweep(t *testing.T) []Point {
+	t.Helper()
+	pts, err := Run(Config{
+		NodeCounts: []int{4, 8, 16, 32, 64},
+		Sizes:      []int64{16 << 10, 1 << 20, 64 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func at(pts []Point, nodes int, bytes int64) Point {
+	for _, p := range pts {
+		if p.Nodes == nodes && p.Bytes == bytes {
+			return p
+		}
+	}
+	panic("point not found")
+}
+
+func TestSweepShapeMatchesFig14a(t *testing.T) {
+	pts := smallSweep(t)
+	// Small messages: latency dominates, the tree's log(P) depth crushes the
+	// ring's P-1 steps — large C1/R ratios that grow with node count.
+	small16 := at(pts, 16, 16<<10)
+	small64 := at(pts, 64, 16<<10)
+	if small16.OverlapVsRing() <= 1 {
+		t.Errorf("16kB P=16: C1/R = %.2f, want > 1", small16.OverlapVsRing())
+	}
+	if small64.OverlapVsRing() <= small16.OverlapVsRing() {
+		t.Errorf("16kB: C1/R did not grow with nodes: %.2f -> %.2f",
+			small16.OverlapVsRing(), small64.OverlapVsRing())
+	}
+	// Large messages at small node counts: bandwidth dominates and the ring
+	// is bandwidth-optimal; the C1 advantage shrinks (paper: down to ~35%
+	// improvement, and ring can win at the smallest scales).
+	big4 := at(pts, 4, 64<<20)
+	big64 := at(pts, 64, 64<<20)
+	if big4.OverlapVsRing() > small16.OverlapVsRing() {
+		t.Errorf("64MB P=4 ratio %.2f exceeds 16kB P=16 ratio %.2f; latency benefit should dwarf bandwidth benefit",
+			big4.OverlapVsRing(), small16.OverlapVsRing())
+	}
+	if big64.OverlapVsRing() <= big4.OverlapVsRing() {
+		t.Errorf("64MB: C1/R did not grow with nodes: %.2f -> %.2f",
+			big4.OverlapVsRing(), big64.OverlapVsRing())
+	}
+}
+
+func TestSweepShapeMatchesFig14b(t *testing.T) {
+	pts := smallSweep(t)
+	// Turnaround speedup grows with message size (more chunks): tiny for
+	// 16kB, large for 64MB (paper: 29x average, up to 69x).
+	p64 := at(pts, 64, 64<<20)
+	p64small := at(pts, 64, 16<<10)
+	if p64small.TurnaroundSpeedup() > 3 {
+		t.Errorf("16kB turnaround speedup %.1f, want small (few chunks)", p64small.TurnaroundSpeedup())
+	}
+	if p64.TurnaroundSpeedup() < 5 {
+		t.Errorf("64MB turnaround speedup %.1f, want large", p64.TurnaroundSpeedup())
+	}
+	if p64.TurnaroundSpeedup() <= p64small.TurnaroundSpeedup() {
+		t.Error("turnaround speedup did not grow with message size")
+	}
+}
+
+func TestOverlapNeverWorseThanTree(t *testing.T) {
+	for _, p := range smallSweep(t) {
+		// With one chunk per tree (16kB at the optimum K) there is nothing
+		// to pipeline and C1 == B; otherwise C1 must win.
+		if p.OverlapTime > p.TreeTime {
+			t.Errorf("P=%d N=%d: C1 %v > B %v", p.Nodes, p.Bytes, p.OverlapTime, p.TreeTime)
+		}
+		if p.Chunks >= 8 && p.OverlapTime >= p.TreeTime {
+			t.Errorf("P=%d N=%d (K=%d): C1 %v >= B %v with chunks to pipeline",
+				p.Nodes, p.Bytes, p.Chunks, p.OverlapTime, p.TreeTime)
+		}
+		if s := p.OverlapVsTree(); s > 2.1 {
+			t.Errorf("P=%d N=%d: C1 speedup %.2f exceeds the 2x structural bound", p.Nodes, p.Bytes, s)
+		}
+		if p.OverlapTurnaround > p.TreeTurnaround {
+			t.Errorf("P=%d N=%d: C1 turnaround %v worse than B %v",
+				p.Nodes, p.Bytes, p.OverlapTurnaround, p.TreeTurnaround)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := Run(Config{NodeCounts: []int{1}, Sizes: []int64{1024}}); err == nil {
+		t.Error("single-node sweep accepted")
+	}
+}
+
+func TestPointsCoverSweep(t *testing.T) {
+	pts := smallSweep(t)
+	if len(pts) != 5*3 {
+		t.Fatalf("points = %d, want 15", len(pts))
+	}
+	for _, p := range pts {
+		if p.Chunks < 2 {
+			t.Errorf("P=%d N=%d: chunks = %d", p.Nodes, p.Bytes, p.Chunks)
+		}
+		if p.RingTime <= 0 || p.TreeTime <= 0 || p.OverlapTime <= 0 {
+			t.Errorf("P=%d N=%d: non-positive times", p.Nodes, p.Bytes)
+		}
+	}
+}

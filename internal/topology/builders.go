@@ -1,0 +1,127 @@
+package topology
+
+import (
+	"fmt"
+
+	"ccube/internal/des"
+)
+
+// Ring builds n GPUs joined in a bidirectional ring.
+func Ring(n int, bandwidth float64, latency des.Time) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: ring of %d nodes", n))
+	}
+	g := NewGraph()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("GPU%d", i), GPU)
+	}
+	for i := 0; i < n; i++ {
+		g.AddBidi(ids[i], ids[(i+1)%n], bandwidth, latency, "ring")
+	}
+	return g
+}
+
+// FullyConnected builds n GPUs with a dedicated bidirectional channel between
+// every pair.
+func FullyConnected(n int, bandwidth float64, latency des.Time) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: fully connected graph of %d nodes", n))
+	}
+	g := NewGraph()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("GPU%d", i), GPU)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			g.AddBidi(ids[a], ids[b], bandwidth, latency, "mesh")
+		}
+	}
+	return g
+}
+
+// HierarchyConfig parameterizes a hierarchical, indirect (switched) scale-out
+// network, the setting of the paper's Fig. 14 simulations. Following the
+// paper ("we assumed constant interconnect bandwidth"), every GPU pair gets a
+// dedicated logical channel of LinkBandwidth; the switch hierarchy manifests
+// as a per-pair latency that grows with the number of switch hops between the
+// endpoints. This is the same network abstraction level ASTRA-sim's analytic
+// backend provides.
+type HierarchyConfig struct {
+	NumGPUs       int
+	Radix         int      // GPUs (or switches) per switch at each level
+	LinkBandwidth float64  // bytes/second
+	BaseLatency   des.Time // endpoint overhead (alpha at distance 1)
+	PerHopLatency des.Time // added per switch traversed
+
+	// ParallelChannels is the number of independent channels per direction
+	// per GPU pair (default 2). Indirect switched fabrics provide path
+	// diversity, so two concurrent logical flows between the same endpoints
+	// (e.g. one per tree of a double tree) each get full per-flow bandwidth
+	// — the "constant interconnect bandwidth" assumption of the paper's
+	// Fig. 14 simulations.
+	ParallelChannels int
+}
+
+// DefaultHierarchyConfig returns the scale-out parameters used by the Fig. 14
+// reproduction.
+func DefaultHierarchyConfig(numGPUs int) HierarchyConfig {
+	return HierarchyConfig{
+		NumGPUs:       numGPUs,
+		Radix:         8,
+		LinkBandwidth: NVLinkBandwidth,
+		BaseLatency:   3 * des.Microsecond,
+		PerHopLatency: 1 * des.Microsecond,
+	}
+}
+
+// Hierarchy builds the logical topology for a switched scale-out system:
+// a full mesh of per-pair channels whose latency reflects switch hop count.
+func Hierarchy(cfg HierarchyConfig) *Graph {
+	if cfg.NumGPUs < 2 {
+		panic(fmt.Sprintf("topology: hierarchy of %d GPUs", cfg.NumGPUs))
+	}
+	if cfg.Radix < 2 {
+		panic(fmt.Sprintf("topology: hierarchy radix %d", cfg.Radix))
+	}
+	g := NewGraph()
+	ids := make([]NodeID, cfg.NumGPUs)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("GPU%d", i), GPU)
+	}
+	parallel := cfg.ParallelChannels
+	if parallel < 1 {
+		parallel = 2
+	}
+	for a := 0; a < cfg.NumGPUs; a++ {
+		for b := a + 1; b < cfg.NumGPUs; b++ {
+			lat := cfg.BaseLatency + des.Time(SwitchHops(a, b, cfg.Radix))*cfg.PerHopLatency
+			for p := 0; p < parallel; p++ {
+				tag := "fabric"
+				if p > 0 {
+					tag = fmt.Sprintf("fabric%d", p+1)
+				}
+				g.AddBidi(ids[a], ids[b], cfg.LinkBandwidth, lat, tag)
+			}
+		}
+	}
+	return g
+}
+
+// SwitchHops returns the number of switches a message traverses between
+// leaves a and b of a complete radix-ary switch tree: 2*L - 1 where L is the
+// level of their lowest common ancestor (L=1 for same leaf switch).
+func SwitchHops(a, b, radix int) int {
+	if a == b {
+		return 0
+	}
+	level := 1
+	ga, gb := a/radix, b/radix
+	for ga != gb {
+		ga /= radix
+		gb /= radix
+		level++
+	}
+	return 2*level - 1
+}

@@ -1,0 +1,51 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Describe renders a topology as text: node list plus an undirected link
+// summary with multiplicities and bandwidths — what `nvidia-smi topo -m`
+// gives an operator, for the modeled machine.
+func Describe(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d nodes, %d directed channels\n", g.NumNodes(), g.NumChannels())
+
+	type linkKey struct {
+		a, b NodeID
+		tag  string
+	}
+	counts := map[linkKey]int{}
+	bws := map[linkKey]float64{}
+	for _, c := range g.Channels() {
+		a, bb := c.From, c.To
+		if a > bb {
+			a, bb = bb, a
+		}
+		k := linkKey{a, bb, c.Tag}
+		counts[k]++
+		bws[k] = c.Bandwidth
+	}
+	keys := make([]linkKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		if keys[i].b != keys[j].b {
+			return keys[i].b < keys[j].b
+		}
+		return keys[i].tag < keys[j].tag
+	})
+	for _, k := range keys {
+		// counts holds directed channels; each bidirectional link is 2.
+		links := counts[k] / 2
+		fmt.Fprintf(&b, "  %s <-> %s  %dx %s @ %.1f GB/s\n",
+			g.Node(k.a).Name, g.Node(k.b).Name, links, k.tag, bws[k]/1e9)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"fmt"
+
+	"ccube/internal/des"
+)
+
+// NVLink characteristics used throughout the evaluation. Each V100 NVLink
+// provides 25 GB/s of peak bandwidth per direction (paper §V-A); the latency
+// term is the per-transfer fixed cost of the persistent-kernel handshake.
+const (
+	NVLinkBandwidth = 25e9 // bytes/second, per direction
+	NVLinkLatency   = 3 * des.Microsecond
+	// PCIeBandwidth models the host-routed fallback path the detour routes
+	// avoid; traffic crossing the PCIe/QPI complex is both slower and shared.
+	PCIeBandwidth = 5e9
+	PCIeLatency   = 10 * des.Microsecond
+)
+
+// DGX1Config parameterizes the DGX-1 model.
+type DGX1Config struct {
+	// LinkBandwidth is the per-direction NVLink bandwidth in bytes/second.
+	LinkBandwidth float64
+	// LinkLatency is the per-transfer alpha term.
+	LinkLatency des.Time
+	// LowBandwidth models the paper's "low bandwidth" configuration
+	// (AllReduce kernels given 4x fewer threads): every NVLink channel's
+	// bandwidth is divided by 4.
+	LowBandwidth bool
+	// IncludePCIe adds host-routed PCIe channels between the node pairs that
+	// lack direct NVLinks, so the PCIe-vs-detour ablation can be run.
+	IncludePCIe bool
+}
+
+// DefaultDGX1Config returns the high-bandwidth configuration used by the
+// paper's main results.
+func DefaultDGX1Config() DGX1Config {
+	return DGX1Config{LinkBandwidth: NVLinkBandwidth, LinkLatency: NVLinkLatency}
+}
+
+// dgx1Links lists the bidirectional NVLinks of the 8-GPU hybrid mesh-cube
+// (paper Fig. 10(c)): two fully connected quads {0..3} and {4..7} plus cube
+// cross-links i <-> i+4. Each V100 has 6 NVLinks, so 8 of the 16 edges carry
+// a second parallel link: the intra-quad ring edges (including the GPU2-GPU3
+// and GPU6-GPU7 pairs the paper exploits for its overlapped double tree,
+// §IV-A) and the four cube cross-links. The paper's implementation uses only
+// a subset of these channels (the black edges of Fig. 10(c)); the rest stay
+// idle ("grey"), exactly as on the real machine.
+var dgx1Links = []struct {
+	a, b   int
+	double bool
+}{
+	// Quad 0: full mesh, ring edges doubled.
+	{0, 1, true}, {0, 2, false}, {0, 3, false},
+	{1, 2, false}, {1, 3, false},
+	{2, 3, true},
+	// Quad 1: full mesh, ring edges doubled.
+	{4, 5, true}, {4, 6, false}, {4, 7, false},
+	{5, 6, false}, {5, 7, false},
+	{6, 7, true},
+	// Cube cross-links, doubled.
+	{0, 4, true}, {1, 5, true}, {2, 6, true}, {3, 7, true},
+}
+
+// DGX1 builds the 8-GPU NVIDIA DGX-1 hybrid mesh-cube topology.
+func DGX1(cfg DGX1Config) *Graph {
+	if cfg.LinkBandwidth == 0 {
+		cfg.LinkBandwidth = NVLinkBandwidth
+	}
+	if cfg.LinkLatency == 0 {
+		cfg.LinkLatency = NVLinkLatency
+	}
+	bw := cfg.LinkBandwidth
+	if cfg.LowBandwidth {
+		bw /= 4
+	}
+	g := NewGraph()
+	gpus := make([]NodeID, 8)
+	for i := range gpus {
+		gpus[i] = g.AddNode(gpuName(i), GPU)
+	}
+	for _, l := range dgx1Links {
+		g.AddBidi(gpus[l.a], gpus[l.b], bw, cfg.LinkLatency, "nvlink")
+		if l.double {
+			g.AddBidi(gpus[l.a], gpus[l.b], bw, cfg.LinkLatency, "nvlink2")
+		}
+	}
+	if cfg.IncludePCIe {
+		// Host-routed paths for every GPU pair with no direct NVLink.
+		for a := 0; a < 8; a++ {
+			for b := a + 1; b < 8; b++ {
+				if !g.HasDirect(gpus[a], gpus[b]) {
+					g.AddBidi(gpus[a], gpus[b], PCIeBandwidth, PCIeLatency, "pcie")
+				}
+			}
+		}
+	}
+	return g
+}
+
+func gpuName(i int) string {
+	return fmt.Sprintf("GPU%d", i)
+}
+
+// DGX1MissingPairs returns the GPU index pairs with no direct NVLink in the
+// hybrid mesh-cube (the dotted edges of paper Fig. 10(a) that force either a
+// PCIe hop or a detour route).
+func DGX1MissingPairs() [][2]int {
+	present := make(map[[2]int]bool)
+	for _, l := range dgx1Links {
+		present[[2]int{l.a, l.b}] = true
+		present[[2]int{l.b, l.a}] = true
+	}
+	var missing [][2]int
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			if !present[[2]int{a, b}] {
+				missing = append(missing, [2]int{a, b})
+			}
+		}
+	}
+	return missing
+}

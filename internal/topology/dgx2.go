@@ -1,0 +1,49 @@
+package topology
+
+import "ccube/internal/des"
+
+// DGX-2 / NVSwitch model. The paper's related work (§VI) leaves exploiting
+// alternative physical topologies as future work; the DGX-2 is the natural
+// next platform: 16 V100s, each with 6 NVLinks into a non-blocking NVSwitch
+// crossbar, so *every* GPU pair is effectively directly connected.
+//
+// We model the crossbar as a fully connected graph with two parallel
+// 25 GB/s channels per direction per pair. This is faithful for the
+// collective algorithms in this repository because none of them drives more
+// than six concurrent channels out of any GPU (double tree: <= 3 logical
+// edges per GPU; ring: 2; halving-doubling: 1 per step), so the per-GPU
+// port budget is never the binding constraint. Latency includes one switch
+// traversal.
+//
+// Consequences C-Cube cares about, verified in the extension experiment:
+//   - no missing pairs, hence no detour routes and no forwarding tax;
+//   - every double-tree edge pair gets dedicated channels, so the
+//     overlapped double tree works without relying on duplicated links.
+const (
+	// DGX2NumGPUs is the GPU count of a DGX-2.
+	DGX2NumGPUs = 16
+	// DGX2Latency is the per-transfer latency through one NVSwitch hop.
+	DGX2Latency = 4 * des.Microsecond
+)
+
+// DGX2 builds the 16-GPU NVSwitch crossbar model.
+func DGX2() *Graph {
+	return DGX2Sized(DGX2NumGPUs)
+}
+
+// DGX2Sized builds an NVSwitch crossbar with a custom GPU count (for tests
+// and what-if studies; the real machine has 16).
+func DGX2Sized(numGPUs int) *Graph {
+	g := NewGraph()
+	ids := make([]NodeID, numGPUs)
+	for i := range ids {
+		ids[i] = g.AddNode(gpuName(i), GPU)
+	}
+	for a := 0; a < numGPUs; a++ {
+		for b := a + 1; b < numGPUs; b++ {
+			g.AddBidi(ids[a], ids[b], NVLinkBandwidth, DGX2Latency, "nvswitch")
+			g.AddBidi(ids[a], ids[b], NVLinkBandwidth, DGX2Latency, "nvswitch2")
+		}
+	}
+	return g
+}

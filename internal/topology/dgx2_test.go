@@ -1,0 +1,47 @@
+package topology
+
+import "testing"
+
+func TestDGX2Shape(t *testing.T) {
+	g := DGX2()
+	if g.NumNodes() != 16 {
+		t.Fatalf("nodes = %d, want 16", g.NumNodes())
+	}
+	// Fully connected, 2 parallel bidirectional channels per pair:
+	// 16*15/2 pairs * 2 channels * 2 directions.
+	want := 16 * 15 / 2 * 4
+	if g.NumChannels() != want {
+		t.Fatalf("channels = %d, want %d", g.NumChannels(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDGX2NoMissingPairs(t *testing.T) {
+	g := DGX2()
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if a == b {
+				continue
+			}
+			if got := len(g.ChannelsBetween(NodeID(a), NodeID(b))); got != 2 {
+				t.Fatalf("GPU%d->GPU%d has %d channels, want 2", a, b, got)
+			}
+		}
+	}
+}
+
+func TestDGX2NodeNamesBeyondNine(t *testing.T) {
+	g := DGX2()
+	if got := g.Node(15).Name; got != "GPU15" {
+		t.Fatalf("node 15 name = %q, want GPU15", got)
+	}
+}
+
+func TestDGX2SizedCustom(t *testing.T) {
+	g := DGX2Sized(4)
+	if g.NumNodes() != 4 || g.NumChannels() != 4*3/2*4 {
+		t.Fatalf("nodes=%d channels=%d", g.NumNodes(), g.NumChannels())
+	}
+}

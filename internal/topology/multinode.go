@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"fmt"
+
+	"ccube/internal/des"
+)
+
+// Multi-node cluster model: several DGX-1 boxes joined by an inter-node
+// fabric (InfiniBand-class NICs on one GPU per box). This is the substrate
+// for the hierarchical C-Cube extension: the paper demonstrates chaining
+// inside one box; collectives on real clusters compose an intra-node phase
+// with an inter-node phase, and the chaining opportunity composes the same
+// way.
+const (
+	// FabricBandwidth models a 100 Gb/s-class NIC per box.
+	FabricBandwidth = 12.5e9
+	// FabricLatency is the inter-node per-transfer latency.
+	FabricLatency = 5 * des.Microsecond
+)
+
+// MultiNodeConfig parameterizes the cluster.
+type MultiNodeConfig struct {
+	Boxes           int // number of DGX-1 nodes
+	DGX1            DGX1Config
+	FabricBandwidth float64
+	FabricLatency   des.Time
+	// LeaderGPU is the per-box GPU index that owns the NIC (default 4, the
+	// root of the paper's first DGX-1 tree).
+	LeaderGPU int
+	// FabricChannels is the number of parallel fabric channels per leader
+	// pair per direction (2 = rail-optimized dual-rail fabric, the default,
+	// so an overlapped inter-node double tree gets dedicated channels).
+	FabricChannels int
+}
+
+// DefaultMultiNodeConfig returns a cluster of high-bandwidth DGX-1s on a
+// dual-rail fabric.
+func DefaultMultiNodeConfig(boxes int) MultiNodeConfig {
+	return MultiNodeConfig{
+		Boxes:           boxes,
+		DGX1:            DefaultDGX1Config(),
+		FabricBandwidth: FabricBandwidth,
+		FabricLatency:   FabricLatency,
+		LeaderGPU:       4,
+		FabricChannels:  2,
+	}
+}
+
+// MultiNode holds the built cluster graph plus its box structure.
+type MultiNode struct {
+	Graph *Graph
+	// BoxNodes[b] lists box b's eight GPUs in local index order.
+	BoxNodes [][]NodeID
+	// Leaders[b] is box b's fabric-attached GPU.
+	Leaders []NodeID
+}
+
+// BuildMultiNode constructs the cluster: `Boxes` copies of the DGX-1 graph
+// plus a full mesh of fabric channels between the leader GPUs (switched
+// fabric: every leader pair gets dedicated logical channels).
+func BuildMultiNode(cfg MultiNodeConfig) (*MultiNode, error) {
+	if cfg.Boxes < 2 {
+		return nil, fmt.Errorf("topology: multi-node cluster of %d boxes", cfg.Boxes)
+	}
+	if cfg.LeaderGPU < 0 || cfg.LeaderGPU >= 8 {
+		return nil, fmt.Errorf("topology: leader GPU %d out of range", cfg.LeaderGPU)
+	}
+	if cfg.FabricBandwidth == 0 {
+		cfg.FabricBandwidth = FabricBandwidth
+	}
+	if cfg.FabricLatency == 0 {
+		cfg.FabricLatency = FabricLatency
+	}
+	if cfg.FabricChannels == 0 {
+		cfg.FabricChannels = 2
+	}
+
+	m := &MultiNode{Graph: NewGraph()}
+	for b := 0; b < cfg.Boxes; b++ {
+		var box []NodeID
+		for i := 0; i < 8; i++ {
+			box = append(box, m.Graph.AddNode(fmt.Sprintf("n%d.GPU%d", b, i), GPU))
+		}
+		m.BoxNodes = append(m.BoxNodes, box)
+		m.Leaders = append(m.Leaders, box[cfg.LeaderGPU])
+
+		bw := cfg.DGX1.LinkBandwidth
+		if bw == 0 {
+			bw = NVLinkBandwidth
+		}
+		if cfg.DGX1.LowBandwidth {
+			bw /= 4
+		}
+		lat := cfg.DGX1.LinkLatency
+		if lat == 0 {
+			lat = NVLinkLatency
+		}
+		for _, l := range dgx1Links {
+			m.Graph.AddBidi(box[l.a], box[l.b], bw, lat, "nvlink")
+			if l.double {
+				m.Graph.AddBidi(box[l.a], box[l.b], bw, lat, "nvlink2")
+			}
+		}
+	}
+	for a := 0; a < cfg.Boxes; a++ {
+		for b := a + 1; b < cfg.Boxes; b++ {
+			for c := 0; c < cfg.FabricChannels; c++ {
+				tag := "fabric"
+				if c > 0 {
+					tag = fmt.Sprintf("fabric%d", c+1)
+				}
+				m.Graph.AddBidi(m.Leaders[a], m.Leaders[b], cfg.FabricBandwidth, cfg.FabricLatency, tag)
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,117 @@
+package topology
+
+import "testing"
+
+func TestBuildMultiNode(t *testing.T) {
+	mn, err := BuildMultiNode(DefaultMultiNodeConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn.Graph.NumNodes() != 24 {
+		t.Fatalf("nodes = %d, want 24", mn.Graph.NumNodes())
+	}
+	if len(mn.BoxNodes) != 3 || len(mn.Leaders) != 3 {
+		t.Fatalf("boxes = %d, leaders = %d", len(mn.BoxNodes), len(mn.Leaders))
+	}
+	if err := mn.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Leaders are the per-box GPU4 and are fabric-connected pairwise.
+	for b, l := range mn.Leaders {
+		if l != mn.BoxNodes[b][4] {
+			t.Fatalf("leader of box %d = %v, want %v", b, l, mn.BoxNodes[b][4])
+		}
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if a == b {
+				continue
+			}
+			chs := mn.Graph.ChannelsBetween(mn.Leaders[a], mn.Leaders[b])
+			if len(chs) != 2 {
+				t.Fatalf("leaders %d->%d have %d fabric channels, want 2", a, b, len(chs))
+			}
+			for _, c := range chs {
+				if mn.Graph.Channel(c).Bandwidth != FabricBandwidth {
+					t.Fatalf("fabric bandwidth %v", mn.Graph.Channel(c).Bandwidth)
+				}
+			}
+		}
+	}
+	// Non-leader GPUs of different boxes have no direct connection.
+	if mn.Graph.HasDirect(mn.BoxNodes[0][0], mn.BoxNodes[1][0]) {
+		t.Fatal("non-leader GPUs connected across boxes")
+	}
+}
+
+func TestBuildMultiNodeValidation(t *testing.T) {
+	if _, err := BuildMultiNode(DefaultMultiNodeConfig(1)); err == nil {
+		t.Error("single box accepted")
+	}
+	cfg := DefaultMultiNodeConfig(2)
+	cfg.LeaderGPU = 9
+	if _, err := BuildMultiNode(cfg); err == nil {
+		t.Error("leader GPU 9 accepted")
+	}
+}
+
+func TestBuildMultiNodeLowBandwidthBoxes(t *testing.T) {
+	cfg := DefaultMultiNodeConfig(2)
+	cfg.DGX1.LowBandwidth = true
+	mn, err := BuildMultiNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := mn.Graph.ChannelsBetween(mn.BoxNodes[0][0], mn.BoxNodes[0][1])
+	if got := mn.Graph.Channel(chs[0]).Bandwidth; got != NVLinkBandwidth/4 {
+		t.Fatalf("low-bandwidth NVLink = %v, want %v", got, NVLinkBandwidth/4)
+	}
+}
+
+func TestRouteEndpointsAndClaimed(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	r := NewRouter(g)
+	rt, err := r.Route(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := rt.Endpoints(g)
+	if from != 2 || to != 4 {
+		t.Fatalf("endpoints = %v,%v", from, to)
+	}
+	if !r.Claimed(rt.Channels[0]) {
+		t.Fatal("routed channel not claimed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double claim did not panic")
+		}
+	}()
+	r.Claim(rt.Channels[0])
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	if len(g.Nodes()) != 8 {
+		t.Fatalf("Nodes() = %d", len(g.Nodes()))
+	}
+	if len(g.In(0)) != 6 {
+		t.Fatalf("In(0) = %d, want 6", len(g.In(0)))
+	}
+	if got := NodeKind(99).String(); got != "kind(99)" {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}
+
+func TestEmptyRouteValidate(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	if err := (Route{}).Validate(g); err == nil {
+		t.Error("empty route validated")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Endpoints of empty route did not panic")
+		}
+	}()
+	(Route{}).Endpoints(g)
+}

@@ -1,0 +1,226 @@
+// Package topology models physical interconnect topologies as graphs of
+// nodes joined by directed channels.
+//
+// A bidirectional physical link (e.g. an NVLink) is represented as two
+// directed Channels, one per direction, because the paper's central
+// observation (#2) is that a tree AllReduce leaves one direction of every
+// link idle during each phase. Parallel channels between the same node pair
+// are first-class: the DGX-1 hybrid mesh-cube has duplicated NVLinks
+// (GPU2-GPU3, GPU6-GPU7) that C-Cube exploits for its double-tree overlap.
+package topology
+
+import (
+	"fmt"
+
+	"ccube/internal/des"
+)
+
+// NodeID identifies a node (GPU or switch) within a Graph.
+type NodeID int
+
+// ChannelID identifies a directed channel within a Graph.
+type ChannelID int
+
+// NodeKind distinguishes endpoints from forwarding elements.
+type NodeKind int
+
+const (
+	// GPU is a compute endpoint that can source, sink, and reduce data.
+	GPU NodeKind = iota
+	// Switch is a forwarding-only element used by scale-out topologies.
+	Switch
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case GPU:
+		return "gpu"
+	case Switch:
+		return "switch"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is a vertex in the physical topology.
+type Node struct {
+	ID   NodeID
+	Name string
+	Kind NodeKind
+}
+
+// Channel is a directed, serialized communication resource. Bandwidth is in
+// bytes per second; Latency is the per-transfer fixed cost (the alpha term).
+type Channel struct {
+	ID        ChannelID
+	From, To  NodeID
+	Bandwidth float64 // bytes/second
+	Latency   des.Time
+	Tag       string // e.g. "nvlink", "nvlink2" (second parallel link), "pcie"
+}
+
+// TransferTime returns the alpha-beta cost of moving `bytes` over the
+// channel: Latency + bytes/Bandwidth.
+func (c *Channel) TransferTime(bytes int64) des.Time {
+	if bytes < 0 {
+		panic(fmt.Sprintf("topology: negative transfer size %d", bytes))
+	}
+	sec := float64(bytes) / c.Bandwidth
+	return c.Latency + des.Time(sec*float64(des.Second))
+}
+
+// Graph is a physical topology: nodes plus directed channels. Graphs are
+// append-only; experiments never mutate a built topology.
+type Graph struct {
+	nodes    []Node
+	channels []Channel
+	out      map[NodeID][]ChannelID
+	in       map[NodeID][]ChannelID
+}
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph {
+	return &Graph{
+		out: make(map[NodeID][]ChannelID),
+		in:  make(map[NodeID][]ChannelID),
+	}
+}
+
+// AddNode appends a node and returns its id.
+func (g *Graph) AddNode(name string, kind NodeKind) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind})
+	return id
+}
+
+// AddChannel appends a directed channel and returns its id.
+func (g *Graph) AddChannel(from, to NodeID, bandwidth float64, latency des.Time, tag string) ChannelID {
+	if !g.validNode(from) || !g.validNode(to) {
+		panic(fmt.Sprintf("topology: channel %d->%d references unknown node", from, to))
+	}
+	if from == to {
+		panic(fmt.Sprintf("topology: self-channel on node %d", from))
+	}
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("topology: channel %d->%d has bandwidth %v", from, to, bandwidth))
+	}
+	if latency < 0 {
+		panic(fmt.Sprintf("topology: channel %d->%d has negative latency", from, to))
+	}
+	id := ChannelID(len(g.channels))
+	g.channels = append(g.channels, Channel{
+		ID: id, From: from, To: to, Bandwidth: bandwidth, Latency: latency, Tag: tag,
+	})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id
+}
+
+// AddBidi adds a bidirectional link as two directed channels and returns
+// their ids (forward, reverse).
+func (g *Graph) AddBidi(a, b NodeID, bandwidth float64, latency des.Time, tag string) (ChannelID, ChannelID) {
+	f := g.AddChannel(a, b, bandwidth, latency, tag)
+	r := g.AddChannel(b, a, bandwidth, latency, tag)
+	return f, r
+}
+
+func (g *Graph) validNode(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+// NumNodes reports the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumChannels reports the directed channel count.
+func (g *Graph) NumChannels() int { return len(g.channels) }
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Channel returns the channel with the given id.
+func (g *Graph) Channel(id ChannelID) *Channel { return &g.channels[id] }
+
+// Nodes returns all nodes. The slice is owned by the graph.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Channels returns all channels. The slice is owned by the graph.
+func (g *Graph) Channels() []Channel { return g.channels }
+
+// GPUs returns the ids of all GPU nodes in id order.
+func (g *Graph) GPUs() []NodeID {
+	var ids []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == GPU {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Out returns the ids of channels leaving node id.
+func (g *Graph) Out(id NodeID) []ChannelID { return g.out[id] }
+
+// In returns the ids of channels entering node id.
+func (g *Graph) In(id NodeID) []ChannelID { return g.in[id] }
+
+// ChannelsBetween returns all directed channels from a to b, in id order.
+func (g *Graph) ChannelsBetween(a, b NodeID) []ChannelID {
+	var ids []ChannelID
+	for _, cid := range g.out[a] {
+		if g.channels[cid].To == b {
+			ids = append(ids, cid)
+		}
+	}
+	return ids
+}
+
+// HasDirect reports whether any directed channel a->b exists.
+func (g *Graph) HasDirect(a, b NodeID) bool { return len(g.ChannelsBetween(a, b)) > 0 }
+
+// Neighbors returns the distinct nodes reachable from id over one channel.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	seen := make(map[NodeID]bool)
+	var out []NodeID
+	for _, cid := range g.out[id] {
+		to := g.channels[cid].To
+		if !seen[to] {
+			seen[to] = true
+			out = append(out, to)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: every channel endpoint exists and
+// every bidirectional tag pairing is internally consistent (a channel's
+// reverse direction exists with the same tag). Builders in this package
+// always produce valid graphs; Validate guards hand-built ones.
+func (g *Graph) Validate() error {
+	for _, c := range g.channels {
+		if !g.validNode(c.From) || !g.validNode(c.To) {
+			return fmt.Errorf("topology: channel %d has invalid endpoints %d->%d", c.ID, c.From, c.To)
+		}
+		// Every link in the topologies we model is bidirectional: require a
+		// reverse channel with the same tag.
+		found := false
+		for _, rid := range g.ChannelsBetween(c.To, c.From) {
+			if g.channels[rid].Tag == c.Tag {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("topology: channel %d (%d->%d, %q) has no reverse channel", c.ID, c.From, c.To, c.Tag)
+		}
+	}
+	return nil
+}
+
+// Resources materializes one des.Resource per channel, for use by an
+// execution engine. Index i corresponds to ChannelID i.
+func (g *Graph) Resources() []*des.Resource {
+	res := make([]*des.Resource, len(g.channels))
+	for i, c := range g.channels {
+		res[i] = des.NewResource(fmt.Sprintf("ch%d:%s->%s(%s)",
+			c.ID, g.nodes[c.From].Name, g.nodes[c.To].Name, c.Tag))
+	}
+	return res
+}

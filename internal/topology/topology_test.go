@@ -1,0 +1,323 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"ccube/internal/des"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", GPU)
+	b := g.AddNode("b", GPU)
+	f, r := g.AddBidi(a, b, 1e9, des.Microsecond, "link")
+	if g.NumNodes() != 2 || g.NumChannels() != 2 {
+		t.Fatalf("nodes=%d channels=%d", g.NumNodes(), g.NumChannels())
+	}
+	if g.Channel(f).From != a || g.Channel(f).To != b {
+		t.Fatal("forward channel endpoints wrong")
+	}
+	if g.Channel(r).From != b || g.Channel(r).To != a {
+		t.Fatal("reverse channel endpoints wrong")
+	}
+	if !g.HasDirect(a, b) || !g.HasDirect(b, a) {
+		t.Fatal("HasDirect false for connected pair")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	c := Channel{Bandwidth: 1e9, Latency: 5 * des.Microsecond} // 1 GB/s
+	// 1 MB at 1 GB/s = 1 ms, plus 5 us latency.
+	got := c.TransferTime(1_000_000)
+	want := des.Millisecond + 5*des.Microsecond
+	if got != want {
+		t.Fatalf("transfer time = %v, want %v", got, want)
+	}
+}
+
+func TestTransferTimeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size did not panic")
+		}
+	}()
+	c := Channel{Bandwidth: 1e9}
+	c.TransferTime(-1)
+}
+
+func TestAddChannelValidation(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", GPU)
+	for _, fn := range []func(){
+		func() { g.AddChannel(a, a, 1e9, 0, "self") },
+		func() { g.AddChannel(a, NodeID(99), 1e9, 0, "bad") },
+		func() { b := g.AddNode("b", GPU); g.AddChannel(a, b, 0, 0, "nobw") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid AddChannel did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidateRejectsUnidirectionalLink(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", GPU)
+	b := g.AddNode("b", GPU)
+	g.AddChannel(a, b, 1e9, 0, "oneway")
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted a link without a reverse channel")
+	}
+}
+
+func TestDGX1Shape(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	if g.NumNodes() != 8 {
+		t.Fatalf("nodes = %d, want 8", g.NumNodes())
+	}
+	// 16 edges + 8 duplicated = 24 bidirectional NVLinks = 48 channels.
+	if g.NumChannels() != 48 {
+		t.Fatalf("channels = %d, want 48", g.NumChannels())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each V100 has 6 NVLinks (paper §V-A): check per-GPU degree.
+	for _, id := range g.GPUs() {
+		if got := len(g.Out(id)); got != 6 {
+			t.Errorf("%s has %d outgoing NVLink channels, want 6", g.Node(id).Name, got)
+		}
+	}
+}
+
+func TestDGX1DuplicatedPairs(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	for _, pair := range [][2]int{{2, 3}, {6, 7}} {
+		chs := g.ChannelsBetween(NodeID(pair[0]), NodeID(pair[1]))
+		if len(chs) != 2 {
+			t.Errorf("GPU%d->GPU%d has %d channels, want 2", pair[0], pair[1], len(chs))
+		}
+	}
+	// Non-duplicated pair (quad diagonal).
+	if got := len(g.ChannelsBetween(0, 2)); got != 1 {
+		t.Errorf("GPU0->GPU2 has %d channels, want 1", got)
+	}
+}
+
+func TestDGX1MissingPairsRequireDetour(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	missing := DGX1MissingPairs()
+	// The hybrid mesh-cube misses exactly the 12 cross-quad non-cube pairs.
+	if len(missing) != 12 {
+		t.Fatalf("missing pairs = %d, want 12", len(missing))
+	}
+	for _, p := range missing {
+		if g.HasDirect(NodeID(p[0]), NodeID(p[1])) {
+			t.Errorf("pair %v reported missing but has a direct channel", p)
+		}
+		// The paper's example: GPU2->GPU4 must detour.
+	}
+	// GPU2-GPU4 is among the missing pairs (paper Fig. 10(b) example).
+	found := false
+	for _, p := range missing {
+		if p == [2]int{2, 4} {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("GPU2-GPU4 not among missing pairs")
+	}
+}
+
+func TestDGX1LowBandwidth(t *testing.T) {
+	hi := DGX1(DefaultDGX1Config())
+	cfg := DefaultDGX1Config()
+	cfg.LowBandwidth = true
+	lo := DGX1(cfg)
+	if lo.Channel(0).Bandwidth*4 != hi.Channel(0).Bandwidth {
+		t.Fatalf("low bandwidth = %v, want 1/4 of %v", lo.Channel(0).Bandwidth, hi.Channel(0).Bandwidth)
+	}
+}
+
+func TestDGX1IncludePCIe(t *testing.T) {
+	cfg := DefaultDGX1Config()
+	cfg.IncludePCIe = true
+	g := DGX1(cfg)
+	// 48 NVLink channels + 12 missing pairs * 2 directions.
+	if g.NumChannels() != 48+24 {
+		t.Fatalf("channels = %d, want 72", g.NumChannels())
+	}
+	chs := g.ChannelsBetween(2, 4)
+	if len(chs) != 1 || g.Channel(chs[0]).Tag != "pcie" {
+		t.Fatalf("GPU2->GPU4 = %v, want a single pcie channel", chs)
+	}
+}
+
+func TestRouterDirectAndDetour(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	r := NewRouter(g)
+
+	direct, err := r.Route(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Direct() {
+		t.Fatalf("route 0->1 has %d hops, want 1", direct.Hops())
+	}
+
+	detour, err := r.Route(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detour.Hops() != 2 {
+		t.Fatalf("route 2->4 has %d hops, want 2", detour.Hops())
+	}
+	via := detour.Via(g)
+	if len(via) != 1 || (via[0] != 0 && via[0] != 6) {
+		// GPU0 and GPU6 are the common neighbors of GPU2 and GPU4.
+		t.Fatalf("detour via %v, want GPU0 or GPU6", via)
+	}
+	if err := detour.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouterClaimsAreExclusive(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", GPU)
+	b := g.AddNode("b", GPU)
+	g.AddBidi(a, b, 1e9, 0, "link")
+	r := NewRouter(g)
+	if _, err := r.Route(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// The only a->b channel is claimed now.
+	if _, err := r.Route(a, b); err == nil {
+		t.Fatal("second route over the only channel succeeded")
+	}
+	// Reverse direction is still free.
+	if _, err := r.Route(b, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouterParallelChannels(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	r := NewRouter(g)
+	// GPU2->GPU3 has two parallel channels; both routable.
+	r1, err := r.Route(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := r.Route(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Channels[0] == r2.Channels[0] {
+		t.Fatal("router returned the same channel twice")
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	g := Ring(4, 1e9, des.Microsecond)
+	if g.NumChannels() != 8 {
+		t.Fatalf("channels = %d, want 8", g.NumChannels())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasDirect(3, 0) {
+		t.Fatal("ring wraparound channel missing")
+	}
+	if g.HasDirect(0, 2) {
+		t.Fatal("non-neighbor channel present in ring")
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	g := FullyConnected(5, 1e9, 0)
+	if g.NumChannels() != 5*4 {
+		t.Fatalf("channels = %d, want 20", g.NumChannels())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchHops(t *testing.T) {
+	cases := []struct {
+		a, b, radix, want int
+	}{
+		{0, 0, 8, 0},
+		{0, 1, 8, 1},  // same leaf switch
+		{0, 7, 8, 1},  // same leaf switch
+		{0, 8, 8, 3},  // adjacent leaf switches, via level-2
+		{0, 63, 8, 3}, // still within one level-2 group
+		{0, 64, 8, 5}, // crosses level-3
+	}
+	for _, c := range cases {
+		if got := SwitchHops(c.a, c.b, c.radix); got != c.want {
+			t.Errorf("SwitchHops(%d,%d,%d) = %d, want %d", c.a, c.b, c.radix, got, c.want)
+		}
+	}
+}
+
+func TestSwitchHopsSymmetric(t *testing.T) {
+	for a := 0; a < 40; a++ {
+		for b := 0; b < 40; b++ {
+			if SwitchHops(a, b, 4) != SwitchHops(b, a, 4) {
+				t.Fatalf("SwitchHops not symmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestHierarchyLatencyGrowsWithDistance(t *testing.T) {
+	g := Hierarchy(DefaultHierarchyConfig(16))
+	near := g.ChannelsBetween(0, 1)[0]
+	far := g.ChannelsBetween(0, 15)[0]
+	if g.Channel(far).Latency <= g.Channel(near).Latency {
+		t.Fatalf("far latency %v <= near latency %v",
+			g.Channel(far).Latency, g.Channel(near).Latency)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourcesMatchChannels(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	res := g.Resources()
+	if len(res) != g.NumChannels() {
+		t.Fatalf("resources = %d, want %d", len(res), g.NumChannels())
+	}
+	for i, r := range res {
+		if r == nil {
+			t.Fatalf("resource %d is nil", i)
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if GPU.String() != "gpu" || Switch.String() != "switch" {
+		t.Fatal("NodeKind strings wrong")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	out := Describe(g)
+	for _, want := range []string{"8 nodes, 48 directed channels", "GPU2 <-> GPU3  1x nvlink2", "25.0 GB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package trace exports executed simulation timelines for inspection:
+// Chrome trace-event JSON (load in chrome://tracing or Perfetto) and a
+// compact ASCII Gantt view for terminals. Both operate on any executed
+// des.Graph, so collective schedules and whole training pipelines share one
+// export path.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ccube/internal/des"
+)
+
+// chromeEvent is one complete ("X" phase) trace event in the Chrome
+// trace-event format. Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// chromeMeta names a lane (thread) in the viewer.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// Chrome writes the executed graph as Chrome trace-event JSON. Each
+// des.Resource becomes a lane holding its tasks; zero-duration bookkeeping
+// tasks (markers, joins) are omitted. The graph must have run.
+func Chrome(w io.Writer, g *des.Graph) error {
+	if !g.Ran() {
+		return fmt.Errorf("trace: graph has not run")
+	}
+	lanes := make(map[*des.Resource]int)
+	var laneNames []string
+	var events []any
+
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(i)
+		if t.Resource == nil || t.End == t.Start {
+			continue
+		}
+		tid, ok := lanes[t.Resource]
+		if !ok {
+			tid = len(laneNames)
+			lanes[t.Resource] = tid
+			laneNames = append(laneNames, t.Resource.Name)
+		}
+		events = append(events, chromeEvent{
+			Name: t.Label,
+			Ph:   "X",
+			Ts:   t.Start.Micros(),
+			Dur:  (t.End - t.Start).Micros(),
+			Pid:  0,
+			Tid:  tid,
+		})
+	}
+	for name, tid := range lanes {
+		events = append(events, chromeMeta{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  0,
+			Tid:  tid,
+			Args: map[string]string{"name": name.Name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// GanttOptions controls the ASCII rendering.
+type GanttOptions struct {
+	Width    int // characters for the time axis (default 80)
+	MaxLanes int // busiest lanes shown (default 16; 0 = all)
+}
+
+// Gantt renders the executed graph's resource occupancy as text: one line
+// per resource, '#' where the resource is busy, ordered by busy time.
+func Gantt(g *des.Graph, opts GanttOptions) string {
+	if opts.Width <= 0 {
+		opts.Width = 80
+	}
+	if opts.MaxLanes == 0 {
+		opts.MaxLanes = 16
+	}
+	type lane struct {
+		res   *des.Resource
+		tasks []*des.Task
+		busy  des.Time
+	}
+	byRes := make(map[*des.Resource]*lane)
+	var horizon des.Time
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(i)
+		if t.End > horizon {
+			horizon = t.End
+		}
+		if t.Resource == nil || t.End == t.Start {
+			continue
+		}
+		l, ok := byRes[t.Resource]
+		if !ok {
+			l = &lane{res: t.Resource}
+			byRes[t.Resource] = l
+		}
+		l.tasks = append(l.tasks, t)
+		l.busy += t.End - t.Start
+	}
+	if horizon == 0 || len(byRes) == 0 {
+		return "(empty timeline)\n"
+	}
+	lanes := make([]*lane, 0, len(byRes))
+	for _, l := range byRes {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(a, b int) bool {
+		if lanes[a].busy != lanes[b].busy {
+			return lanes[a].busy > lanes[b].busy
+		}
+		return lanes[a].res.Name < lanes[b].res.Name
+	})
+	if opts.MaxLanes > 0 && len(lanes) > opts.MaxLanes {
+		lanes = lanes[:opts.MaxLanes]
+	}
+
+	nameW := 0
+	for _, l := range lanes {
+		if len(l.res.Name) > nameW {
+			nameW = len(l.res.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s |%s| 0 .. %v\n", nameW, "lane", strings.Repeat("-", opts.Width), horizon)
+	cell := float64(horizon) / float64(opts.Width)
+	for _, l := range lanes {
+		row := make([]byte, opts.Width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, t := range l.tasks {
+			lo := int(float64(t.Start) / cell)
+			hi := int(float64(t.End) / cell)
+			if hi >= opts.Width {
+				hi = opts.Width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s| %.1f%%\n", nameW, l.res.Name, row,
+			100*float64(l.busy)/float64(horizon))
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ccube/internal/collective"
+	"ccube/internal/des"
+	"ccube/internal/topology"
+)
+
+func executedGraph(t *testing.T) *des.Graph {
+	t.Helper()
+	g := des.NewGraph()
+	link := des.NewResource("link:A->B")
+	gpu := des.NewResource("stream:A")
+	a := g.Add("send-1", link, 100)
+	b := g.Add("send-2", link, 100, a)
+	g.Add("compute", gpu, 150, a)
+	g.Add("marker", nil, 0, b)
+	g.Run()
+	return g
+}
+
+func TestChromeExport(t *testing.T) {
+	g := executedGraph(t)
+	var buf bytes.Buffer
+	if err := Chrome(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var complete, meta int
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			names[ev["name"].(string)] = true
+		case "M":
+			meta++
+		}
+	}
+	// 3 real tasks (marker omitted), 2 lanes.
+	if complete != 3 {
+		t.Errorf("complete events = %d, want 3", complete)
+	}
+	if meta != 2 {
+		t.Errorf("lane metadata events = %d, want 2", meta)
+	}
+	if names["marker"] {
+		t.Error("zero-duration marker exported")
+	}
+	if !names["send-1"] || !names["compute"] {
+		t.Errorf("missing task names: %v", names)
+	}
+}
+
+func TestChromeRequiresExecutedGraph(t *testing.T) {
+	g := des.NewGraph()
+	g.Add("pending", nil, 1)
+	var buf bytes.Buffer
+	if err := Chrome(&buf, g); err == nil {
+		t.Fatal("unexecuted graph exported")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := executedGraph(t)
+	out := Gantt(g, GanttOptions{Width: 40, MaxLanes: 10})
+	if !strings.Contains(out, "link:A->B") || !strings.Contains(out, "stream:A") {
+		t.Fatalf("gantt missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("gantt has no occupancy marks:\n%s", out)
+	}
+	// Horizon is 250 (compute ends at 100+150): link busy 200/250 = 80%,
+	// stream 150/250 = 60%.
+	if !strings.Contains(out, "80.0%") || !strings.Contains(out, "60.0%") {
+		t.Fatalf("gantt utilization wrong:\n%s", out)
+	}
+	// Busiest lane (the link) listed first.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "link:A->B") {
+		t.Fatalf("lanes not sorted by busy time:\n%s", out)
+	}
+}
+
+func TestGanttLaneCap(t *testing.T) {
+	g := des.NewGraph()
+	for i := 0; i < 30; i++ {
+		g.Add("t", des.NewResource("r"), 10)
+	}
+	g.Run()
+	out := Gantt(g, GanttOptions{Width: 20, MaxLanes: 5})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // header + 5 lanes
+		t.Fatalf("lines = %d, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	g := des.NewGraph()
+	g.Run()
+	if out := Gantt(g, GanttOptions{}); !strings.Contains(out, "empty") {
+		t.Fatalf("empty graph gantt = %q", out)
+	}
+}
+
+func TestTraceOfCollectiveSchedule(t *testing.T) {
+	// End-to-end: trace a real C-Cube schedule.
+	sched, err := collective.Build(collective.Config{
+		Graph:     topology.DGX1(topology.DefaultDGX1Config()),
+		Algorithm: collective.AlgDoubleTreeOverlap,
+		Bytes:     4 << 20,
+		Chunks:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, g, err := sched.ExecuteTraced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 {
+		t.Fatal("no timing")
+	}
+	var buf bytes.Buffer
+	if err := Chrome(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1000 {
+		t.Fatalf("trace suspiciously small: %d bytes", buf.Len())
+	}
+	out := Gantt(g, GanttOptions{Width: 60})
+	if !strings.Contains(out, "GPU") {
+		t.Fatalf("gantt missing channel lanes:\n%s", out)
+	}
+}

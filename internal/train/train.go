@@ -1,0 +1,414 @@
+// Package train simulates one steady-state iteration of synchronous
+// data-parallel training on a multi-GPU node, in each of the paper's five
+// configurations (Fig. 13):
+//
+//	B  — baseline double-tree AllReduce, forward waits for all communication
+//	C1 — overlapped double tree (reduction/broadcast chained), forward waits
+//	C2 — baseline double tree + gradient queuing: forward layers chained
+//	     onto chunk arrivals
+//	CC — C-Cube: C1 + C2
+//	R  — NCCL-style ring AllReduce, forward waits (one-shot chaining is not
+//	     possible on ring: Observation #3)
+//
+// The simulated cycle follows the paper's Fig. 2(c): backward propagation of
+// iteration i, then a single one-shot AllReduce, overlapped (in chained
+// modes) with the forward propagation of iteration i+1. Backward of i+1
+// cannot start before forward of i+1 ends, so the steady-state iteration
+// time is the makespan of backward -> communication -> (chained) forward.
+package train
+
+import (
+	"fmt"
+
+	"ccube/internal/chunk"
+	"ccube/internal/collective"
+	"ccube/internal/des"
+	"ccube/internal/dnn"
+	"ccube/internal/topology"
+)
+
+// Mode is one of the paper's evaluation configurations.
+type Mode string
+
+const (
+	ModeB  Mode = "B"
+	ModeC1 Mode = "C1"
+	ModeC2 Mode = "C2"
+	ModeCC Mode = "CC"
+	ModeR  Mode = "R"
+)
+
+// Modes lists all configurations in the paper's presentation order.
+func Modes() []Mode { return []Mode{ModeB, ModeC1, ModeC2, ModeR, ModeCC} }
+
+// algorithm maps a mode to its collective algorithm.
+func (m Mode) algorithm() (collective.Algorithm, error) {
+	switch m {
+	case ModeB, ModeC2:
+		return collective.AlgDoubleTree, nil
+	case ModeC1, ModeCC:
+		return collective.AlgDoubleTreeOverlap, nil
+	case ModeR:
+		return collective.AlgRing, nil
+	default:
+		return 0, fmt.Errorf("train: unknown mode %q", m)
+	}
+}
+
+// chained reports whether the mode chains forward computation onto chunk
+// arrivals via gradient queuing.
+func (m Mode) chained() bool { return m == ModeC2 || m == ModeCC }
+
+// DefaultDetourSMTax is the fraction of a detour GPU's compute throughput
+// held by its detour-forwarding kernels while they are resident. The
+// kernels are launched with the one-shot collective and exit when it
+// completes, so they contend only with the *forward* pass that overlaps the
+// communication — backward runs before the collective is invoked and is
+// unaffected. The paper measures 3-4% end-to-end slowdown on GPU0/GPU1
+// (Fig. 15); the kernels reserve a few SMs out of the V100's 80.
+const DefaultDetourSMTax = 0.08
+
+// Config describes one training-iteration simulation.
+type Config struct {
+	Model  dnn.Model
+	Batch  int // per-GPU batch size
+	Device dnn.Device
+	Graph  *topology.Graph
+	Mode   Mode
+
+	// Nodes are the participating GPUs (nil = all GPUs in the graph).
+	Nodes []topology.NodeID
+
+	// Cluster switches the simulation to a multi-node hierarchical
+	// collective (intra-box tree + inter-box tree + intra-box broadcast).
+	// When set, Graph must be Cluster.Graph and the mode maps to the
+	// hierarchy: B and C2 run phase-barriered, C1 and CC run chunk-chained
+	// across levels; R is not supported (no ring embedding spans the
+	// fabric).
+	Cluster *topology.MultiNode
+
+	// Chunks overrides the AllReduce chunk count (0 = cost-model optimum).
+	Chunks int
+
+	// DetourSMTax overrides DefaultDetourSMTax (set negative to disable).
+	DetourSMTax float64
+
+	// AllowSharedChannels is passed through to the collective builder for
+	// topologies without duplicated links.
+	AllowSharedChannels bool
+
+	// ComputeScale optionally slows individual GPUs (straggler modeling:
+	// thermal throttling, noisy neighbors). ComputeScale[i] multiplies GPU
+	// i's compute durations; entries must be >= 1, nil means uniform.
+	// Synchronous data parallelism pays the slowest GPU: the one-shot
+	// collective waits for its backward, so one straggler stretches every
+	// iteration.
+	ComputeScale []float64
+}
+
+// Result reports one simulated iteration.
+type Result struct {
+	Mode Mode
+
+	// IterTime is the steady-state iteration time (the slowest GPU).
+	IterTime des.Time
+
+	// PerGPU is each GPU's own iteration completion time (Fig. 15 compares
+	// detour vs non-detour GPUs on this).
+	PerGPU []des.Time
+
+	// Normalized is ideal-compute-time / IterTime: 1.0 means communication
+	// is fully hidden and the system achieves linear speedup (Fig. 13's
+	// y-axis).
+	Normalized float64
+
+	// ComputeTime is the single-GPU forward+backward time (the ideal).
+	ComputeTime des.Time
+
+	// CommTime is the standalone AllReduce completion time (no overlap with
+	// compute), for decomposition analysis.
+	CommTime des.Time
+
+	// Turnaround is when the first chunk was available at every GPU,
+	// relative to communication start.
+	Turnaround des.Time
+
+	// FirstForwardWait is how long the first forward layer stalled after
+	// backward finished, waiting for its gradients.
+	FirstForwardWait des.Time
+
+	// Bubbles is the total stall time inside the forward pass (after the
+	// first layer started) on the critical GPU — the dotted arrows of
+	// Fig. 16. Zero means perfect chaining.
+	Bubbles des.Time
+}
+
+// Efficiency returns Normalized as a percentage.
+func (r *Result) Efficiency() float64 { return r.Normalized * 100 }
+
+// validate checks the common configuration fields and defaults Graph from
+// the cluster when one is set.
+func (cfg *Config) validate() error {
+	if err := cfg.Model.Validate(); err != nil {
+		return err
+	}
+	if cfg.Batch < 1 {
+		return fmt.Errorf("train: batch %d", cfg.Batch)
+	}
+	if cfg.Cluster != nil {
+		if cfg.Graph == nil {
+			cfg.Graph = cfg.Cluster.Graph
+		} else if cfg.Graph != cfg.Cluster.Graph {
+			return fmt.Errorf("train: Graph must be Cluster.Graph when Cluster is set")
+		}
+	}
+	if cfg.Graph == nil {
+		return fmt.Errorf("train: nil graph")
+	}
+	return nil
+}
+
+// device resolves the compute model (default: V100).
+func (cfg *Config) device() dnn.Device {
+	if cfg.Device.PeakFLOPS == 0 {
+		return dnn.V100()
+	}
+	return cfg.Device
+}
+
+// buildSchedule constructs the mode's collective schedule over the given
+// participants.
+func (cfg *Config) buildSchedule(nodes []topology.NodeID) (*collective.Schedule, error) {
+	if cfg.Cluster != nil {
+		switch cfg.Mode {
+		case ModeB, ModeC2:
+			return collective.BuildHierarchical(collective.HierarchicalConfig{
+				Cluster: cfg.Cluster, Bytes: cfg.Model.GradientBytes(),
+				Chunks: cfg.Chunks, Chained: false,
+			})
+		case ModeC1, ModeCC:
+			return collective.BuildHierarchical(collective.HierarchicalConfig{
+				Cluster: cfg.Cluster, Bytes: cfg.Model.GradientBytes(),
+				Chunks: cfg.Chunks, Chained: true,
+			})
+		default:
+			return nil, fmt.Errorf("train: mode %s not supported on a multi-node cluster", cfg.Mode)
+		}
+	}
+	alg, err := cfg.Mode.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	return collective.Build(collective.Config{
+		Graph:               cfg.Graph,
+		Algorithm:           alg,
+		Nodes:               nodes,
+		Bytes:               cfg.Model.GradientBytes(),
+		Chunks:              cfg.Chunks,
+		AllowSharedChannels: cfg.AllowSharedChannels,
+	})
+}
+
+// Run simulates one iteration and returns its timing decomposition.
+func Run(cfg Config) (*Result, error) {
+	res, _, err := RunTraced(cfg)
+	return res, err
+}
+
+// RunTraced is Run, additionally returning the executed task graph for
+// timeline export (internal/trace).
+func RunTraced(cfg Config) (*Result, *des.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	alg, err := cfg.Mode.algorithm()
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := cfg.Nodes
+	if nodes == nil {
+		nodes = cfg.Graph.GPUs()
+	}
+
+	// Build the communication schedule first: its chunk partition defines
+	// the layer-chunk table for chaining, and its detour assignment defines
+	// the SM tax.
+	sched, err := cfg.buildSchedule(nodes)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Standalone communication time and turnaround for the decomposition.
+	commRes, err := sched.Execute()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	dev := cfg.device()
+	fwd := dev.FwdTimes(cfg.Model, cfg.Batch)
+	bwd := dev.BwdTimes(cfg.Model, cfg.Batch)
+	computeTime := dev.IterTime(cfg.Model, cfg.Batch)
+
+	// The iteration pipeline graph.
+	g := des.NewGraph()
+	chres := cfg.Graph.Resources()
+	streams := make([]*des.Resource, len(nodes))
+	tax := cfg.DetourSMTax
+	if tax == 0 {
+		tax = DefaultDetourSMTax
+	}
+	detour := make(map[topology.NodeID]bool)
+	for _, n := range sched.DetourNodes() {
+		detour[n] = true
+	}
+	if cfg.ComputeScale != nil && len(cfg.ComputeScale) != len(nodes) {
+		return nil, nil, fmt.Errorf("train: %d compute scales for %d GPUs",
+			len(cfg.ComputeScale), len(nodes))
+	}
+	straggler := func(i int) float64 {
+		if cfg.ComputeScale == nil {
+			return 1
+		}
+		if cfg.ComputeScale[i] < 1 {
+			return 1
+		}
+		return cfg.ComputeScale[i]
+	}
+	fwdScale := make([]float64, len(nodes))
+	for i, n := range nodes {
+		streams[i] = des.NewResource(fmt.Sprintf("stream:%s", cfg.Graph.Node(n).Name))
+		fwdScale[i] = straggler(i)
+		if tax > 0 && detour[n] {
+			fwdScale[i] *= 1 / (1 - tax)
+		}
+	}
+
+	// Backward pass, layers L-1..0, on every GPU's compute stream.
+	lastBwd := make([]int, len(nodes))
+	for i := range nodes {
+		prev := -1
+		for l := len(bwd) - 1; l >= 0; l-- {
+			var deps []int
+			if prev >= 0 {
+				deps = append(deps, prev)
+			}
+			dur := des.Time(float64(bwd[l]) * straggler(i))
+			prev = g.Add(fmt.Sprintf("bwd:g%d:l%d", i, l), streams[i], dur, deps...)
+		}
+		lastBwd[i] = prev
+	}
+	bwdDone := g.Add("bwd-done", nil, 0, lastBwd...)
+
+	// One-shot AllReduce after backward (paper §II-B).
+	inst, err := sched.Instantiate(g, chres, bwdDone)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Forward pass of the next iteration.
+	table := chunk.BuildLayerChunkTable(cfg.Model.LayerBytes(), sched.Partition)
+	numTrees := 1
+	if cfg.Cluster == nil &&
+		(alg == collective.AlgDoubleTree || alg == collective.AlgDoubleTreeOverlap) {
+		numTrees = 2
+	}
+	commDone := make([]int, len(nodes)) // all chunks at GPU i
+	for i := range nodes {
+		k := sched.Partition.NumChunks()
+		deps := make([]int, 0, numTrees)
+		for t := 0; t < numTrees && t < k; t++ {
+			// Per-tree FIFO ordering makes the last chunk of each tree imply
+			// all of that tree's chunks.
+			last := lastTreeChunkAtMost(k-1, k, numTrees, t)
+			if last >= 0 {
+				deps = append(deps, inst.ReadyTask[i][last])
+			}
+		}
+		if !sched.InOrder {
+			// Ring: no per-GPU ordering guarantee; join on every chunk.
+			deps = deps[:0]
+			for c := 0; c < k; c++ {
+				deps = append(deps, inst.ReadyTask[i][c])
+			}
+		}
+		commDone[i] = g.Add(fmt.Sprintf("comm-done:g%d", i), nil, 0, deps...)
+	}
+
+	fwdTasks := make([][]int, len(nodes))
+	for i := range nodes {
+		fwdTasks[i] = make([]int, len(fwd))
+		prev := -1
+		for l := 0; l < len(fwd); l++ {
+			var deps []int
+			if prev >= 0 {
+				deps = append(deps, prev)
+			}
+			if cfg.Mode.chained() && sched.InOrder {
+				// Gradient queuing: layer l dequeues once chunks
+				// 0..LastChunk[l] have arrived; per-tree in-order arrival
+				// means depending on each tree's latest chunk in that prefix.
+				lastChunk := table.LastChunk[l]
+				for t := 0; t < numTrees; t++ {
+					c := lastTreeChunkAtMost(lastChunk, sched.Partition.NumChunks(), numTrees, t)
+					if c >= 0 {
+						deps = append(deps, inst.ReadyTask[i][c])
+					}
+				}
+			} else {
+				deps = append(deps, commDone[i])
+			}
+			dur := des.Time(float64(fwd[l]) * fwdScale[i])
+			prev = g.Add(fmt.Sprintf("fwd:g%d:l%d", i, l), streams[i], dur, deps...)
+			fwdTasks[i][l] = prev
+		}
+	}
+
+	g.Run()
+
+	res := &Result{
+		Mode:        cfg.Mode,
+		PerGPU:      make([]des.Time, len(nodes)),
+		ComputeTime: computeTime,
+		CommTime:    commRes.Total,
+		Turnaround:  commRes.Turnaround,
+	}
+	bwdEnd := g.End(bwdDone)
+	for i := range nodes {
+		res.PerGPU[i] = g.End(fwdTasks[i][len(fwd)-1])
+		if res.PerGPU[i] > res.IterTime {
+			res.IterTime = res.PerGPU[i]
+			firstStart := g.Task(fwdTasks[i][0]).Start
+			res.FirstForwardWait = firstStart - bwdEnd
+			var bubbles des.Time
+			for l := 1; l < len(fwd); l++ {
+				gap := g.Task(fwdTasks[i][l]).Start - g.End(fwdTasks[i][l-1])
+				if gap > 0 {
+					bubbles += gap
+				}
+			}
+			res.Bubbles = bubbles
+		}
+	}
+	res.Normalized = float64(computeTime) / float64(res.IterTime)
+
+	for _, r := range chres {
+		if err := r.ValidateSerialized(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return res, g, nil
+}
+
+// lastTreeChunkAtMost returns the largest chunk index <= limit assigned to
+// tree t under round-robin assignment over k chunks, or -1 if none.
+func lastTreeChunkAtMost(limit, k, numTrees, t int) int {
+	if limit >= k {
+		limit = k - 1
+	}
+	for c := limit; c >= 0; c-- {
+		if c%numTrees == t {
+			return c
+		}
+	}
+	return -1
+}

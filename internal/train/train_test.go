@@ -1,0 +1,289 @@
+package train
+
+import (
+	"testing"
+
+	"ccube/internal/des"
+	"ccube/internal/dnn"
+	"ccube/internal/topology"
+)
+
+func dgx1() *topology.Graph { return topology.DGX1(topology.DefaultDGX1Config()) }
+
+func lowBW() *topology.Graph {
+	cfg := topology.DefaultDGX1Config()
+	cfg.LowBandwidth = true
+	return topology.DGX1(cfg)
+}
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(%v, %s): %v", cfg.Mode, cfg.Model.Name, err)
+	}
+	return res
+}
+
+func TestAllModesRun(t *testing.T) {
+	for _, m := range Modes() {
+		res := run(t, Config{Model: dnn.ResNet50(), Batch: 64, Graph: dgx1(), Mode: m})
+		if res.IterTime <= 0 {
+			t.Errorf("%s: iter time %v", m, res.IterTime)
+		}
+		if res.Normalized <= 0 || res.Normalized > 1.0001 {
+			t.Errorf("%s: normalized %v outside (0,1]", m, res.Normalized)
+		}
+		if len(res.PerGPU) != 8 {
+			t.Errorf("%s: %d per-GPU results", m, len(res.PerGPU))
+		}
+	}
+}
+
+func TestModeOrderingMatchesPaper(t *testing.T) {
+	// Fig. 13 headline ordering on the DGX-1: CC > C2, C1 > B; CC is the
+	// best tree variant; iteration time can never beat pure compute.
+	for _, model := range dnn.EvaluationModels() {
+		results := map[Mode]*Result{}
+		for _, m := range Modes() {
+			results[m] = run(t, Config{Model: model, Batch: 64, Graph: dgx1(), Mode: m})
+		}
+		if results[ModeC1].IterTime >= results[ModeB].IterTime {
+			t.Errorf("%s: C1 %v >= B %v", model.Name, results[ModeC1].IterTime, results[ModeB].IterTime)
+		}
+		if results[ModeCC].IterTime >= results[ModeB].IterTime {
+			t.Errorf("%s: CC %v >= B %v", model.Name, results[ModeCC].IterTime, results[ModeB].IterTime)
+		}
+		if results[ModeCC].IterTime > results[ModeC1].IterTime {
+			t.Errorf("%s: CC %v > C1 %v (chaining must not hurt)", model.Name,
+				results[ModeCC].IterTime, results[ModeC1].IterTime)
+		}
+		if results[ModeCC].IterTime > results[ModeC2].IterTime {
+			t.Errorf("%s: CC %v > C2 %v", model.Name, results[ModeCC].IterTime, results[ModeC2].IterTime)
+		}
+		for _, m := range Modes() {
+			if results[m].IterTime < results[m].ComputeTime {
+				t.Errorf("%s/%s: iteration %v beat pure compute %v", model.Name, m,
+					results[m].IterTime, results[m].ComputeTime)
+			}
+		}
+	}
+}
+
+func TestCCBeatsRingWhenCommunicationMatters(t *testing.T) {
+	// Paper §V-B2: except for small-batch ZFNet, CC exceeds R (by up to
+	// 31%). The gap is widest where communication is heavy (low bandwidth);
+	// where communication is nearly free (ResNet-50, high bandwidth) the two
+	// sit at parity in Fig. 13 — allow 1% there.
+	for _, model := range []dnn.Model{dnn.VGG16(), dnn.ResNet50()} {
+		cc := run(t, Config{Model: model, Batch: 64, Graph: lowBW(), Mode: ModeCC})
+		r := run(t, Config{Model: model, Batch: 64, Graph: lowBW(), Mode: ModeR})
+		if cc.IterTime >= r.IterTime {
+			t.Errorf("%s low-bw: CC %v >= R %v", model.Name, cc.IterTime, r.IterTime)
+		}
+	}
+	for _, model := range []dnn.Model{dnn.VGG16(), dnn.ResNet50()} {
+		cc := run(t, Config{Model: model, Batch: 64, Graph: dgx1(), Mode: ModeCC})
+		r := run(t, Config{Model: model, Batch: 64, Graph: dgx1(), Mode: ModeR})
+		if float64(cc.IterTime) > float64(r.IterTime)*1.02 {
+			t.Errorf("%s high-bw: CC %v more than 2%% behind R %v", model.Name, cc.IterTime, r.IterTime)
+		}
+	}
+}
+
+func TestEfficiencyImprovesWithBatchAndBandwidth(t *testing.T) {
+	// Fig. 13: larger batch and higher bandwidth both raise efficiency
+	// (communication is relatively smaller / cheaper).
+	model := dnn.ResNet50()
+	b16 := run(t, Config{Model: model, Batch: 16, Graph: dgx1(), Mode: ModeCC})
+	b64 := run(t, Config{Model: model, Batch: 64, Graph: dgx1(), Mode: ModeCC})
+	if b64.Normalized <= b16.Normalized {
+		t.Errorf("efficiency did not grow with batch: %v -> %v", b16.Normalized, b64.Normalized)
+	}
+	lo := run(t, Config{Model: model, Batch: 64, Graph: lowBW(), Mode: ModeCC})
+	if b64.Normalized <= lo.Normalized {
+		t.Errorf("efficiency did not grow with bandwidth: low %v, high %v", lo.Normalized, b64.Normalized)
+	}
+}
+
+func TestCCHighEfficiency(t *testing.T) {
+	// Paper: C-Cube chains with up to 98% efficiency. Best case here:
+	// compute-heavy model, large batch, high bandwidth.
+	res := run(t, Config{Model: dnn.ResNet50(), Batch: 64, Graph: dgx1(), Mode: ModeCC})
+	if res.Normalized < 0.90 {
+		t.Errorf("CC efficiency %.3f, want >= 0.90", res.Normalized)
+	}
+}
+
+func TestChainingGainDependsOnCommIntensity(t *testing.T) {
+	// With low bandwidth (communication-heavy), CC's advantage over B must
+	// widen relative to the high-bandwidth case.
+	model := dnn.VGG16()
+	gain := func(g *topology.Graph) float64 {
+		b := run(t, Config{Model: model, Batch: 32, Graph: g, Mode: ModeB})
+		cc := run(t, Config{Model: model, Batch: 32, Graph: g, Mode: ModeCC})
+		return float64(b.IterTime) / float64(cc.IterTime)
+	}
+	hi := gain(dgx1())
+	lo := gain(lowBW())
+	if lo <= hi {
+		t.Errorf("CC gain did not widen with lower bandwidth: high %v, low %v", hi, lo)
+	}
+	if lo < 1.1 {
+		t.Errorf("low-bandwidth CC gain %.2f, want noticeable", lo)
+	}
+}
+
+func TestDetourGPUsSlightlySlower(t *testing.T) {
+	// Fig. 15: the detour GPUs (0 and 1) finish 3-4% later than the rest;
+	// the gap must be small.
+	res := run(t, Config{Model: dnn.ResNet50(), Batch: 64, Graph: dgx1(), Mode: ModeCC})
+	var detourMax, otherMax des.Time
+	for i, tm := range res.PerGPU {
+		if i <= 1 {
+			if tm > detourMax {
+				detourMax = tm
+			}
+		} else if tm > otherMax {
+			otherMax = tm
+		}
+	}
+	if detourMax <= otherMax {
+		t.Errorf("detour GPUs %v not slower than others %v", detourMax, otherMax)
+	}
+	loss := float64(detourMax-otherMax) / float64(detourMax)
+	if loss > 0.06 {
+		t.Errorf("detour loss %.3f, paper reports 3-4%%", loss)
+	}
+}
+
+func TestDetourTaxDisabled(t *testing.T) {
+	// The tax applies to the forward pass of the detour GPUs only (the
+	// forwarding kernels live only for the duration of the one-shot
+	// collective): removing it speeds up exactly GPUs 0 and 1.
+	taxed := run(t, Config{Model: dnn.ResNet50(), Batch: 64, Graph: dgx1(), Mode: ModeCC})
+	free := run(t, Config{Model: dnn.ResNet50(), Batch: 64, Graph: dgx1(), Mode: ModeCC,
+		DetourSMTax: -1})
+	for i := range taxed.PerGPU {
+		if i <= 1 {
+			if free.PerGPU[i] >= taxed.PerGPU[i] {
+				t.Errorf("detour GPU %d: untaxed %v >= taxed %v", i, free.PerGPU[i], taxed.PerGPU[i])
+			}
+		} else if free.PerGPU[i] != taxed.PerGPU[i] {
+			t.Errorf("GPU %d: time changed %v -> %v though it runs no forwarding kernel",
+				i, taxed.PerGPU[i], free.PerGPU[i])
+		}
+	}
+}
+
+func TestPatternCases(t *testing.T) {
+	// Fig. 16: Case 1 chains cleanly; Case 2 develops forward bubbles;
+	// Case 3 pushes the first forward start later.
+	dev := dnn.V100()
+	runCase := func(c dnn.PatternCase) *Result {
+		return run(t, Config{Model: dnn.SyntheticPattern(c), Batch: 64, Device: dev,
+			Graph: lowBW(), Mode: ModeCC, Chunks: 64})
+	}
+	c1 := runCase(dnn.Case1)
+	c2 := runCase(dnn.Case2)
+	c3 := runCase(dnn.Case3)
+	if c2.Bubbles <= c1.Bubbles {
+		t.Errorf("case 2 bubbles %v <= case 1 %v", c2.Bubbles, c1.Bubbles)
+	}
+	if c3.FirstForwardWait <= c1.FirstForwardWait {
+		t.Errorf("case 3 first-forward wait %v <= case 1 %v",
+			c3.FirstForwardWait, c1.FirstForwardWait)
+	}
+	if c1.Normalized <= c2.Normalized {
+		t.Errorf("case 1 efficiency %v <= case 2 %v", c1.Normalized, c2.Normalized)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{Model: dnn.ZFNet(), Batch: 16, Graph: dgx1(), Mode: ModeB}
+	if _, err := Run(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Model: dnn.Model{Name: "empty"}, Batch: 16, Graph: dgx1(), Mode: ModeB},
+		{Model: dnn.ZFNet(), Batch: 0, Graph: dgx1(), Mode: ModeB},
+		{Model: dnn.ZFNet(), Batch: 16, Graph: nil, Mode: ModeB},
+		{Model: dnn.ZFNet(), Batch: 16, Graph: dgx1(), Mode: Mode("X")},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTurnaroundAndDecomposition(t *testing.T) {
+	res := run(t, Config{Model: dnn.ResNet50(), Batch: 32, Graph: dgx1(), Mode: ModeCC})
+	if res.Turnaround <= 0 || res.Turnaround >= res.CommTime {
+		t.Errorf("turnaround %v outside (0, comm %v)", res.Turnaround, res.CommTime)
+	}
+	if res.Efficiency() != res.Normalized*100 {
+		t.Error("Efficiency() inconsistent with Normalized")
+	}
+}
+
+func TestChainedFirstForwardStartsBeforeCommEnds(t *testing.T) {
+	// The essence of C2/CC: the first forward layers run while communication
+	// continues. B's first forward wait is the whole AllReduce; CC's is
+	// roughly the turnaround.
+	b := run(t, Config{Model: dnn.ResNet50(), Batch: 64, Graph: lowBW(), Mode: ModeB})
+	cc := run(t, Config{Model: dnn.ResNet50(), Batch: 64, Graph: lowBW(), Mode: ModeCC})
+	if cc.FirstForwardWait >= b.FirstForwardWait {
+		t.Errorf("CC first-forward wait %v >= B %v", cc.FirstForwardWait, b.FirstForwardWait)
+	}
+	if cc.FirstForwardWait >= cc.CommTime/2 {
+		t.Errorf("CC first forward waited %v, more than half of comm %v",
+			cc.FirstForwardWait, cc.CommTime)
+	}
+}
+
+func TestGenericTopologyTraining(t *testing.T) {
+	g := topology.FullyConnected(8, 25e9, 3*des.Microsecond)
+	for _, m := range Modes() {
+		res, err := Run(Config{Model: dnn.ZFNet(), Batch: 32, Graph: g, Mode: m,
+			AllowSharedChannels: true})
+		if err != nil {
+			t.Fatalf("%s on fully connected: %v", m, err)
+		}
+		if res.IterTime <= 0 {
+			t.Errorf("%s: iter time %v", m, res.IterTime)
+		}
+	}
+}
+
+func TestStragglerStretchesEveryGPU(t *testing.T) {
+	// One throttled GPU delays the one-shot collective for everyone: the
+	// iteration time grows by roughly the straggler's backward slowdown.
+	uniform := run(t, Config{Model: dnn.ResNet50(), Batch: 64, Graph: dgx1(), Mode: ModeCC})
+	scale := make([]float64, 8)
+	for i := range scale {
+		scale[i] = 1
+	}
+	scale[5] = 1.2
+	straggled := run(t, Config{Model: dnn.ResNet50(), Batch: 64, Graph: dgx1(), Mode: ModeCC,
+		ComputeScale: scale})
+	if straggled.IterTime <= uniform.IterTime {
+		t.Fatalf("straggled %v <= uniform %v", straggled.IterTime, uniform.IterTime)
+	}
+	ratio := float64(straggled.IterTime) / float64(uniform.IterTime)
+	if ratio < 1.1 || ratio > 1.25 {
+		t.Errorf("straggler slowdown %.3f, want ~1.2 (synchronous training pays the slowest GPU)", ratio)
+	}
+	// Non-straggler GPUs also finish later (they wait on the collective).
+	if straggled.PerGPU[0] <= uniform.PerGPU[0] {
+		t.Errorf("GPU0 unaffected by GPU5's straggle")
+	}
+}
+
+func TestComputeScaleValidation(t *testing.T) {
+	_, err := Run(Config{Model: dnn.ZFNet(), Batch: 16, Graph: dgx1(), Mode: ModeB,
+		ComputeScale: []float64{1, 1}})
+	if err == nil {
+		t.Fatal("wrong-length ComputeScale accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"ccube/internal/collective"
+)
+
+func TestCrossCheckAgreement(t *testing.T) {
+	entries, err := CrossCheck([]int{4, 8, 16}, []int64{1 << 20, 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 algorithms x 3 node counts x 2 sizes.
+	if len(entries) != 36 {
+		t.Fatalf("entries = %d, want 36", len(entries))
+	}
+	for _, e := range entries {
+		if e.Measured <= 0 || e.Model <= 0 {
+			t.Fatalf("%v P=%d N=%d: non-positive times", e.Algorithm, e.P, e.Bytes)
+		}
+		// Ring and halving-doubling match their lockstep closed forms
+		// tightly; the pipelined trees match the Eq.6/7 forms to within the
+		// K_opt rounding (the paper's own Fig. 12(b) shows ~5-9%).
+		limit := 0.05
+		switch e.Algorithm {
+		case collective.AlgTree, collective.AlgTreeOverlap,
+			collective.AlgDoubleTree, collective.AlgDoubleTreeOverlap:
+			limit = 0.15
+		}
+		if r := e.RelErr(); r > limit {
+			t.Errorf("%v P=%d N=%s: rel err %.3f > %.2f (sim %.6f vs model %.6f)",
+				e.Algorithm, e.P, sizeStr(e.Bytes), r, limit, e.Measured, e.Model)
+		}
+	}
+	if m := MaxRelErr(entries); m > 0.15 {
+		t.Errorf("max rel err %.3f", m)
+	}
+}
+
+func sizeStr(n int64) string {
+	if n >= 1<<20 {
+		return strings.TrimSpace((map[bool]string{true: "64MB", false: "1MB"})[n == 64<<20])
+	}
+	return "small"
+}
+
+func TestCrossCheckRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := CrossCheck([]int{6}, []int64{1 << 20}); err == nil {
+		t.Fatal("P=6 accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	entries, err := CrossCheck([]int{4}, []int64{1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table(entries).Render()
+	for _, want := range []string{"ring", "halving-doubling", "double-tree-overlap", "max relative error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

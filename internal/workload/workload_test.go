@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+
+	"ccube/internal/collective"
+	"ccube/internal/topology"
+)
+
+func TestSuiteRatiosShapeMatchesFig1(t *testing.T) {
+	g := topology.DGX1(topology.DefaultDGX1Config())
+	ratios, err := SuiteRatios(g, collective.AlgRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Ratio{}
+	for _, r := range ratios {
+		byName[r.Profile.Name] = r
+		if r.Fraction <= 0 || r.Fraction >= 1 {
+			t.Errorf("%s: fraction %v outside (0,1)", r.Profile.Name, r.Fraction)
+		}
+	}
+	// Paper Fig. 1: SSD tops out around 60%, NCF around 10%.
+	if f := byName["ssd"].Fraction; f < 0.50 || f > 0.70 {
+		t.Errorf("ssd AllReduce fraction = %.2f, want ~0.6", f)
+	}
+	if f := byName["ncf"].Fraction; f < 0.03 || f > 0.15 {
+		t.Errorf("ncf AllReduce fraction = %.2f, want ~0.1", f)
+	}
+	// SSD must be the maximum, NCF the minimum.
+	for _, r := range ratios {
+		if r.Fraction > byName["ssd"].Fraction {
+			t.Errorf("%s fraction %.2f exceeds ssd", r.Profile.Name, r.Fraction)
+		}
+		if r.Fraction < byName["ncf"].Fraction {
+			t.Errorf("%s fraction %.2f below ncf", r.Profile.Name, r.Fraction)
+		}
+	}
+}
+
+func TestRatiosGrowWithLowerBandwidth(t *testing.T) {
+	hi := topology.DGX1(topology.DefaultDGX1Config())
+	cfg := topology.DefaultDGX1Config()
+	cfg.LowBandwidth = true
+	lo := topology.DGX1(cfg)
+	p, err := ByName("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := AllReduceRatio(p, hi, collective.AlgRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := AllReduceRatio(p, lo, collective.AlgRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Fraction <= rh.Fraction {
+		t.Errorf("low-bandwidth fraction %.3f <= high-bandwidth %.3f", rl.Fraction, rh.Fraction)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("ssd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestProfilesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range MLPerfProfiles() {
+		if p.GradientBytes <= 0 || p.ComputeTime <= 0 {
+			t.Errorf("%s: non-positive profile fields", p.Name)
+		}
+		if p.Description == "" {
+			t.Errorf("%s: missing description", p.Name)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
