@@ -1,0 +1,31 @@
+# Tier-1 verify is `make build test`; CI runs all targets below.
+
+GO ?= go
+
+.PHONY: build test race vet lint fuzz-smoke all
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race detector over the packages that actually spawn goroutines: the
+# p2psync primitives, the gpusim kernel runners, and the gradient queue.
+race:
+	$(GO) test -race ./internal/p2psync/... ./internal/gpusim/... ./internal/gradqueue/...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/ccube-lint ./...
+
+# Short fuzz bursts of every fuzz target; the seed corpora already replay
+# under plain `make test`.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzSplit -fuzztime=10s ./internal/chunk
+	$(GO) test -fuzz=FuzzLayerChunkTable -fuzztime=10s ./internal/chunk
+	$(GO) test -fuzz=FuzzSchedCheck -fuzztime=20s ./internal/schedcheck
+
+all: build vet test race lint

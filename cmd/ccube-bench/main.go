@@ -18,8 +18,11 @@ import (
 	"os"
 	"time"
 
+	"ccube/internal/collective"
 	"ccube/internal/experiments"
 	"ccube/internal/report"
+	"ccube/internal/schedcheck"
+	"ccube/internal/topology"
 )
 
 // writeTable saves one table via the given writer method, creating the
@@ -61,9 +64,17 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	mdDir := flag.String("md", "", "also write each table as Markdown into this directory")
+	verify := flag.Bool("verify", false,
+		"statically verify the whole algorithm zoo with schedcheck before running experiments")
 	flag.Parse()
 
 	experiments.Fig14MaxNodes = *maxNodes
+
+	if *verify {
+		if !verifyZoo(os.Stdout) {
+			os.Exit(1)
+		}
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -114,4 +125,55 @@ func main() {
 		}
 		fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
 	}
+}
+
+// verifyZoo runs the schedcheck static verifier over every algorithm on the
+// topologies the experiments use, as a pre-flight: the figures mean nothing
+// if a schedule has a hazard, a phantom link, or a false in-order claim.
+// Returns false when any schedule fails.
+func verifyZoo(w io.Writer) bool {
+	algorithms := []collective.Algorithm{
+		collective.AlgRing,
+		collective.AlgTree,
+		collective.AlgTreeOverlap,
+		collective.AlgDoubleTree,
+		collective.AlgDoubleTreeOverlap,
+		collective.AlgHalvingDoubling,
+	}
+	lowCfg := topology.DefaultDGX1Config()
+	lowCfg.LowBandwidth = true
+	topos := []struct {
+		name   string
+		graph  *topology.Graph
+		shared bool
+	}{
+		{"dgx1", topology.DGX1(topology.DefaultDGX1Config()), false},
+		{"dgx1-low", topology.DGX1(lowCfg), false},
+		{"fc4", topology.FullyConnected(4, 25e9, 0), true},
+		{"fc16", topology.FullyConnected(16, 25e9, 0), true},
+	}
+	t := report.New("Static schedule verification (schedcheck)",
+		"algorithm", "topology", "result")
+	ok := true
+	for _, tp := range topos {
+		for _, alg := range algorithms {
+			s, err := collective.Build(collective.Config{
+				Graph: tp.graph, Algorithm: alg, Bytes: 64 << 20, Chunks: 16,
+				AllowSharedChannels: tp.shared,
+			})
+			if err != nil {
+				ok = false
+				t.AddRow(alg.String(), tp.name, fmt.Sprintf("build failed: %v", err))
+				continue
+			}
+			r := schedcheck.Check(s.Program())
+			if !r.OK() {
+				ok = false
+				fmt.Fprintf(w, "%s on %s:\n%v\n", alg, tp.name, r.Err())
+			}
+			t.AddRow(alg.String(), tp.name, r.Summary())
+		}
+	}
+	fmt.Fprintln(w, t.Render())
+	return ok
 }

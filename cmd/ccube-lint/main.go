@@ -1,0 +1,301 @@
+// Command ccube-lint enforces repo-specific idioms that go vet cannot know
+// about, using only the standard library's go/ast and go/parser:
+//
+//	no-sleep          — simulator packages (everything under internal/) must
+//	                    not call time.Sleep: simulated time advances through
+//	                    the DES engine, and a wall-clock sleep in a kernel or
+//	                    scheduler hides ordering bugs instead of failing.
+//	lock-pairing      — a function that calls X.Lock() (or X.TryLock()) must
+//	                    also contain an X.Unlock() somewhere in its body, and
+//	                    vice versa. The check is presence-based, not
+//	                    count-based, so multi-exit functions (early unlocks
+//	                    before panics) and the p2psync semaphore pattern
+//	                    (Lock; loop { Unlock; Gosched; Lock }; Unlock) pass,
+//	                    while a leaked lock — the SpinLock deadlock this rule
+//	                    exists for — fails. Function literals are separate
+//	                    scopes: a goroutine body unlocking its parent's lock
+//	                    does not count as pairing.
+//	kernel-goroutine  — internal/gpusim models persistent GPU kernels as
+//	                    goroutines; every `go` statement there must carry a
+//	                    same-line comment containing "kernel" naming which
+//	                    kernel it models, so stray concurrency can't hide
+//	                    among them.
+//
+// Usage: ccube-lint ./...  (or explicit files/directories). Test files are
+// exempt from all rules. Exit status 1 when any issue is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+type issue struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func (i issue) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", i.pos.Filename, i.pos.Line, i.pos.Column, i.rule, i.msg)
+}
+
+func run(args []string, w io.Writer) int {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	files, err := expandArgs(args)
+	if err != nil {
+		fmt.Fprintf(w, "ccube-lint: %v\n", err)
+		return 2
+	}
+	fset := token.NewFileSet()
+	var issues []issue
+	for _, path := range files {
+		fi, err := lintFile(fset, path, nil)
+		if err != nil {
+			fmt.Fprintf(w, "ccube-lint: %v\n", err)
+			return 2
+		}
+		issues = append(issues, fi...)
+	}
+	sort.Slice(issues, func(a, b int) bool {
+		if issues[a].pos.Filename != issues[b].pos.Filename {
+			return issues[a].pos.Filename < issues[b].pos.Filename
+		}
+		return issues[a].pos.Line < issues[b].pos.Line
+	})
+	for _, is := range issues {
+		fmt.Fprintln(w, is)
+	}
+	if len(issues) > 0 {
+		fmt.Fprintf(w, "ccube-lint: %d issues\n", len(issues))
+		return 1
+	}
+	return 0
+}
+
+// expandArgs resolves the mixed file / directory / "dir/..." argument forms
+// into a list of non-test .go files.
+func expandArgs(args []string) ([]string, error) {
+	skipDir := map[string]bool{
+		".git": true, "testdata": true, "vendor": true,
+		".github": true, "node_modules": true,
+	}
+	var files []string
+	add := func(path string) {
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+	}
+	for _, arg := range args {
+		if root, ok := strings.CutSuffix(arg, "..."); ok {
+			root = filepath.Clean(strings.TrimSuffix(root, "/"))
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					if skipDir[d.Name()] {
+						return filepath.SkipDir
+					}
+					return nil
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		fi, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			add(arg)
+			continue
+		}
+		entries, err := os.ReadDir(arg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				add(filepath.Join(arg, e.Name()))
+			}
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// lintFile parses one file and applies every applicable rule. src may carry
+// source text directly (for tests), mirroring parser.ParseFile.
+func lintFile(fset *token.FileSet, path string, src any) ([]issue, error) {
+	file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var issues []issue
+	slash := filepath.ToSlash(path)
+	if strings.Contains(slash, "internal/") {
+		issues = append(issues, checkNoSleep(fset, file)...)
+	}
+	issues = append(issues, checkLockPairing(fset, file)...)
+	if strings.Contains(slash, "internal/gpusim/") {
+		issues = append(issues, checkKernelGoroutines(fset, file)...)
+	}
+	return issues, nil
+}
+
+// checkNoSleep reports time.Sleep calls.
+func checkNoSleep(fset *token.FileSet, file *ast.File) []issue {
+	var issues []issue
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sleep" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+			issues = append(issues, issue{
+				pos:  fset.Position(call.Pos()),
+				rule: "no-sleep",
+				msg:  "time.Sleep in a simulator package; advance time through the DES engine",
+			})
+		}
+		return true
+	})
+	return issues
+}
+
+// lockUse records where one receiver's lock calls appear within a scope.
+type lockUse struct {
+	lock, unlock token.Pos // first occurrence, or token.NoPos
+}
+
+// checkLockPairing verifies Lock/Unlock presence-pairing per function
+// scope. Scopes are declared function bodies and each function literal
+// body; nested literals belong to their own scope only.
+func checkLockPairing(fset *token.FileSet, file *ast.File) []issue {
+	var issues []issue
+	checkScope := func(body *ast.BlockStmt) {
+		uses := map[string]*lockUse{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+				return false // separate scope
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Lock" && name != "TryLock" && name != "Unlock" {
+				return true
+			}
+			key := types.ExprString(sel.X)
+			u := uses[key]
+			if u == nil {
+				u = &lockUse{}
+				uses[key] = u
+			}
+			if name == "Unlock" {
+				if u.unlock == token.NoPos {
+					u.unlock = call.Pos()
+				}
+			} else if u.lock == token.NoPos {
+				u.lock = call.Pos()
+			}
+			return true
+		})
+		keys := make([]string, 0, len(uses))
+		for k := range uses {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			u := uses[k]
+			if u.lock != token.NoPos && u.unlock == token.NoPos {
+				issues = append(issues, issue{
+					pos:  fset.Position(u.lock),
+					rule: "lock-pairing",
+					msg:  fmt.Sprintf("%s.Lock() with no %s.Unlock() in the same function", k, k),
+				})
+			}
+			if u.unlock != token.NoPos && u.lock == token.NoPos {
+				issues = append(issues, issue{
+					pos:  fset.Position(u.unlock),
+					rule: "lock-pairing",
+					msg:  fmt.Sprintf("%s.Unlock() with no %s.Lock() in the same function", k, k),
+				})
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				checkScope(fn.Body)
+			}
+		case *ast.FuncLit:
+			checkScope(fn.Body)
+		}
+		return true
+	})
+	return issues
+}
+
+// checkKernelGoroutines requires every go statement to carry a same-line
+// comment containing "kernel".
+func checkKernelGoroutines(fset *token.FileSet, file *ast.File) []issue {
+	kernelLines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(strings.ToLower(c.Text), "kernel") {
+				kernelLines[fset.Position(c.Slash).Line] = true
+			}
+		}
+	}
+	var issues []issue
+	ast.Inspect(file, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		pos := fset.Position(g.Pos())
+		if !kernelLines[pos.Line] {
+			issues = append(issues, issue{
+				pos:  pos,
+				rule: "kernel-goroutine",
+				msg:  `goroutine in internal/gpusim without a same-line "... kernel" comment; only kernel runners may spawn goroutines here`,
+			})
+		}
+		return true
+	})
+	return issues
+}

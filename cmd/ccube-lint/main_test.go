@@ -1,0 +1,182 @@
+package main
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, path, src string) []issue {
+	t.Helper()
+	issues, err := lintFile(token.NewFileSet(), path, src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return issues
+}
+
+func rules(issues []issue) []string {
+	var out []string
+	for _, i := range issues {
+		out = append(out, i.rule)
+	}
+	return out
+}
+
+func TestNoSleepRule(t *testing.T) {
+	src := `package x
+import "time"
+func f() { time.Sleep(time.Second) }
+`
+	if got := rules(lintSource(t, "internal/des/x.go", src)); len(got) != 1 || got[0] != "no-sleep" {
+		t.Fatalf("issues = %v, want [no-sleep]", got)
+	}
+	// Outside internal/, sleeping is not our business.
+	if got := lintSource(t, "cmd/tool/x.go", src); len(got) != 0 {
+		t.Fatalf("cmd file flagged: %v", got)
+	}
+	// A local package named time is not the stdlib clock... but flagging a
+	// selector spelled time.Sleep is intended even then (the idiom ban is
+	// syntactic).
+	okSrc := `package x
+func f() { sleep() }
+func sleep() {}
+`
+	if got := lintSource(t, "internal/des/x.go", okSrc); len(got) != 0 {
+		t.Fatalf("clean file flagged: %v", got)
+	}
+}
+
+func TestLockPairingRule(t *testing.T) {
+	leak := `package x
+import "sync"
+var mu sync.Mutex
+func f() { mu.Lock() }
+`
+	if got := rules(lintSource(t, "internal/q/x.go", leak)); len(got) != 1 || got[0] != "lock-pairing" {
+		t.Fatalf("leaked lock: issues = %v, want [lock-pairing]", got)
+	}
+
+	// Presence-based pairing: multiple unlocks on early-exit paths are one
+	// function's normal shape (gradqueue.Enqueue).
+	multiExit := `package x
+import "sync"
+var mu sync.Mutex
+func f(b bool) {
+	mu.Lock()
+	if b {
+		mu.Unlock()
+		panic("bad")
+	}
+	mu.Unlock()
+}
+`
+	if got := lintSource(t, "internal/q/x.go", multiExit); len(got) != 0 {
+		t.Fatalf("multi-exit unlock flagged: %v", got)
+	}
+
+	// The p2psync semaphore wait pattern is balanced by presence.
+	spin := `package x
+import "sync"
+var mu sync.Mutex
+func wait(ready func() bool) {
+	mu.Lock()
+	for !ready() {
+		mu.Unlock()
+		mu.Lock()
+	}
+	mu.Unlock()
+}
+`
+	if got := lintSource(t, "internal/q/x.go", spin); len(got) != 0 {
+		t.Fatalf("semaphore pattern flagged: %v", got)
+	}
+
+	// A goroutine unlocking its parent's lock is a separate scope: the
+	// parent leaks, the literal has a bare unlock — two findings.
+	crossScope := `package x
+import "sync"
+var mu sync.Mutex
+func f() {
+	mu.Lock()
+	go func() { mu.Unlock() }()
+}
+`
+	got := rules(lintSource(t, "internal/q/x.go", crossScope))
+	if len(got) != 2 {
+		t.Fatalf("cross-scope pairing: issues = %v, want 2 lock-pairing findings", got)
+	}
+
+	// deferred unlock pairs.
+	deferred := `package x
+import "sync"
+var mu sync.Mutex
+func f() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+`
+	if got := lintSource(t, "internal/q/x.go", deferred); len(got) != 0 {
+		t.Fatalf("deferred unlock flagged: %v", got)
+	}
+
+	// TryLock counts as acquiring.
+	try := `package x
+import "sync"
+var mu sync.Mutex
+func f() {
+	if mu.TryLock() {
+	}
+}
+`
+	if got := rules(lintSource(t, "internal/q/x.go", try)); len(got) != 1 || got[0] != "lock-pairing" {
+		t.Fatalf("TryLock leak: issues = %v, want [lock-pairing]", got)
+	}
+
+	// Distinct receivers are tracked separately.
+	twoLocks := `package x
+import "sync"
+type s struct{ a, b sync.Mutex }
+func (v *s) f() {
+	v.a.Lock()
+	v.b.Lock()
+	v.b.Unlock()
+	v.a.Unlock()
+}
+`
+	if got := lintSource(t, "internal/q/x.go", twoLocks); len(got) != 0 {
+		t.Fatalf("two balanced locks flagged: %v", got)
+	}
+}
+
+func TestKernelGoroutineRule(t *testing.T) {
+	bare := `package gpusim
+func f() {
+	go func() {}()
+}
+`
+	if got := rules(lintSource(t, "internal/gpusim/x.go", bare)); len(got) != 1 || got[0] != "kernel-goroutine" {
+		t.Fatalf("bare goroutine: issues = %v, want [kernel-goroutine]", got)
+	}
+	annotated := `package gpusim
+func f() {
+	go func() { // ring kernel for GPU 0
+	}()
+}
+`
+	if got := lintSource(t, "internal/gpusim/x.go", annotated); len(got) != 0 {
+		t.Fatalf("annotated goroutine flagged: %v", got)
+	}
+	// Outside gpusim the rule does not apply.
+	if got := lintSource(t, "internal/p2psync/x.go", bare); len(got) != 0 {
+		t.Fatalf("non-gpusim goroutine flagged: %v", got)
+	}
+}
+
+func TestRunOnRepo(t *testing.T) {
+	// The repo itself must lint clean — this is the tree the tool ships in.
+	var out strings.Builder
+	if code := run([]string{"../../internal/...", "../../cmd/..."}, &out); code != 0 {
+		t.Fatalf("repo not lint-clean (exit %d):\n%s", code, out.String())
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"ccube/internal/collective"
 	"ccube/internal/report"
+	"ccube/internal/schedcheck"
 	"ccube/internal/topology"
 	"ccube/internal/trace"
 )
@@ -38,6 +39,7 @@ func main() {
 	bytesFlag := flag.String("bytes", "64M", "message size (supports K/M/G suffixes)")
 	chunks := flag.Int("chunks", 0, "chunk count (0 = cost-model optimum)")
 	shared := flag.Bool("shared", false, "allow logical flows to share physical channels")
+	verify := flag.Bool("verify", false, "run the schedcheck static verifier on the built schedule before executing")
 	topChannels := flag.Int("top", 8, "how many busiest channels to show")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt view of channel occupancy")
@@ -69,6 +71,13 @@ func main() {
 	})
 	if err != nil {
 		fail("%v", err)
+	}
+	if *verify {
+		r := schedcheck.Check(sched.Program())
+		if !r.OK() {
+			fail("schedule failed static verification:\n%v", r.Err())
+		}
+		fmt.Printf("schedcheck: %s\n\n", r.Summary())
 	}
 	res, taskGraph, err := sched.ExecuteTraced()
 	if err != nil {

@@ -481,6 +481,40 @@ func TestScheduleValidateCatchesCorruption(t *testing.T) {
 	if err := s.Validate(); err == nil {
 		t.Error("cyclic schedule accepted")
 	}
+
+	// Drop a dependency edge that orders a reduction before the send
+	// reading its result. The old structural validator accepted this
+	// silently — the schedule stays acyclic and well-indexed — but it is a
+	// data hazard: under an adversarial interleaving the send can read the
+	// chunk mid-reduction. The schedcheck hazard pass must reject it.
+	s, err = Build(Config{Graph: dgx1(), Algorithm: AlgTree, Bytes: 1 << 20, Chunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for _, tr := range s.transfers {
+		if caught || tr.isMarker() || tr.src.relay >= 0 {
+			continue
+		}
+		for di, d := range tr.deps {
+			w := s.transfers[d]
+			if w.isMarker() || !w.accumulate || w.dst != tr.src || w.chunk != tr.chunk {
+				continue
+			}
+			dropped := tr.deps[di]
+			tr.deps = append(tr.deps[:di], tr.deps[di+1:]...)
+			if err := s.Validate(); err != nil {
+				caught = true
+				break
+			}
+			// Edge was redundant (another path orders the pair); restore
+			// and keep looking.
+			tr.deps = append(tr.deps, dropped)
+		}
+	}
+	if !caught {
+		t.Error("dropped reduction->read dependency edge accepted")
+	}
 }
 
 func TestResultBandwidthZeroTotal(t *testing.T) {

@@ -41,6 +41,7 @@ func buildHalvingDoublingSchedule(g *topology.Graph, nodes []topology.NodeID, pa
 
 	s := newSchedule(g, nodes, part)
 	s.InOrder = false
+	s.Contract = ContractAllReduce
 
 	channel := func(from, to int) (topology.ChannelID, error) {
 		chs := g.ChannelsBetween(nodes[from], nodes[to])
@@ -115,11 +116,19 @@ func buildHalvingDoublingSchedule(g *topology.Graph, nodes []topology.NodeID, pa
 			stepDone[r] = s.addMarker(fmt.Sprintf("hd:rs:s%d:done:%d", step, r), 0, -1, activity[r]...)
 		}
 	}
-	// Rank r now owns fully reduced chunk r.
+	// Rank r now owns fully reduced chunk r. Readiness must cover every
+	// accumulation into (r, chunk r), not just the last step's: earlier-step
+	// receives ride other channels and, on heterogeneous links, can still be
+	// in flight when the final step's receive lands. stepDone[r] chains
+	// through all of rank r's receives, closing that gap (found by
+	// schedcheck's conservation pass).
 	for r := 0; r < p; r++ {
 		var deps []int
 		if prev := arrival[r][r]; prev >= 0 {
 			deps = append(deps, prev)
+		}
+		if stepDone[r] >= 0 {
+			deps = append(deps, stepDone[r])
 		}
 		id := s.addMarker(fmt.Sprintf("hd:rs:done:%d", r), r, nodes[r], deps...)
 		arrival[r][r] = id

@@ -69,6 +69,8 @@ func BuildHierarchical(cfg HierarchicalConfig) (*Schedule, error) {
 	}
 	s := newSchedule(g, nodes, part)
 	s.InOrder = true
+	s.Streams = 1
+	s.Contract = ContractAllReduce
 
 	intraTree, _ := DGX1Trees()
 	if intraTree.Root != indexOf(boxes[0], leaders[0]) {

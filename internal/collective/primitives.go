@@ -156,6 +156,7 @@ func buildTreePhase(g *topology.Graph, nodes []topology.NodeID, part chunk.Parti
 	}
 	s := newSchedule(g, nodes, part)
 	s.InOrder = true
+	s.Streams = 1
 	router := topology.NewRouter(g)
 	routes, err := assignRoutes(g, nodes, tree, router, allowShared)
 	if err != nil {

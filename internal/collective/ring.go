@@ -34,6 +34,7 @@ func buildRingSchedule(g *topology.Graph, nodes []topology.NodeID, part chunk.Pa
 	}
 	s := newSchedule(g, nodes, part)
 	s.InOrder = false
+	s.Contract = ContractAllReduce
 	router := topology.NewRouter(g)
 	for r, order := range orders {
 		if err := validateRingOrder(order, p); err != nil {

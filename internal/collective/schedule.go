@@ -5,6 +5,7 @@ import (
 
 	"ccube/internal/chunk"
 	"ccube/internal/des"
+	"ccube/internal/schedcheck"
 	"ccube/internal/topology"
 )
 
@@ -46,6 +47,20 @@ type transfer struct {
 
 func (t *transfer) isMarker() bool { return t.channel < 0 }
 
+// Contract declares a schedule's data semantics, used by the static
+// verifier to decide how strict the conservation check should be.
+type Contract int
+
+const (
+	// ContractGeneric covers standalone primitives (broadcast, reduce,
+	// reduce-scatter, ...): the verifier rejects double reductions and
+	// missing finals but does not demand the full AllReduce sum.
+	ContractGeneric Contract = iota
+	// ContractAllReduce requires every participant to end holding exactly
+	// one contribution from every participant in every chunk.
+	ContractAllReduce
+)
+
 // Schedule is a complete dependency DAG for one collective operation over a
 // physical topology. Build it with an algorithm constructor, then Execute it
 // for timing or ExecuteData for functional verification.
@@ -54,6 +69,15 @@ type Schedule struct {
 	Nodes     []topology.NodeID // participating GPUs
 	Partition chunk.Partition
 	InOrder   bool // chunks complete in index order at every node (tree property)
+
+	// Streams is the number of independent in-order chunk streams backing
+	// the InOrder claim (the tree count of a multi-tree schedule): chunk c
+	// belongs to stream c % Streams. Ignored unless InOrder is set; values
+	// < 1 mean a single stream.
+	Streams int
+
+	// Contract records what the schedule computes, for verification.
+	Contract Contract
 
 	transfers []*transfer
 }
@@ -393,8 +417,54 @@ func (s *Schedule) topoOrder() ([]int, error) {
 	return order, nil
 }
 
-// Validate checks structural sanity of the schedule: chunk indices in range,
-// channels exist, dependencies reference earlier-added transfers.
+// Program lowers the schedule into the static verifier's neutral IR. The
+// mapping is 1:1 — transfer ids become op ids — so verifier diagnostics
+// point directly at schedule transfers.
+func (s *Schedule) Program() *schedcheck.Program {
+	ops := make([]schedcheck.Op, len(s.transfers))
+	buf := func(r bufRef) schedcheck.Buf {
+		return schedcheck.Buf{Node: r.node, Relay: r.relay}
+	}
+	for i, t := range s.transfers {
+		ch := t.channel
+		if t.isMarker() {
+			ch = -1
+		}
+		ops[i] = schedcheck.Op{
+			ID:         t.id,
+			Label:      t.label,
+			Chunk:      t.chunk,
+			Bytes:      t.bytes,
+			Channel:    ch,
+			Deps:       t.deps,
+			Src:        buf(t.src),
+			Dst:        buf(t.dst),
+			Accumulate: t.accumulate,
+			Final:      t.finalNode,
+		}
+	}
+	return &schedcheck.Program{
+		Graph:     s.Graph,
+		Nodes:     s.Nodes,
+		NumChunks: s.Partition.NumChunks(),
+		InOrder:   s.InOrder,
+		Streams:   s.Streams,
+		AllReduce: s.Contract == ContractAllReduce,
+		Ops:       ops,
+	}
+}
+
+// Verify runs the full static verifier over the schedule: acyclicity,
+// data-hazard freedom, physical-link validity, conservation/coverage, and
+// (when InOrder is claimed) the in-order proof. See internal/schedcheck.
+func (s *Schedule) Verify() error {
+	return schedcheck.Check(s.Program()).Err()
+}
+
+// Validate checks the schedule's correctness without executing it. Cheap
+// structural checks (index ranges, acyclicity) run first as a fast path;
+// if they pass, the full static verifier in internal/schedcheck proves
+// hazard freedom, link validity, conservation, and the in-order claim.
 func (s *Schedule) Validate() error {
 	k := s.Partition.NumChunks()
 	for _, t := range s.transfers {
@@ -418,5 +488,5 @@ func (s *Schedule) Validate() error {
 	if _, err := s.topoOrder(); err != nil {
 		return err
 	}
-	return nil
+	return s.Verify()
 }

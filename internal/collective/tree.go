@@ -292,6 +292,8 @@ func buildTreeSchedule(g *topology.Graph, nodes []topology.NodeID, part chunk.Pa
 	}
 	s := newSchedule(g, nodes, part)
 	s.InOrder = true
+	s.Streams = len(trees) // chunks round-robin over trees; order holds per tree
+	s.Contract = ContractAllReduce
 	router := topology.NewRouter(g)
 
 	for ti, tree := range trees {

@@ -264,7 +264,7 @@ func runTree(tr collective.Tree, chunks []int, cfg Config, depth int,
 		// Reduce kernel: accumulate children contributions chunk by chunk,
 		// then pass up (or, at the root, hand to broadcast).
 		wg.Add(1)
-		go func() {
+		go func() { // reduce kernel for GPU v
 			defer wg.Done()
 			for _, c := range chunks {
 				local := slice(v, c)
@@ -305,7 +305,7 @@ func runTree(tr collective.Tree, chunks []int, cfg Config, depth int,
 		// children.
 		if !isRoot {
 			wg.Add(1)
-			go func() {
+			go func() { // broadcast kernel for GPU v
 				defer wg.Done()
 				for _, c := range chunks {
 					local := slice(v, c)

@@ -238,7 +238,7 @@ func AllReduceHierarchical(inputs [][]float32, cfg HierConfig) (*Result, error) 
 			b, v := b, v
 			if v == intraTree.Root {
 				wg.Add(1)
-				go func() { // leader's intra broadcast source
+				go func() { // leader's intra broadcast source kernel
 					defer wg.Done()
 					for c := 0; c < k; c++ {
 						gate(leaderHas[b], c)
@@ -272,7 +272,7 @@ func AllReduceHierarchical(inputs [][]float32, cfg HierConfig) (*Result, error) 
 		for g := range inputs {
 			g := g
 			wg.Add(1)
-			go func() {
+			go func() { // forward-compute kernel for GPU g
 				defer wg.Done()
 				for {
 					l, ok := queues[g].DequeueLayer()

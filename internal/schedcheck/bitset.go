@@ -1,0 +1,18 @@
+package schedcheck
+
+// bitset is a fixed-size bit vector used for DAG reachability: reach[i]
+// holds one bit per op, so the full relation costs N^2/8 bytes — a few MB
+// for the largest schedules the repo builds, computed once per Check.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// or folds other into b.
+func (b bitset) or(other bitset) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}

@@ -1,0 +1,573 @@
+package schedcheck
+
+import (
+	"fmt"
+
+	"ccube/internal/topology"
+)
+
+// checker carries the shared state of one verification run.
+type checker struct {
+	p *Program
+	r *Report
+
+	nodeIdx map[topology.NodeID]int // participant -> index in p.Nodes
+	topo    []int                   // topological order of op ids
+	reach   []bitset                // reach[i] = ops reachable from i via dependents
+	readers [][]int                 // readers[i] = ops whose Src is op i's relay slot
+
+	forcedMemo map[[2]int]bool
+}
+
+func newChecker(p *Program) *checker {
+	ck := &checker{
+		p:       p,
+		r:       &Report{NumOps: len(p.Ops)},
+		nodeIdx: make(map[topology.NodeID]int, len(p.Nodes)),
+	}
+	for i, n := range p.Nodes {
+		ck.nodeIdx[n] = i
+	}
+	return ck
+}
+
+func (ck *checker) fail(class Class, op int, format string, args ...any) {
+	ck.r.Violations = append(ck.r.Violations, Violation{
+		Class: class, Op: op, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (ck *checker) participant(n topology.NodeID) bool {
+	_, ok := ck.nodeIdx[n]
+	return ok
+}
+
+// label renders an op for messages.
+func (ck *checker) label(id int) string {
+	op := &ck.p.Ops[id]
+	if op.Label == "" {
+		return fmt.Sprintf("#%d", id)
+	}
+	return fmt.Sprintf("#%d(%s)", id, op.Label)
+}
+
+// --- structure -------------------------------------------------------------
+
+// structure checks well-formedness: consistent ids, in-range references,
+// relay-slot wiring, and acyclicity of the dependency graph. An acyclic
+// dependency graph is deadlock-free: some op is always runnable until all
+// have completed.
+func (ck *checker) structure() {
+	p := ck.p
+	if p.Graph == nil {
+		ck.fail(ClassStructure, -1, "program has no topology graph")
+		return
+	}
+	if len(p.Nodes) < 2 {
+		ck.fail(ClassStructure, -1, "program has %d participants", len(p.Nodes))
+		return
+	}
+	if p.NumChunks < 1 {
+		ck.fail(ClassStructure, -1, "program has %d chunks", p.NumChunks)
+		return
+	}
+	if len(p.Ops) == 0 {
+		ck.fail(ClassStructure, -1, "program has no operations")
+		return
+	}
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.ID != i {
+			ck.fail(ClassStructure, i, "op id %d at position %d", op.ID, i)
+			return // ids are used as indices everywhere; stop early
+		}
+		if op.Chunk < 0 || op.Chunk >= p.NumChunks {
+			ck.fail(ClassStructure, i, "chunk %d out of range [0,%d)", op.Chunk, p.NumChunks)
+		}
+		for _, d := range op.Deps {
+			if d < 0 || d >= len(p.Ops) {
+				ck.fail(ClassStructure, i, "dependency %d out of range", d)
+				return
+			}
+			if d == i {
+				ck.fail(ClassStructure, i, "op depends on itself")
+				return
+			}
+		}
+		if op.Final >= 0 && !ck.participant(op.Final) {
+			ck.fail(ClassStructure, i, "final node %d is not a participant", op.Final)
+		}
+		if op.Marker() {
+			if !op.Src.IsNone() || !op.Dst.IsNone() {
+				ck.fail(ClassStructure, i, "marker touches buffers")
+			}
+			continue
+		}
+		if op.Bytes <= 0 {
+			ck.fail(ClassStructure, i, "transfer moves %d bytes", op.Bytes)
+		}
+		if int(op.Channel) >= p.Graph.NumChannels() {
+			ck.fail(ClassStructure, i, "channel %d does not exist (%d channels)",
+				op.Channel, p.Graph.NumChannels())
+		}
+		if op.Src.IsNone() {
+			ck.fail(ClassStructure, i, "transfer has no source buffer")
+		}
+		if op.Dst.IsNone() {
+			ck.fail(ClassStructure, i, "transfer has no destination buffer")
+		}
+		if op.Src.IsNode() && !ck.participant(op.Src.Node) {
+			ck.fail(ClassStructure, i, "source node %d is not a participant", op.Src.Node)
+		}
+		if op.Dst.IsNode() && !ck.participant(op.Dst.Node) {
+			ck.fail(ClassStructure, i, "destination node %d is not a participant", op.Dst.Node)
+		}
+		if op.Src.IsRelay() {
+			r := op.Src.Relay
+			if r < 0 || r >= len(p.Ops) {
+				ck.fail(ClassStructure, i, "source relay slot %d out of range", r)
+			} else if owner := &p.Ops[r]; !owner.Dst.IsRelay() || owner.Dst.Relay != r {
+				ck.fail(ClassStructure, i, "source relay slot %d is not written by op %d", r, r)
+			}
+		}
+		if op.Dst.IsRelay() {
+			// The writer owns its relay slot: the slot is named by the
+			// writing op's id, so each slot has exactly one writer.
+			if op.Dst.Relay != i {
+				ck.fail(ClassStructure, i, "relay destination slot %d is not the op's own", op.Dst.Relay)
+			}
+			if op.Accumulate {
+				ck.fail(ClassStructure, i, "relay hop accumulates; detour forwarding must copy")
+			}
+		}
+	}
+	if !ck.r.OK() {
+		return
+	}
+	ck.topoSort()
+}
+
+// topoSort fills ck.topo (Kahn's algorithm) or reports a cycle.
+func (ck *checker) topoSort() {
+	ops := ck.p.Ops
+	indeg := make([]int, len(ops))
+	dependents := make([][]int, len(ops))
+	for i := range ops {
+		indeg[i] = len(ops[i].Deps)
+		for _, d := range ops[i].Deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	queue := make([]int, 0, len(ops))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]int, 0, len(ops))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, dep := range dependents[id] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if len(order) != len(ops) {
+		ck.fail(ClassStructure, -1,
+			"dependency cycle: only %d of %d ops can execute (deadlock)", len(order), len(ops))
+		return
+	}
+	ck.topo = order
+}
+
+// --- reachability ----------------------------------------------------------
+
+// computeReach builds the full descendant relation: reach[i] has bit j set
+// iff a dependency path i -> ... -> j exists (j transitively depends on i).
+func (ck *checker) computeReach() {
+	ops := ck.p.Ops
+	n := len(ops)
+	dependents := make([][]int, n)
+	for i := range ops {
+		for _, d := range ops[i].Deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	ck.reach = make([]bitset, n)
+	// Walk in reverse topological order so every dependent's set is final.
+	for k := n - 1; k >= 0; k-- {
+		id := ck.topo[k]
+		b := newBitset(n)
+		for _, dep := range dependents[id] {
+			b.set(dep)
+			b.or(ck.reach[dep])
+		}
+		ck.reach[id] = b
+	}
+	ck.readers = make([][]int, n)
+	for i := range ops {
+		if r := ops[i].Src.Relay; r >= 0 {
+			ck.readers[r] = append(ck.readers[r], i)
+		}
+	}
+}
+
+// pathBetween reports a dependency path in either direction.
+func (ck *checker) pathBetween(a, b int) bool {
+	return ck.reach[a].has(b) || ck.reach[b].has(a)
+}
+
+// --- link validity ---------------------------------------------------------
+
+// links checks that every transfer rides a real physical channel whose
+// endpoints match its buffers, and that detour routes are contiguous chains
+// of real links forwarded by GPUs (paper §IV-A: static routing kernels run
+// on intermediate GPUs, never on switches or phantom links).
+func (ck *checker) links() {
+	p := ck.p
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.Marker() {
+			continue
+		}
+		ch := p.Graph.Channel(op.Channel)
+		if op.Src.IsNode() && ch.From != op.Src.Node {
+			ck.fail(ClassLink, i, "channel %d starts at node %d but source buffer is on node %d",
+				op.Channel, ch.From, op.Src.Node)
+		}
+		if op.Src.IsRelay() {
+			owner := &p.Ops[op.Src.Relay]
+			ownerCh := p.Graph.Channel(owner.Channel)
+			if ownerCh.To != ch.From {
+				ck.fail(ClassLink, i,
+					"detour discontinuity: previous hop %s lands at node %d, this hop departs node %d",
+					ck.label(owner.ID), ownerCh.To, ch.From)
+			}
+			// Chunk identity must survive the relay: contribution counts
+			// cannot tell two fully-reduced chunks apart, so forwarding
+			// chunk X's bytes into chunk Y's region would otherwise pass
+			// conservation unnoticed.
+			if owner.Chunk != op.Chunk {
+				ck.fail(ClassLink, i,
+					"detour forwards chunk %d data from %s as chunk %d",
+					owner.Chunk, ck.label(owner.ID), op.Chunk)
+			}
+		}
+		if op.Dst.IsNode() && ch.To != op.Dst.Node {
+			ck.fail(ClassLink, i, "channel %d ends at node %d but destination buffer is on node %d",
+				op.Channel, ch.To, op.Dst.Node)
+		}
+		if op.Dst.IsRelay() {
+			if p.Graph.Node(ch.To).Kind != topology.GPU {
+				ck.fail(ClassLink, i, "detour intermediate %s is not a GPU (forwarding kernels run on GPUs)",
+					p.Graph.Node(ch.To).Name)
+			}
+			if len(ck.readers[i]) == 0 {
+				ck.fail(ClassLink, i, "relay slot is never read: detour data dropped at %s",
+					p.Graph.Node(ch.To).Name)
+			}
+		}
+	}
+}
+
+// --- data hazards ----------------------------------------------------------
+
+// bufKey identifies one concrete buffer region: a participant's storage for
+// one chunk. Relay slots are handled separately (single writer by
+// construction, checked against their readers).
+type bufKey struct {
+	node  topology.NodeID
+	chunk int
+}
+
+// accessKind classifies how an op touches a buffer region. Accumulation is
+// an atomic read-modify-write: two accumulations into the same region
+// commute (sums are order-independent; floating-point reassociation is
+// accepted exactly as NCCL accepts it), so accum/accum pairs need no
+// ordering. Every other combination with a write does.
+type accessKind int
+
+const (
+	accRead accessKind = iota
+	accCopy            // overwrite (broadcast, ring AG receive)
+	accAccum           // commuting reduction update
+)
+
+type access struct {
+	op   int
+	kind accessKind
+}
+
+func compatible(a, b accessKind) bool {
+	if a == accRead && b == accRead {
+		return true
+	}
+	return a == accAccum && b == accAccum
+}
+
+// hazards proves data-race freedom: for every pair of operations touching
+// the same buffer region, where the pair does not commute (anything but
+// read/read or accumulate/accumulate), a dependency path must order them.
+// This is the check that makes the C1 overlap trustworthy — a broadcast
+// reading a chunk that some reduction can still write, under any
+// interleaving, is reported here. Relay slots additionally require the
+// reader to be ordered after the writer (read-after-write), not merely
+// ordered.
+func (ck *checker) hazards() {
+	p := ck.p
+	accesses := make(map[bufKey][]access)
+	record := func(key bufKey, id int, kind accessKind) {
+		list := accesses[key]
+		// Merge repeat touches by the same op: the stronger kind wins.
+		for j := range list {
+			if list[j].op == id {
+				if kind > list[j].kind {
+					list[j].kind = kind
+				}
+				return
+			}
+		}
+		accesses[key] = append(list, access{op: id, kind: kind})
+	}
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.Marker() {
+			continue
+		}
+		if op.Src.IsNode() {
+			record(bufKey{op.Src.Node, op.Chunk}, i, accRead)
+		}
+		if op.Dst.IsNode() {
+			k := accCopy
+			if op.Accumulate {
+				k = accAccum
+			}
+			record(bufKey{op.Dst.Node, op.Chunk}, i, k)
+		}
+		// Relay read-after-write: the reader must depend on the slot's
+		// writer, or it can observe an empty slot.
+		if r := op.Src.Relay; r >= 0 && !ck.reach[r].has(i) {
+			ck.fail(ClassHazard, i, "reads relay slot of %s without depending on it", ck.label(r))
+		}
+	}
+	for key, list := range accesses {
+		for a := 0; a < len(list); a++ {
+			for b := a + 1; b < len(list); b++ {
+				if compatible(list[a].kind, list[b].kind) {
+					continue
+				}
+				if !ck.pathBetween(list[a].op, list[b].op) {
+					ck.fail(ClassHazard, list[a].op,
+						"unordered conflicting access to node %d chunk %d: %s and %s",
+						key.node, key.chunk, ck.label(list[a].op), ck.label(list[b].op))
+				}
+			}
+		}
+	}
+}
+
+// --- conservation / coverage -----------------------------------------------
+
+// conservation runs an abstract interpretation of the schedule's data
+// semantics over contribution multisets: buffer state is "which
+// participants' inputs are summed here, with what multiplicity", copies
+// clone it, accumulations add it. Because the hazard check proves all
+// non-commuting conflicting accesses are ordered (and the remaining
+// unordered pairs — concurrent accumulations — commute), any topological
+// order yields the same end state, so one sweep is a proof, not a sample.
+// It reports chunks
+// reduced twice, missing or duplicated contributions under the AllReduce
+// contract, (node, chunk) pairs that never become ready, and readiness
+// markers not ordered after the writes they announce.
+func (ck *checker) conservation() {
+	p := ck.p
+	np, k := len(p.Nodes), p.NumChunks
+
+	// finals[ni][c] collects ops marking chunk c ready at participant ni.
+	finals := make([][][]int, np)
+	for ni := range finals {
+		finals[ni] = make([][]int, k)
+	}
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.Final < 0 {
+			continue
+		}
+		ni := ck.nodeIdx[op.Final]
+		finals[ni][op.Chunk] = append(finals[ni][op.Chunk], i)
+	}
+
+	// state[ni][c] = contribution counts (indexed by participant);
+	// writes[ni][c] = every op writing the region, in sweep order.
+	state := make([][][]int32, np)
+	writes := make([][][]int, np)
+	for ni := range state {
+		state[ni] = make([][]int32, k)
+		writes[ni] = make([][]int, k)
+		for c := 0; c < k; c++ {
+			v := make([]int32, np)
+			v[ni] = 1 // the participant's own input
+			state[ni][c] = v
+		}
+	}
+	relay := make(map[int][]int32)
+	zero := make([]int32, np)
+
+	srcVec := func(op *Op) []int32 {
+		if op.Src.IsRelay() {
+			if v, ok := relay[op.Src.Relay]; ok {
+				return v
+			}
+			return zero // empty-slot read; already a hazard violation
+		}
+		return state[ck.nodeIdx[op.Src.Node]][op.Chunk]
+	}
+
+	for _, id := range ck.topo {
+		op := &ck.p.Ops[id]
+		if op.Marker() {
+			continue
+		}
+		src := srcVec(op)
+		if op.Dst.IsRelay() {
+			relay[id] = append([]int32(nil), src...)
+			continue
+		}
+		ni := ck.nodeIdx[op.Dst.Node]
+		dst := state[ni][op.Chunk]
+		if op.Accumulate {
+			for j := range dst {
+				if src[j] > 0 && dst[j] > 0 {
+					ck.fail(ClassConservation, id,
+						"chunk %d at node %d would sum node %d's contribution twice",
+						op.Chunk, op.Dst.Node, p.Nodes[j])
+				}
+				dst[j] += src[j]
+			}
+		} else {
+			copy(dst, src)
+		}
+		writes[ni][op.Chunk] = append(writes[ni][op.Chunk], id)
+	}
+
+	complete := func(v []int32) bool {
+		for _, c := range v {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+
+	for ni := 0; ni < np; ni++ {
+		for c := 0; c < k; c++ {
+			if len(finals[ni][c]) == 0 {
+				ck.fail(ClassConservation, -1,
+					"chunk %d never becomes ready at node %d", c, p.Nodes[ni])
+				continue
+			}
+			if !p.AllReduce {
+				continue
+			}
+			if !complete(state[ni][c]) {
+				op := -1
+				if ws := writes[ni][c]; len(ws) > 0 {
+					op = ws[len(ws)-1]
+				}
+				ck.fail(ClassConservation, op,
+					"node %d ends chunk %d with contributions %v, want exactly one each",
+					p.Nodes[ni], c, state[ni][c])
+			}
+			// Readiness must come after the data: every write to the region
+			// has to be ordered before every final op announcing it.
+			for _, w := range writes[ni][c] {
+				for _, f := range finals[ni][c] {
+					if f != w && !ck.reach[w].has(f) {
+						ck.fail(ClassConservation, f,
+							"chunk %d marked ready at node %d without depending on write %s",
+							c, p.Nodes[ni], ck.label(w))
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- in-order proof --------------------------------------------------------
+
+// order proves the schedule's InOrder claim — the property gradient queuing
+// (C2) builds on: at every node, within each of the Streams round-robin
+// chunk streams, chunk c cannot complete before chunk c-Streams under any
+// interleaving. "Cannot complete before" is forcedAfter: either a
+// dependency path exists, or the earlier final is a zero-cost marker whose
+// every dependency is itself forced before the later final (markers finish
+// the instant their inputs do, so they inherit their inputs' ordering).
+func (ck *checker) order() {
+	p := ck.p
+	np, k := len(p.Nodes), p.NumChunks
+	streams := p.Streams
+	if streams < 1 {
+		streams = 1
+	}
+	// The effective final per (node, chunk) is the last one added, matching
+	// Schedule.Instantiate's overwrite semantics.
+	finalAt := make([][]int, np)
+	for ni := range finalAt {
+		finalAt[ni] = make([]int, k)
+		for c := range finalAt[ni] {
+			finalAt[ni][c] = -1
+		}
+	}
+	for i := range p.Ops {
+		if op := &p.Ops[i]; op.Final >= 0 {
+			finalAt[ck.nodeIdx[op.Final]][op.Chunk] = i
+		}
+	}
+	ck.forcedMemo = make(map[[2]int]bool)
+	for ni := 0; ni < np; ni++ {
+		for c := streams; c < k; c++ {
+			prev, cur := finalAt[ni][c-streams], finalAt[ni][c]
+			if prev < 0 || cur < 0 {
+				continue // missing finals already reported by conservation
+			}
+			if !ck.forcedAfter(prev, cur) {
+				ck.fail(ClassOrder, cur,
+					"node %d: chunk %d may complete before chunk %d — in-order claim unproven",
+					p.Nodes[ni], c, c-streams)
+			}
+		}
+	}
+}
+
+// forcedAfter reports whether op b can never complete before op a, under
+// any interleaving consistent with the dependencies.
+func (ck *checker) forcedAfter(a, b int) bool {
+	if a == b || ck.reach[a].has(b) {
+		return true
+	}
+	op := &ck.p.Ops[a]
+	if !op.Marker() {
+		return false
+	}
+	if len(op.Deps) == 0 {
+		return true // completes at time zero
+	}
+	key := [2]int{a, b}
+	if v, ok := ck.forcedMemo[key]; ok {
+		return v
+	}
+	ck.forcedMemo[key] = true // break hypothetical sharing; DAG has no cycles
+	out := true
+	for _, d := range op.Deps {
+		if !ck.forcedAfter(d, b) {
+			out = false
+			break
+		}
+	}
+	ck.forcedMemo[key] = out
+	return out
+}

@@ -1,0 +1,180 @@
+package schedcheck_test
+
+import (
+	"testing"
+
+	"ccube/internal/collective"
+	"ccube/internal/schedcheck"
+	"ccube/internal/topology"
+)
+
+// FuzzSchedCheck corrupts valid schedules and asserts the verifier notices.
+// Three corruption kinds mirror the mistakes a scheduler change could make:
+// dropping a dependency edge (overlap race), retargeting a transfer onto a
+// channel that does not start at its source (phantom link), and swapping
+// the chunk indices of two transfers (mis-routed data). Each corruption is
+// guarded so the assertion only fires when the mutation is provably
+// observable — e.g. a dropped edge that another dependency path still
+// covers must instead keep the program clean.
+// Run `go test -fuzz=FuzzSchedCheck ./internal/schedcheck` to explore
+// beyond the seeds; `go test` replays the seed corpus as regression tests.
+func FuzzSchedCheck(f *testing.F) {
+	for algo := uint8(0); algo < 6; algo++ {
+		for kind := uint8(0); kind < 3; kind++ {
+			f.Add(algo, kind, uint16(0), uint16(7))
+			f.Add(algo, kind, uint16(13), uint16(101))
+		}
+	}
+	f.Fuzz(func(t *testing.T, algo, kind uint8, pick, pick2 uint16) {
+		g := topology.DGX1(topology.DefaultDGX1Config())
+		s, err := collective.Build(collective.Config{
+			Graph:     g,
+			Algorithm: collective.Algorithm(algo % 6),
+			Bytes:     1 << 18,
+			Chunks:    6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := s.Program()
+		if r := schedcheck.Check(p); !r.OK() {
+			t.Fatalf("pristine schedule rejected: %s", r.Err())
+		}
+		switch kind % 3 {
+		case 0:
+			fuzzDropDep(t, p, pick, pick2)
+		case 1:
+			fuzzRetargetChannel(t, p, pick, pick2)
+		case 2:
+			fuzzSwapChunks(t, p, pick, pick2)
+		}
+	})
+}
+
+// conflicts reports whether writer w and consumer o touch a common node
+// buffer region with a non-commuting access pair, so removing every
+// ordering between them must surface as a violation.
+func conflicts(w, o *schedcheck.Op) bool {
+	if w.Marker() || o.Marker() || !w.Dst.IsNode() || w.Chunk != o.Chunk {
+		return false
+	}
+	if o.Src.IsNode() && o.Src == w.Dst {
+		return true // write vs read
+	}
+	if o.Dst.IsNode() && o.Dst == w.Dst && !(w.Accumulate && o.Accumulate) {
+		return true // write vs write, not both commuting accumulations
+	}
+	return false
+}
+
+// stillReaches reports whether a dependency path from -> to survives in the
+// (already mutated) program.
+func stillReaches(p *schedcheck.Program, from, to int) bool {
+	dependents := make([][]int, len(p.Ops))
+	for i := range p.Ops {
+		for _, d := range p.Ops[i].Deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	seen := make([]bool, len(p.Ops))
+	stack := []int{from}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id == to {
+			return true
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, dependents[id]...)
+	}
+	return false
+}
+
+func fuzzDropDep(t *testing.T, p *schedcheck.Program, pick, pick2 uint16) {
+	type edge struct{ op, di int }
+	var candidates []edge
+	for i := range p.Ops {
+		for di, d := range p.Ops[i].Deps {
+			if conflicts(&p.Ops[d], &p.Ops[i]) {
+				candidates = append(candidates, edge{i, di})
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		t.Skip()
+	}
+	e := candidates[int(pick)%len(candidates)]
+	op := &p.Ops[e.op]
+	d := op.Deps[e.di]
+	op.Deps = append(append([]int(nil), op.Deps[:e.di]...), op.Deps[e.di+1:]...)
+	r := schedcheck.Check(p)
+	if stillReaches(p, d, e.op) {
+		// The edge was redundant; the program is semantically unchanged and
+		// must still verify.
+		if !r.OK() {
+			t.Fatalf("redundant edge %d->%d dropped, but: %s", d, e.op, r.Err())
+		}
+		return
+	}
+	if r.OK() {
+		t.Fatalf("dropped ordering edge %d->%d between conflicting ops went unnoticed", d, e.op)
+	}
+}
+
+func fuzzRetargetChannel(t *testing.T, p *schedcheck.Program, pick, pick2 uint16) {
+	var candidates []int
+	for i := range p.Ops {
+		if !p.Ops[i].Marker() && p.Ops[i].Src.IsNode() {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		t.Skip()
+	}
+	op := &p.Ops[candidates[int(pick)%len(candidates)]]
+	var wrong []topology.ChannelID
+	for ch := 0; ch < p.Graph.NumChannels(); ch++ {
+		if p.Graph.Channel(topology.ChannelID(ch)).From != op.Src.Node {
+			wrong = append(wrong, topology.ChannelID(ch))
+		}
+	}
+	if len(wrong) == 0 {
+		t.Skip()
+	}
+	op.Channel = wrong[int(pick2)%len(wrong)]
+	if r := schedcheck.Check(p); !hasClass(r, schedcheck.ClassLink) {
+		t.Fatalf("transfer %d on a channel not starting at its source went unnoticed: %s",
+			op.ID, r.Summary())
+	}
+}
+
+func fuzzSwapChunks(t *testing.T, p *schedcheck.Program, pick, pick2 uint16) {
+	var candidates []int
+	for i := range p.Ops {
+		if !p.Ops[i].Marker() {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) < 2 {
+		t.Skip()
+	}
+	a := &p.Ops[candidates[int(pick)%len(candidates)]]
+	b := &p.Ops[candidates[int(pick2)%len(candidates)]]
+	if a.Chunk == b.Chunk {
+		t.Skip()
+	}
+	// Ops with identical source, destination, and semantics are each
+	// other's mirror across chunk streams; swapping their chunk fields can
+	// yield a relabeling of the original schedule, so only structurally
+	// distinct pairs guarantee an observable corruption.
+	if a.Src == b.Src && a.Dst == b.Dst && a.Accumulate == b.Accumulate {
+		t.Skip()
+	}
+	a.Chunk, b.Chunk = b.Chunk, a.Chunk
+	if r := schedcheck.Check(p); r.OK() {
+		t.Fatalf("swapping chunks of ops %d and %d went unnoticed", a.ID, b.ID)
+	}
+}

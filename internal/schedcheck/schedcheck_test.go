@@ -1,0 +1,299 @@
+// The external test package breaks the import cycle: collective depends on
+// schedcheck (Validate delegates to it), and these tests verify real
+// schedules built by collective.
+package schedcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"ccube/internal/collective"
+	"ccube/internal/des"
+	"ccube/internal/schedcheck"
+	"ccube/internal/topology"
+)
+
+var allAlgorithms = []collective.Algorithm{
+	collective.AlgRing,
+	collective.AlgTree,
+	collective.AlgTreeOverlap,
+	collective.AlgDoubleTree,
+	collective.AlgDoubleTreeOverlap,
+	collective.AlgHalvingDoubling,
+}
+
+func dgx1() *topology.Graph { return topology.DGX1(topology.DefaultDGX1Config()) }
+
+func fullyConnected(p int) *topology.Graph {
+	return topology.FullyConnected(p, 25e9, 3*des.Microsecond)
+}
+
+func buildProgram(t *testing.T, cfg collective.Config) *schedcheck.Program {
+	t.Helper()
+	s, err := collective.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Program()
+}
+
+func hasClass(r *schedcheck.Report, c schedcheck.Class) bool {
+	return len(r.Class(c)) > 0
+}
+
+// TestAllAlgorithmsVerify is the positive matrix: every algorithm in the
+// zoo, at 4, 8, and 16 nodes, passes all five static check classes. The
+// 8-node runs use both the fully connected graph and the DGX-1 hybrid
+// mesh-cube, so detour schedules (relay hops through intermediate GPUs) are
+// covered.
+func TestAllAlgorithmsVerify(t *testing.T) {
+	type topo struct {
+		name   string
+		graph  *topology.Graph
+		shared bool
+	}
+	topos := []topo{
+		{"fc4", fullyConnected(4), true},
+		{"fc8", fullyConnected(8), true},
+		{"fc16", fullyConnected(16), true},
+		{"dgx1", dgx1(), false},
+	}
+	for _, tp := range topos {
+		for _, alg := range allAlgorithms {
+			t.Run(tp.name+"/"+alg.String(), func(t *testing.T) {
+				p := buildProgram(t, collective.Config{
+					Graph: tp.graph, Algorithm: alg, Bytes: 1 << 20, Chunks: 8,
+					AllowSharedChannels: tp.shared,
+				})
+				r := schedcheck.Check(p)
+				if !r.OK() {
+					t.Fatalf("%s", r.Err())
+				}
+				// Order must have been proven whenever the schedule claims it.
+				wantOrder := p.InOrder
+				gotOrder := false
+				for _, c := range r.Checked {
+					if c == schedcheck.ClassOrder {
+						gotOrder = true
+					}
+				}
+				if gotOrder != wantOrder {
+					t.Fatalf("order checked = %v, InOrder = %v", gotOrder, wantOrder)
+				}
+			})
+		}
+	}
+}
+
+// TestDGX1TreeCoversDetours asserts the matrix above really exercises the
+// relay-slot checks: the DGX-1 tree schedule must contain detour hops.
+func TestDGX1TreeCoversDetours(t *testing.T) {
+	p := buildProgram(t, collective.Config{
+		Graph: dgx1(), Algorithm: collective.AlgDoubleTreeOverlap, Bytes: 1 << 20, Chunks: 8,
+	})
+	relays := 0
+	for i := range p.Ops {
+		if p.Ops[i].Dst.IsRelay() {
+			relays++
+		}
+	}
+	if relays == 0 {
+		t.Fatal("DGX-1 double-tree schedule has no relay hops; detour checks untested")
+	}
+}
+
+// TestHierarchicalVerifies covers the multi-box cluster schedule in both
+// barrier and chained modes.
+func TestHierarchicalVerifies(t *testing.T) {
+	for _, chained := range []bool{false, true} {
+		mn, err := topology.BuildMultiNode(topology.DefaultMultiNodeConfig(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := collective.BuildHierarchical(collective.HierarchicalConfig{
+			Cluster: mn, Bytes: 1 << 20, Chunks: 8, Chained: chained,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := schedcheck.Check(s.Program()); !r.OK() {
+			t.Fatalf("chained=%v: %s", chained, r.Err())
+		}
+	}
+}
+
+// TestPrimitivesVerify covers the standalone primitives under the generic
+// (non-AllReduce) contract.
+func TestPrimitivesVerify(t *testing.T) {
+	prims := []collective.Primitive{
+		collective.PrimBroadcast, collective.PrimReduce,
+		collective.PrimReduceScatter, collective.PrimAllGather,
+	}
+	for _, prim := range prims {
+		s, err := collective.BuildPrimitive(collective.PrimitiveConfig{
+			Graph: dgx1(), Primitive: prim, Bytes: 1 << 20, Chunks: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := schedcheck.Check(s.Program()); !r.OK() {
+			t.Fatalf("%v: %s", prim, r.Err())
+		}
+	}
+}
+
+func treeProgram(t *testing.T) *schedcheck.Program {
+	t.Helper()
+	return buildProgram(t, collective.Config{
+		Graph: dgx1(), Algorithm: collective.AlgTree, Bytes: 1 << 20, Chunks: 4,
+	})
+}
+
+// --- negative tests: one seeded violation per check class ------------------
+
+func TestCatchesCycle(t *testing.T) {
+	p := treeProgram(t)
+	last := len(p.Ops) - 1
+	p.Ops[0].Deps = append(append([]int(nil), p.Ops[0].Deps...), last)
+	p.Ops[last].Deps = append(append([]int(nil), p.Ops[last].Deps...), 0)
+	r := schedcheck.Check(p)
+	if !hasClass(r, schedcheck.ClassStructure) {
+		t.Fatalf("cycle not flagged: %s", r.Summary())
+	}
+	if len(r.Checked) != 1 {
+		t.Fatalf("deeper checks ran on a cyclic program: %v", r.Checked)
+	}
+}
+
+func TestCatchesChunkOutOfRange(t *testing.T) {
+	p := treeProgram(t)
+	p.Ops[0].Chunk = 99
+	if r := schedcheck.Check(p); !hasClass(r, schedcheck.ClassStructure) {
+		t.Fatalf("out-of-range chunk not flagged: %s", r.Summary())
+	}
+}
+
+// TestCatchesDroppedDependency seeds the hazard the old structural
+// validator missed: removing the edge that orders a reduction before the
+// send reading its result leaves an acyclic, well-indexed schedule with an
+// overlap race.
+func TestCatchesDroppedDependency(t *testing.T) {
+	p := treeProgram(t)
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.Marker() || !op.Src.IsNode() {
+			continue
+		}
+		for di, d := range op.Deps {
+			w := &p.Ops[d]
+			if w.Marker() || !w.Accumulate || w.Dst != op.Src || w.Chunk != op.Chunk {
+				continue
+			}
+			op.Deps = append(append([]int(nil), op.Deps[:di]...), op.Deps[di+1:]...)
+			r := schedcheck.Check(p)
+			if !hasClass(r, schedcheck.ClassHazard) {
+				t.Fatalf("dropped dep %d->%d not flagged as hazard: %s", d, i, r.Summary())
+			}
+			return
+		}
+	}
+	t.Fatal("no reduction->read dependency edge found in tree schedule")
+}
+
+func TestCatchesRetargetedChannel(t *testing.T) {
+	p := treeProgram(t)
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.Marker() || !op.Src.IsNode() {
+			continue
+		}
+		for ch := 0; ch < p.Graph.NumChannels(); ch++ {
+			if p.Graph.Channel(topology.ChannelID(ch)).From == op.Src.Node {
+				continue
+			}
+			op.Channel = topology.ChannelID(ch)
+			r := schedcheck.Check(p)
+			if !hasClass(r, schedcheck.ClassLink) {
+				t.Fatalf("retargeted channel not flagged: %s", r.Summary())
+			}
+			return
+		}
+	}
+	t.Fatal("no retarget candidate found")
+}
+
+func TestCatchesDoubleReduce(t *testing.T) {
+	p := treeProgram(t)
+	// Flip a broadcast copy into an accumulation: the destination then sums
+	// the fully reduced chunk on top of its own state.
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.Marker() || op.Accumulate || !op.Dst.IsNode() || !op.Src.IsNode() {
+			continue
+		}
+		op.Accumulate = true
+		r := schedcheck.Check(p)
+		if !hasClass(r, schedcheck.ClassConservation) {
+			t.Fatalf("double reduce not flagged: %s", r.Summary())
+		}
+		return
+	}
+	t.Fatal("no copy transfer found")
+}
+
+func TestCatchesMissingFinal(t *testing.T) {
+	p := treeProgram(t)
+	for i := range p.Ops {
+		if p.Ops[i].Final < 0 {
+			continue
+		}
+		p.Ops[i].Final = -1
+		r := schedcheck.Check(p)
+		if !hasClass(r, schedcheck.ClassConservation) {
+			t.Fatalf("missing final not flagged: %s", r.Summary())
+		}
+		return
+	}
+	t.Fatal("no final op found")
+}
+
+// TestCatchesFalseInOrderClaim feeds the verifier a ring schedule that
+// falsely claims in-order completion — the property gradqueue would then
+// rely on. Ring completions are ordered only by channel occupancy, never by
+// dependencies, so the claim must be rejected.
+func TestCatchesFalseInOrderClaim(t *testing.T) {
+	p := buildProgram(t, collective.Config{
+		Graph: dgx1(), Algorithm: collective.AlgRing, Bytes: 1 << 20,
+	})
+	if p.InOrder {
+		t.Fatal("ring schedule claims in-order")
+	}
+	p.InOrder = true
+	p.Streams = 1
+	r := schedcheck.Check(p)
+	if !hasClass(r, schedcheck.ClassOrder) {
+		t.Fatalf("false in-order claim not refuted: %s", r.Summary())
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	p := treeProgram(t)
+	r := schedcheck.Check(p)
+	if !strings.Contains(r.Summary(), "OK") {
+		t.Fatalf("clean summary = %q", r.Summary())
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean report returned error: %v", r.Err())
+	}
+	// Corrupt many finals to exercise the violation-elision path.
+	for i := range p.Ops {
+		p.Ops[i].Final = -1
+	}
+	r = schedcheck.Check(p)
+	if r.Err() == nil {
+		t.Fatal("corrupted report returned nil error")
+	}
+	if len(r.Violations) > 8 && !strings.Contains(r.Err().Error(), "more") {
+		t.Fatalf("long violation list not elided: %v", r.Err())
+	}
+}
