@@ -11,9 +11,10 @@ test:
 	$(GO) test ./...
 
 # Race detector over the packages that actually spawn goroutines: the
-# p2psync primitives, the gpusim kernel runners, and the gradient queue.
+# p2psync primitives, the gpusim kernel runners, and the gradient queue —
+# plus the fault-matrix suite, which drives repairs end to end.
 race:
-	$(GO) test -race ./internal/p2psync/... ./internal/gpusim/... ./internal/gradqueue/...
+	$(GO) test -race ./internal/p2psync/... ./internal/gpusim/... ./internal/gradqueue/... ./internal/fault/...
 
 vet:
 	$(GO) vet ./...

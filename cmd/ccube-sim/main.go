@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"ccube/internal/collective"
+	"ccube/internal/fault"
 	"ccube/internal/report"
 	"ccube/internal/schedcheck"
 	"ccube/internal/topology"
@@ -44,6 +45,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt view of channel occupancy")
 	showTopo := flag.Bool("show-topo", false, "print the topology's link summary first")
+	faultSpec := flag.String("fault", "", `inject faults and repair around them, e.g. "kill:2-3", "degrade:0-1x4,slow:0x1.5", "kill:ch17@50000" (@T = virtual ns)`)
 	flag.Parse()
 
 	alg, ok := algorithms[*algo]
@@ -62,13 +64,18 @@ func main() {
 		fmt.Println(topology.Describe(g))
 	}
 
-	sched, err := collective.Build(collective.Config{
+	cfg := collective.Config{
 		Graph:               g,
 		Algorithm:           alg,
 		Bytes:               n,
 		Chunks:              *chunks,
 		AllowSharedChannels: *shared,
-	})
+	}
+	if *faultSpec != "" {
+		runFaulted(g, cfg, *algo, *topo, *faultSpec, *topChannels)
+		return
+	}
+	sched, err := collective.Build(cfg)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -115,6 +122,72 @@ func main() {
 	}
 	fmt.Println(t.Render())
 
+	printBusiest(g, res, *topChannels)
+
+	if *gantt {
+		fmt.Println(trace.Gantt(taskGraph, trace.GanttOptions{Width: 100, MaxLanes: *topChannels}))
+	}
+}
+
+// runFaulted executes the collective under a fault plan: static faults are
+// injected, the schedule is repaired around dead links, timed faults are
+// armed on the channel resources, and mid-run link deaths trigger a
+// repair-and-relaunch. Prints the fault plan, the repair summary, and the
+// usual timing decomposition.
+func runFaulted(g *topology.Graph, cfg collective.Config, algo, topo, spec string, topChannels int) {
+	plan, err := fault.ParseSpec(g, spec)
+	if err != nil {
+		fail("%v", err)
+	}
+	ft := report.New("Injected faults", "event", "detail")
+	for _, e := range plan.Events {
+		ch := ""
+		switch e.Kind {
+		case fault.GPUSlow:
+			ch = g.Node(e.GPU).Name
+		default:
+			c := g.Channel(e.Channel)
+			ch = fmt.Sprintf("ch%d %s->%s (%s)", e.Channel, g.Node(c.From).Name, g.Node(c.To).Name, c.Tag)
+		}
+		ft.AddRow(e.Kind.String(), fmt.Sprintf("%s %s", ch, e.String()))
+	}
+	fmt.Println(ft.Render())
+
+	res, rep, err := fault.RunCollective(cfg, plan)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	rt := report.New("Repair summary", "metric", "value")
+	rt.AddRow("launch attempts", fmt.Sprintf("%d", rep.Attempts))
+	rt.AddRow("rerouted transfers", fmt.Sprintf("%d", rep.Rerouted()))
+	if len(rep.MidRunDeaths) > 0 {
+		var ids []string
+		for _, cid := range rep.MidRunDeaths {
+			ids = append(ids, fmt.Sprintf("ch%d", cid))
+		}
+		rt.AddRow("mid-run link deaths", strings.Join(ids, ", "))
+	}
+	for _, r := range rep.Repairs {
+		for _, route := range r.Routes {
+			rt.AddRow("reroute", route)
+		}
+	}
+	fmt.Println(rt.Render())
+
+	t := report.New(fmt.Sprintf("AllReduce under faults: %s on %s, %s", algo, topo, report.Bytes(cfg.Bytes)),
+		"metric", "value")
+	t.AddRow("participants", fmt.Sprintf("%d", g.NumNodes()))
+	t.AddRow("chunks", fmt.Sprintf("%d", res.Partition.NumChunks()))
+	t.AddRow("total time", report.Time(res.Total))
+	t.AddRow("achieved bandwidth", report.GBps(res.Bandwidth()))
+	t.AddRow("gradient turnaround", report.Time(res.Turnaround))
+	fmt.Println(t.Render())
+
+	printBusiest(g, res, topChannels)
+}
+
+func printBusiest(g *topology.Graph, res *collective.Result, topChannels int) {
 	type chanUse struct {
 		name string
 		busy float64
@@ -134,17 +207,13 @@ func main() {
 	sort.Slice(uses, func(a, b int) bool { return uses[a].busy > uses[b].busy })
 	ct := report.New("Busiest channels", "channel", "utilization")
 	for i, u := range uses {
-		if i >= *topChannels {
-			ct.AddNote("%d more channels carried traffic", len(uses)-*topChannels)
+		if i >= topChannels {
+			ct.AddNote("%d more channels carried traffic", len(uses)-topChannels)
 			break
 		}
 		ct.AddRow(u.name, report.Percent(u.busy))
 	}
 	fmt.Println(ct.Render())
-
-	if *gantt {
-		fmt.Println(trace.Gantt(taskGraph, trace.GanttOptions{Width: 100, MaxLanes: *topChannels}))
-	}
 }
 
 func buildTopology(name string) (*topology.Graph, error) {

@@ -17,8 +17,11 @@ type Partition struct {
 	Offsets    []int64
 }
 
-// Split partitions total bytes into k near-equal chunks: the first
-// total%k chunks get one extra byte so sizes differ by at most one.
+// Split partitions total bytes into exactly k near-equal chunks: the first
+// total%k chunks get one extra byte so sizes differ by at most one. Split
+// panics when k > total (zero-byte chunks are never produced); callers that
+// iterate chunk indices 0..k-1 would silently desync from a clamped
+// partition. Use SplitAtMost when a smaller chunk count is acceptable.
 func Split(total int64, k int) Partition {
 	if total <= 0 {
 		panic(fmt.Sprintf("chunk: total bytes %d <= 0", total))
@@ -27,7 +30,7 @@ func Split(total int64, k int) Partition {
 		panic(fmt.Sprintf("chunk: chunk count %d < 1", k))
 	}
 	if int64(k) > total {
-		k = int(total) // no zero-byte chunks
+		panic(fmt.Sprintf("chunk: %d chunks for %d bytes (zero-byte chunks); use SplitAtMost for an explicit clamp", k, total))
 	}
 	p := Partition{
 		TotalBytes: total,
@@ -47,6 +50,16 @@ func Split(total int64, k int) Partition {
 		off += size
 	}
 	return p
+}
+
+// SplitAtMost partitions total bytes into min(k, total) near-equal chunks.
+// The clamp is explicit: the caller must take the actual chunk count from
+// Partition.NumChunks rather than assuming k.
+func SplitAtMost(total int64, k int) Partition {
+	if int64(k) > total && total > 0 {
+		k = int(total)
+	}
+	return Split(total, k)
 }
 
 // NumChunks returns the chunk count.

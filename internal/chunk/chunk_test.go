@@ -34,13 +34,31 @@ func TestSplitRemainder(t *testing.T) {
 	}
 }
 
-func TestSplitMoreChunksThanBytes(t *testing.T) {
-	p := Split(3, 10)
+// Regression: Split used to silently clamp k to total, desyncing callers
+// that iterate chunk indices 0..k-1 from the partition. It now panics; the
+// explicit clamp lives in SplitAtMost.
+func TestSplitMoreChunksThanBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Split(3, 10) did not panic")
+		}
+	}()
+	Split(3, 10)
+}
+
+func TestSplitAtMostClampsExplicitly(t *testing.T) {
+	p := SplitAtMost(3, 10)
 	if p.NumChunks() != 3 {
 		t.Fatalf("chunks = %d, want clamp to 3", p.NumChunks())
 	}
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
+	}
+	// No clamp needed: identical to Split.
+	p = SplitAtMost(10, 3)
+	q := Split(10, 3)
+	if p.NumChunks() != q.NumChunks() || p.Sizes[0] != q.Sizes[0] {
+		t.Fatalf("SplitAtMost(10,3) = %+v, want %+v", p, q)
 	}
 }
 
@@ -162,6 +180,49 @@ func TestLayerChunkTableZeroByteLayer(t *testing.T) {
 	}
 }
 
+// Pin the documented "inherit preceding layer's chunk" semantics for every
+// zero-byte-layer position: leading, trailing, and consecutive runs.
+func TestLayerChunkTableZeroByteLayerEdgeCases(t *testing.T) {
+	p := Split(10, 5) // sizes 2,2,2,2,2 -> layer byte b lives in chunk b/2
+	cases := []struct {
+		name   string
+		layers []int64
+		want   []int
+	}{
+		{"leading", []int64{0, 10}, []int{0, 4}},
+		{"leading-consecutive", []int64{0, 0, 0, 10}, []int{0, 0, 0, 4}},
+		{"trailing", []int64{10, 0}, []int{4, 4}},
+		{"trailing-consecutive", []int64{10, 0, 0}, []int{4, 4, 4}},
+		{"interior-consecutive", []int64{4, 0, 0, 6}, []int{1, 1, 1, 4}},
+		{"mixed", []int64{0, 3, 0, 0, 7, 0}, []int{0, 1, 1, 1, 4, 4}},
+	}
+	for _, c := range cases {
+		tab := BuildLayerChunkTable(c.layers, p)
+		for i := range c.want {
+			if tab.LastChunk[i] != c.want[i] {
+				t.Errorf("%s: LastChunk = %v, want %v", c.name, tab.LastChunk, c.want)
+				break
+			}
+		}
+		if err := tab.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+// An all-zero-byte prefix with a partition built from the remaining bytes:
+// every leading zero layer is ready with chunk 0.
+func TestLayerChunkTableAllZeroPrefixSuffix(t *testing.T) {
+	p := Split(4, 4)
+	tab := BuildLayerChunkTable([]int64{0, 0, 4, 0, 0}, p)
+	want := []int{0, 0, 3, 3, 3}
+	for i := range want {
+		if tab.LastChunk[i] != want[i] {
+			t.Fatalf("LastChunk = %v, want %v", tab.LastChunk, want)
+		}
+	}
+}
+
 func TestLayerChunkTableSizeMismatchPanics(t *testing.T) {
 	p := Split(10, 2)
 	defer func() {
@@ -185,7 +246,7 @@ func TestLayerChunkTableMonotonicProperty(t *testing.T) {
 		if total == 0 {
 			continue
 		}
-		p := Split(total, rng.Intn(40)+1)
+		p := SplitAtMost(total, rng.Intn(40)+1)
 		tab := BuildLayerChunkTable(layers, p)
 		if err := tab.Validate(); err != nil {
 			t.Fatal(err)

@@ -2,8 +2,9 @@ package chunk
 
 import "testing"
 
-// FuzzSplit exercises Split across arbitrary sizes: the partition must
-// always cover exactly the total, in order, with near-equal chunks.
+// FuzzSplit exercises SplitAtMost across arbitrary sizes: the partition must
+// always cover exactly the total, in order, with near-equal chunks, and the
+// k > total clamp must match Split's strict contract (which panics there).
 // Run `go test -fuzz=FuzzSplit ./internal/chunk` to explore beyond the
 // seeds; `go test` replays the seed corpus as regression tests.
 func FuzzSplit(f *testing.F) {
@@ -15,7 +16,13 @@ func FuzzSplit(f *testing.F) {
 		if total <= 0 || k < 1 || total > 1<<40 || k > 1<<16 {
 			t.Skip()
 		}
-		p := Split(total, k)
+		p := SplitAtMost(total, k)
+		if int64(k) <= total && p.NumChunks() != k {
+			t.Fatalf("SplitAtMost(%d,%d) clamped to %d chunks without need", total, k, p.NumChunks())
+		}
+		if int64(k) > total && p.NumChunks() != int(total) {
+			t.Fatalf("SplitAtMost(%d,%d) = %d chunks, want clamp to %d", total, k, p.NumChunks(), total)
+		}
 		if err := p.Validate(); err != nil {
 			t.Fatalf("Split(%d,%d): %v", total, k, err)
 		}
@@ -59,7 +66,7 @@ func FuzzLayerChunkTable(f *testing.F) {
 		if total == 0 {
 			t.Skip()
 		}
-		p := Split(total, k)
+		p := SplitAtMost(total, k)
 		tab := BuildLayerChunkTable(layers, p)
 		if err := tab.Validate(); err != nil {
 			t.Fatal(err)

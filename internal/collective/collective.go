@@ -167,10 +167,17 @@ func Build(cfg Config) (*Schedule, error) {
 				orders = [][]int{identity}
 			}
 		}
-		part := chunk.Split(cfg.Bytes, len(nodes)*len(orders))
+		need := len(nodes) * len(orders)
+		if cfg.Bytes < int64(need) {
+			return nil, fmt.Errorf("collective: %d bytes cannot form the %d chunks a %d-ring schedule needs", cfg.Bytes, need, len(orders))
+		}
+		part := chunk.Split(cfg.Bytes, need)
 		return buildRingSchedule(cfg.Graph, nodes, part, orders)
 
 	case AlgHalvingDoubling:
+		if cfg.Bytes < int64(len(nodes)) {
+			return nil, fmt.Errorf("collective: %d bytes cannot form the %d chunks halving-doubling needs", cfg.Bytes, len(nodes))
+		}
 		return buildHalvingDoublingSchedule(cfg.Graph, nodes, chunk.Split(cfg.Bytes, len(nodes)))
 
 	case AlgTree, AlgTreeOverlap, AlgDoubleTree, AlgDoubleTreeOverlap:
@@ -194,7 +201,10 @@ func Build(cfg Config) (*Schedule, error) {
 		if k < len(trees) {
 			k = len(trees)
 		}
-		part := chunk.Split(cfg.Bytes, k)
+		// The chunk count is advisory for trees (KOpt heuristic), so an
+		// explicit clamp is correct; buildTreeSchedule re-validates that the
+		// actual count can feed every tree.
+		part := chunk.SplitAtMost(cfg.Bytes, k)
 		return buildTreeSchedule(cfg.Graph, nodes, part, trees, overlap, cfg.AllowSharedChannels)
 
 	default:

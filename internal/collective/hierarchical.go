@@ -60,7 +60,7 @@ func BuildHierarchical(cfg HierarchicalConfig) (*Schedule, error) {
 		}
 		k = autoChunksFor(fabric, m, cfg.Bytes)
 	}
-	part := chunk.Split(cfg.Bytes, k)
+	part := chunk.SplitAtMost(cfg.Bytes, k)
 	k = part.NumChunks()
 
 	var nodes []topology.NodeID

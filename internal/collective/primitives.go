@@ -84,10 +84,14 @@ func BuildPrimitive(cfg PrimitiveConfig) (*Schedule, error) {
 			c := Config{Graph: cfg.Graph, Bytes: cfg.Bytes, Nodes: nodes}
 			k = c.chunkCount()
 		}
-		part := chunk.Split(cfg.Bytes, k)
+		// Chunk count is advisory here; clamp explicitly for tiny messages.
+		part := chunk.SplitAtMost(cfg.Bytes, k)
 		return buildTreePhase(cfg.Graph, nodes, part, tree, cfg.Primitive == PrimReduce, cfg.AllowSharedChannels)
 
 	case PrimReduceScatter, PrimAllGather:
+		if cfg.Bytes < int64(len(nodes)) {
+			return nil, fmt.Errorf("collective: %d bytes cannot form the %d chunks a ring primitive needs", cfg.Bytes, len(nodes))
+		}
 		part := chunk.Split(cfg.Bytes, len(nodes))
 		order := make([]int, len(nodes))
 		for i := range order {

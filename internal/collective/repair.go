@@ -1,0 +1,289 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"ccube/internal/topology"
+)
+
+// DeadChannelError reports a transfer scheduled over a channel that has
+// failed. Instantiate returns it instead of silently timing traffic over a
+// dead link; callers react by invoking RepairSchedule.
+type DeadChannelError struct {
+	Transfer int
+	Label    string
+	Channel  topology.ChannelID
+	From, To topology.NodeID
+}
+
+func (e *DeadChannelError) Error() string {
+	return fmt.Sprintf("collective: transfer %d (%s) rides dead channel %d (%d->%d); repair the schedule",
+		e.Transfer, e.Label, e.Channel, e.From, e.To)
+}
+
+// UnrepairableError reports that no healthy replacement route exists for a
+// transfer stranded by a dead channel. It is the structured "fail loudly"
+// outcome the resilience layer promises instead of a deadlock.
+type UnrepairableError struct {
+	Channel  topology.ChannelID
+	From, To topology.NodeID
+	Reason   string
+}
+
+func (e *UnrepairableError) Error() string {
+	return fmt.Sprintf("collective: unrepairable: no healthy route replaces dead channel %d (%d->%d): %s",
+		e.Channel, e.From, e.To, e.Reason)
+}
+
+// RepairReport summarizes what RepairSchedule changed.
+type RepairReport struct {
+	// DeadChannels are the failed channels the schedule was riding, id order.
+	DeadChannels []topology.ChannelID
+	// Rerouted counts transfers moved onto a replacement route.
+	Rerouted int
+	// AddedHops counts forwarding transfers appended for multi-hop detours.
+	AddedHops int
+	// Routes describes each replacement, for diagnostics.
+	Routes []string
+}
+
+// RepairSchedule rewrites a schedule whose channels have died (see
+// topology.Graph.KillChannel) so every transfer rides healthy links,
+// implementing the paper's detour mechanism (§IV-A) as a static repair: a
+// stranded transfer is moved to a surviving parallel channel when one
+// exists, and otherwise spliced into a forwarding chain through an
+// intermediate GPU (or a modeled PCIe fallback channel, when the topology
+// includes one). The input schedule is not modified; the repaired clone is
+// re-verified by the full static checker before being returned, proving the
+// repair preserved the schedule's Contract.
+//
+// When no healthy replacement route exists, RepairSchedule returns a
+// *UnrepairableError.
+func RepairSchedule(s *Schedule) (*Schedule, *RepairReport, error) {
+	rep := &RepairReport{}
+	out := s.clone()
+
+	// Collect the stranded transfers and the dead channels involved.
+	var broken []*transfer
+	deadSeen := make(map[topology.ChannelID]bool)
+	for _, t := range out.transfers {
+		if t.isMarker() {
+			continue
+		}
+		if out.Graph.Channel(t.channel).Down() {
+			broken = append(broken, t)
+			if !deadSeen[t.channel] {
+				deadSeen[t.channel] = true
+				rep.DeadChannels = append(rep.DeadChannels, t.channel)
+			}
+		}
+	}
+	sort.Slice(rep.DeadChannels, func(i, j int) bool { return rep.DeadChannels[i] < rep.DeadChannels[j] })
+	if len(broken) == 0 {
+		return out, rep, nil
+	}
+
+	// Seed a router with every channel the surviving schedule still uses, so
+	// replacement routes prefer idle links (mirroring assignRoutes). Routing
+	// falls back to sharing a busy healthy channel when nothing idle remains.
+	router := topology.NewRouter(out.Graph)
+	for _, t := range out.transfers {
+		if t.isMarker() || out.Graph.Channel(t.channel).Down() {
+			continue
+		}
+		if !router.Claimed(t.channel) {
+			router.Claim(t.channel)
+		}
+	}
+
+	// Replacement routes are computed once per dead channel: every stranded
+	// transfer on that channel shares the same physical repair, exactly as
+	// every chunk of a tree edge shares its detour.
+	routeFor := make(map[topology.ChannelID]topology.Route)
+	for _, cid := range rep.DeadChannels {
+		ch := out.Graph.Channel(cid)
+		rt, err := replacementRoute(out.Graph, router, ch.From, ch.To)
+		if err != nil {
+			return nil, nil, &UnrepairableError{Channel: cid, From: ch.From, To: ch.To, Reason: err.Error()}
+		}
+		routeFor[cid] = rt
+		rep.Routes = append(rep.Routes, describeRoute(out.Graph, cid, rt))
+	}
+
+	for _, t := range broken {
+		rt := routeFor[t.channel]
+		rep.Rerouted++
+		if rt.Direct() {
+			t.channel = rt.Channels[0]
+			continue
+		}
+		rep.AddedHops += rt.Hops() - 1
+		out.splice(t, rt)
+	}
+
+	if err := out.normalize(); err != nil {
+		return nil, nil, fmt.Errorf("collective: repair produced an unorderable schedule: %w", err)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("collective: repaired schedule failed verification: %w", err)
+	}
+	return out, rep, nil
+}
+
+// replacementRoute finds a healthy route a->b: first over idle channels via
+// the transactional router, then sharing busy healthy channels (direct, then
+// one-GPU detour). Claims for multi-use are intentional — the repair may
+// funnel several flows over one surviving link; the des.Resource serializes
+// them and timing honestly reflects the contention.
+func replacementRoute(g *topology.Graph, router *topology.Router, a, b topology.NodeID) (topology.Route, error) {
+	tx := router.Begin()
+	rt, err := tx.Route(a, b)
+	if err == nil {
+		tx.Commit()
+		return rt, nil
+	}
+	tx.Rollback()
+
+	healthyDirect := func(x, y topology.NodeID) topology.ChannelID {
+		for _, cid := range g.ChannelsBetween(x, y) {
+			if !g.Channel(cid).Down() {
+				return cid
+			}
+		}
+		return -1
+	}
+	if cid := healthyDirect(a, b); cid >= 0 {
+		return topology.Route{Channels: []topology.ChannelID{cid}}, nil
+	}
+	for _, mid := range g.Neighbors(a) {
+		if g.Node(mid).Kind != topology.GPU || mid == b {
+			continue
+		}
+		first := healthyDirect(a, mid)
+		if first < 0 {
+			continue
+		}
+		second := healthyDirect(mid, b)
+		if second < 0 {
+			continue
+		}
+		return topology.Route{Channels: []topology.ChannelID{first, second}}, nil
+	}
+	return topology.Route{}, fmt.Errorf("no healthy direct channel or single-GPU detour from %s to %s",
+		g.Node(a).Name, g.Node(b).Name)
+}
+
+func describeRoute(g *topology.Graph, dead topology.ChannelID, rt topology.Route) string {
+	ch := g.Channel(dead)
+	if rt.Direct() {
+		nc := g.Channel(rt.Channels[0])
+		return fmt.Sprintf("ch%d %s->%s -> parallel ch%d (%s)", dead,
+			g.Node(ch.From).Name, g.Node(ch.To).Name, nc.ID, nc.Tag)
+	}
+	via := rt.Via(g)
+	names := make([]string, len(via))
+	for i, n := range via {
+		names[i] = g.Node(n).Name
+	}
+	return fmt.Sprintf("ch%d %s->%s -> detour via %v", dead,
+		g.Node(ch.From).Name, g.Node(ch.To).Name, names)
+}
+
+// clone deep-copies the schedule (transfers, deps) sharing the immutable
+// Graph/Nodes/Partition.
+func (s *Schedule) clone() *Schedule {
+	out := &Schedule{
+		Graph:     s.Graph,
+		Nodes:     s.Nodes,
+		Partition: s.Partition,
+		InOrder:   s.InOrder,
+		Streams:   s.Streams,
+		Contract:  s.Contract,
+		transfers: make([]*transfer, len(s.transfers)),
+	}
+	for i, t := range s.transfers {
+		c := *t
+		c.deps = append([]int(nil), t.deps...)
+		out.transfers[i] = &c
+	}
+	return out
+}
+
+// splice rewires a stranded transfer t over multi-hop route rt: forwarding
+// transfers for every hop but the last are appended (writing relay slots),
+// and t itself becomes the final hop, reading the last relay. The appended
+// transfers carry ids after t — normalize restores topological id order.
+func (s *Schedule) splice(t *transfer, rt topology.Route) {
+	prevSrc := t.src
+	prevDeps := append([]int(nil), t.deps...)
+	var prevID int
+	for h := 0; h < rt.Hops()-1; h++ {
+		id := len(s.transfers)
+		hop := &transfer{
+			id:      id,
+			chunk:   t.chunk,
+			bytes:   t.bytes,
+			channel: rt.Channels[h],
+			deps:    prevDeps,
+			src:     prevSrc,
+			dst:     relayBuf(id),
+			// Forwarding never reduces; accumulation happens at the final dst.
+			accumulate: false,
+			finalNode:  -1,
+			label:      fmt.Sprintf("%s/hop%d", t.label, h+1),
+		}
+		s.transfers = append(s.transfers, hop)
+		prevSrc = relayBuf(id)
+		prevDeps = []int{id}
+		prevID = id
+	}
+	t.channel = rt.Channels[rt.Hops()-1]
+	t.src = relayBuf(prevID)
+	// Keep t's original ordering edges (buffer hazards) and add the data
+	// dependency on the last forwarding hop.
+	t.deps = appendUnique(t.deps, prevID)
+}
+
+func appendUnique(deps []int, d int) []int {
+	for _, x := range deps {
+		if x == d {
+			return deps
+		}
+	}
+	return append(deps, d)
+}
+
+// normalize renumbers transfers into topological id order (dependencies
+// before dependents), rewriting ids, deps, and relay-slot references.
+// Instantiate and the verifier both require id order to respect the DAG;
+// splice violates it by appending hops that stranded transfers depend on.
+func (s *Schedule) normalize() error {
+	order, err := s.topoOrder()
+	if err != nil {
+		return err
+	}
+	newID := make([]int, len(s.transfers))
+	for pos, old := range order {
+		newID[old] = pos
+	}
+	remapBuf := func(r bufRef) bufRef {
+		if r.relay >= 0 {
+			r.relay = newID[r.relay]
+		}
+		return r
+	}
+	transfers := make([]*transfer, len(s.transfers))
+	for _, t := range s.transfers {
+		t.id = newID[t.id]
+		for i, d := range t.deps {
+			t.deps[i] = newID[d]
+		}
+		sort.Ints(t.deps)
+		t.src = remapBuf(t.src)
+		t.dst = remapBuf(t.dst)
+		transfers[t.id] = t
+	}
+	s.transfers = transfers
+	return nil
+}

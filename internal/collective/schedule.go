@@ -176,6 +176,10 @@ func (s *Schedule) Instantiate(g *des.Graph, res []*des.Resource, startDep int) 
 		var d des.Time
 		if !t.isMarker() {
 			ch := s.Graph.Channel(t.channel)
+			if ch.Down() {
+				return nil, &DeadChannelError{Transfer: i, Label: t.label, Channel: t.channel,
+					From: ch.From, To: ch.To}
+			}
 			r = res[t.channel]
 			d = ch.TransferTime(t.bytes)
 			if t.noAlpha {
@@ -233,13 +237,23 @@ func (s *Schedule) Execute() (*Result, error) {
 // ExecuteTraced is Execute, additionally returning the executed task graph
 // for timeline export (see internal/trace).
 func (s *Schedule) ExecuteTraced() (*Result, *des.Graph, error) {
-	res := s.Graph.Resources()
+	return s.ExecuteOn(s.Graph.Resources())
+}
+
+// ExecuteOn is ExecuteTraced over caller-provided channel resources (index =
+// ChannelID), the entry point for fault injection: the caller may arm
+// resources with SetSlowdownAt/FailAt breakpoints before the run. A failed
+// resource surfaces as a *des.FaultError (wrapped), never a panic.
+func (s *Schedule) ExecuteOn(res []*des.Resource) (*Result, *des.Graph, error) {
 	g := des.NewGraph()
 	inst, err := s.Instantiate(g, res, -1)
 	if err != nil {
 		return nil, nil, err
 	}
-	total := g.Run()
+	total, err := g.RunErr()
+	if err != nil {
+		return nil, nil, fmt.Errorf("collective: execution aborted: %w", err)
+	}
 
 	k := s.Partition.NumChunks()
 	ready := make([][]des.Time, len(s.Nodes))
@@ -293,7 +307,7 @@ func (s *Schedule) ExecuteData(inputs [][]float64) ([][]float64, error) {
 		return nil, fmt.Errorf("collective: empty input vectors")
 	}
 	// Partition elements into the same number of chunks as the schedule.
-	part := chunk.Split(int64(n), s.Partition.NumChunks())
+	part := chunk.SplitAtMost(int64(n), s.Partition.NumChunks())
 	if part.NumChunks() != s.Partition.NumChunks() {
 		return nil, fmt.Errorf("collective: %d elements cannot form %d chunks", n, s.Partition.NumChunks())
 	}

@@ -93,8 +93,8 @@ func TestEngineRunUntil(t *testing.T) {
 
 func TestResourceSerializesAndRecordsIntervals(t *testing.T) {
 	r := NewResource("link")
-	s1, e1 := r.reserve(0, 10, 1)
-	s2, e2 := r.reserve(0, 10, 2)
+	s1, e1, _ := r.reserve(0, 10, 1)
+	s2, e2, _ := r.reserve(0, 10, 2)
 	if s1 != 0 || e1 != 10 || s2 != 10 || e2 != 20 {
 		t.Fatalf("reservations: [%v,%v) [%v,%v)", s1, e1, s2, e2)
 	}
@@ -112,7 +112,7 @@ func TestResourceSerializesAndRecordsIntervals(t *testing.T) {
 func TestResourceSlowdown(t *testing.T) {
 	r := NewResource("gpu0")
 	r.SetSlowdown(1.5)
-	_, end := r.reserve(0, 100, 1)
+	_, end, _ := r.reserve(0, 100, 1)
 	if end != 150 {
 		t.Fatalf("slowed duration end = %v, want 150", end)
 	}

@@ -108,10 +108,49 @@ func (h *readyHeap) Pop() any {
 	return t
 }
 
+// TaskFault identifies one task refused by its failed resource.
+type TaskFault struct {
+	TaskID   int
+	Label    string
+	Resource string
+	At       Time // when the task would have started
+	FailedAt Time // when the resource died
+}
+
+// FaultError reports that a run aborted because a resource refused a task
+// (see Resource.FailAt). The run stops deterministically at the first
+// refusal; Executed counts the tasks that completed before it.
+type FaultError struct {
+	Faults   []TaskFault
+	Executed int
+	Total    int
+}
+
+func (e *FaultError) Error() string {
+	f := e.Faults[0]
+	return fmt.Sprintf("des: task %d %q refused by failed resource %s (died at %v, would start at %v); %d of %d tasks executed",
+		f.TaskID, f.Label, f.Resource, f.FailedAt, f.At, e.Executed, e.Total)
+}
+
 // Run executes the graph and returns the makespan (max task End). It panics
-// if the graph contains a dependency cycle (tasks would remain unexecuted).
-// Run may be called once per graph.
+// if the graph contains a dependency cycle (tasks would remain unexecuted)
+// or if a failed resource refuses a task — use RunErr when faults are
+// expected. Run may be called once per graph.
 func (g *Graph) Run() Time {
+	m, err := g.RunErr()
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// RunErr executes the graph and returns the makespan (max task End). When a
+// failed resource (Resource.FailAt) refuses a task, the run aborts at that
+// point and returns the makespan so far together with a *FaultError naming
+// the refused task; callers repair the schedule and retry on a fresh graph.
+// Dependency cycles still panic — they are construction bugs, not faults.
+// RunErr may be called once per graph.
+func (g *Graph) RunErr() (Time, error) {
 	if g.ran {
 		panic("des: graph ran twice")
 	}
@@ -131,7 +170,22 @@ func (g *Graph) Run() Time {
 	for ready.Len() > 0 {
 		t := heap.Pop(&ready).(*Task)
 		if t.Resource != nil {
-			t.Start, t.End = t.Resource.reserve(t.Ready, t.Duration, t.ID)
+			start, end, err := t.Resource.reserve(t.Ready, t.Duration, t.ID)
+			if err != nil {
+				ref := err.(*refusal)
+				return makespan, &FaultError{
+					Faults: []TaskFault{{
+						TaskID:   t.ID,
+						Label:    t.Label,
+						Resource: ref.Resource,
+						At:       ref.At,
+						FailedAt: ref.FailedAt,
+					}},
+					Executed: executed,
+					Total:    len(g.tasks),
+				}
+			}
+			t.Start, t.End = start, end
 		} else {
 			t.Start = t.Ready
 			t.End = t.Start + t.Duration
@@ -159,7 +213,7 @@ func (g *Graph) Run() Time {
 	if executed != len(g.tasks) {
 		panic(fmt.Sprintf("des: dependency cycle: %d of %d tasks executed", executed, len(g.tasks)))
 	}
-	return makespan
+	return makespan, nil
 }
 
 // Ran reports whether Run has executed.

@@ -1,11 +1,21 @@
 package des
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Interval is a half-open occupancy window [Start, End) on a Resource.
 type Interval struct {
 	Start, End Time
 	TaskID     int
+}
+
+// slowBreak is a scheduled slowdown change: from At onward, durations scale
+// by PPM parts-per-million.
+type slowBreak struct {
+	At  Time
+	PPM int64
 }
 
 // Resource is a serialized server: at most one task occupies it at a time,
@@ -22,6 +32,16 @@ type Resource struct {
 	// parts-per-million (1_000_000 = no slowdown). It models resource "taxes"
 	// such as detour-forwarding kernels stealing SM time on a GPU.
 	slowdownPPM int64
+
+	// breaks are scheduled slowdown changes (fault injection), sorted by At.
+	// The factor in effect at a reservation's start time applies to its whole
+	// duration.
+	breaks []slowBreak
+
+	// failAt, when hasFail, is the virtual time at which the resource dies:
+	// any reservation that would start at or after failAt is refused.
+	failAt  Time
+	hasFail bool
 }
 
 // NewResource returns an idle resource with no slowdown.
@@ -29,33 +49,106 @@ func NewResource(name string) *Resource {
 	return &Resource{Name: name, slowdownPPM: 1_000_000}
 }
 
+func factorPPM(factor float64) int64 {
+	return int64(math.Round(factor * 1_000_000))
+}
+
 // SetSlowdown sets a multiplicative duration factor. factor must be >= 1.
+// The factor is stored in parts-per-million, rounded to the nearest ppm.
+// Calling it on a resource that already has recorded occupancy panics:
+// rescaling granted intervals retroactively would silently corrupt a run.
 func (r *Resource) SetSlowdown(factor float64) {
 	if factor < 1 {
 		panic(fmt.Sprintf("des: slowdown factor %v < 1 on %s", factor, r.Name))
 	}
-	r.slowdownPPM = int64(factor * 1_000_000)
+	if len(r.busy) > 0 {
+		panic(fmt.Sprintf("des: SetSlowdown on %s after %d reservations", r.Name, len(r.busy)))
+	}
+	r.slowdownPPM = factorPPM(factor)
 }
 
-// scaled applies the resource slowdown to a duration.
-func (r *Resource) scaled(d Time) Time {
-	if r.slowdownPPM == 1_000_000 {
+// SetSlowdownAt schedules a slowdown change at virtual time at: reservations
+// starting at or after it scale by factor (>= 1; 1 restores full speed).
+// Changes must be added in nondecreasing time order, before the resource has
+// any occupancy.
+func (r *Resource) SetSlowdownAt(at Time, factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("des: slowdown factor %v < 1 on %s", factor, r.Name))
+	}
+	if at < 0 {
+		panic(fmt.Sprintf("des: SetSlowdownAt(%v) on %s", at, r.Name))
+	}
+	if len(r.busy) > 0 {
+		panic(fmt.Sprintf("des: SetSlowdownAt on %s after %d reservations", r.Name, len(r.busy)))
+	}
+	if n := len(r.breaks); n > 0 && r.breaks[n-1].At > at {
+		panic(fmt.Sprintf("des: SetSlowdownAt out of order on %s: %v after %v", r.Name, at, r.breaks[n-1].At))
+	}
+	r.breaks = append(r.breaks, slowBreak{At: at, PPM: factorPPM(factor)})
+}
+
+// FailAt schedules the resource's death: any reservation starting at or
+// after `at` is refused with a structured error (Graph.RunErr surfaces it as
+// a FaultError). A reservation already started when the failure hits runs to
+// completion — links fail between transfers, not mid-flit, in this model.
+func (r *Resource) FailAt(at Time) {
+	if at < 0 {
+		panic(fmt.Sprintf("des: FailAt(%v) on %s", at, r.Name))
+	}
+	r.failAt = at
+	r.hasFail = true
+}
+
+// Failed reports whether the resource is scheduled to die, and when.
+func (r *Resource) Failed() (Time, bool) { return r.failAt, r.hasFail }
+
+// ppmAt returns the slowdown in effect at time t.
+func (r *Resource) ppmAt(t Time) int64 {
+	ppm := r.slowdownPPM
+	for _, b := range r.breaks {
+		if b.At > t {
+			break
+		}
+		ppm = b.PPM
+	}
+	return ppm
+}
+
+// scaledAt applies the slowdown in effect at start to a duration.
+func (r *Resource) scaledAt(start Time, d Time) Time {
+	ppm := r.ppmAt(start)
+	if ppm == 1_000_000 {
 		return d
 	}
-	return Time(int64(d) * r.slowdownPPM / 1_000_000)
+	return Time(int64(d) * ppm / 1_000_000)
+}
+
+// refusal is returned by reserve when the resource has failed.
+type refusal struct {
+	Resource string
+	At       Time // when the reservation would have started
+	FailedAt Time // when the resource died
+}
+
+func (e *refusal) Error() string {
+	return fmt.Sprintf("des: resource %s failed at %v, refused reservation at %v", e.Resource, e.FailedAt, e.At)
 }
 
 // reserve grants the resource to a task that became ready at `ready` for
-// duration d, returning the granted [start, end) window.
-func (r *Resource) reserve(ready Time, d Time, taskID int) (start, end Time) {
+// duration d, returning the granted [start, end) window. A failed resource
+// refuses any reservation starting at or after its failure time.
+func (r *Resource) reserve(ready Time, d Time, taskID int) (start, end Time, err error) {
 	start = ready
 	if r.freeAt > start {
 		start = r.freeAt
 	}
-	end = start + r.scaled(d)
+	if r.hasFail && start >= r.failAt {
+		return 0, 0, &refusal{Resource: r.Name, At: start, FailedAt: r.failAt}
+	}
+	end = start + r.scaledAt(start, d)
 	r.freeAt = end
 	r.busy = append(r.busy, Interval{Start: start, End: end, TaskID: taskID})
-	return start, end
+	return start, end, nil
 }
 
 // FreeAt reports when the resource next becomes idle.
@@ -83,6 +176,8 @@ func (r *Resource) Utilization(horizon Time) float64 {
 }
 
 // Reset clears occupancy so the resource can be reused for another run.
+// Slowdown and fault configuration survive a Reset; only the schedule state
+// is cleared.
 func (r *Resource) Reset() {
 	r.freeAt = 0
 	r.busy = r.busy[:0]

@@ -40,6 +40,7 @@ func All() []Experiment {
 		{"ext-ablation", "Extension: design-choice ablations (chunking, detours, trees, overlap direction)", ExtAblation},
 		{"ext-autotune", "Extension: simulated algorithm auto-tuning across sizes and platforms", ExtAutotune},
 		{"ext-hetero", "Extension: algorithm sensitivity to a degraded NVLink", ExtHetero},
+		{"ext-faults", "Extension: perf loss vs failed links, schedules repaired via detours", ExtFaults},
 		{"ext-interference", "Extension: two concurrent collectives sharing one DGX-1", ExtInterference},
 	}
 }

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"ccube/internal/collective"
+	"ccube/internal/des"
+	"ccube/internal/topology"
+)
+
+// RunReport traces one resilient collective run: how many launch attempts it
+// took, what the static repair rewired, and which links died mid-run and
+// forced a relaunch.
+type RunReport struct {
+	// Attempts counts schedule launches (1 = no mid-run fault).
+	Attempts int
+	// Repairs holds one report per RepairSchedule invocation, in order: the
+	// pre-launch repair first, then one per mid-run death.
+	Repairs []*collective.RepairReport
+	// MidRunDeaths lists channels that died mid-run, in failure order.
+	MidRunDeaths []topology.ChannelID
+}
+
+// Rerouted sums rerouted transfers across all repairs.
+func (r *RunReport) Rerouted() int {
+	n := 0
+	for _, rep := range r.Repairs {
+		n += rep.Rerouted
+	}
+	return n
+}
+
+// RunCollective builds the configured collective on the healthy fabric, then
+// runs it under the fault plan: static faults are injected, the schedule is
+// statically repaired around dead links (detour mechanism, §IV-A) and
+// re-verified, and the run executes with timed faults armed. A link that
+// dies mid-run aborts the attempt with a structured fault; RunCollective
+// then promotes the channel to statically dead, repairs again, and relaunches
+// — bounded by the number of timed link deaths, so an unrepairable fabric
+// always surfaces as an error, never a hang.
+//
+// The graph's health state is restored before returning.
+func RunCollective(cfg collective.Config, plan *Plan) (*collective.Result, *RunReport, error) {
+	g := cfg.Graph
+	if err := plan.Validate(g); err != nil {
+		return nil, nil, err
+	}
+	report := &RunReport{}
+
+	// The schedule is built against the healthy fabric — it is the schedule
+	// that was deployed before the faults hit.
+	s, err := collective.Build(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	revert := plan.Apply(g)
+	defer revert()
+	var promoted []topology.ChannelID
+	defer func() {
+		for _, cid := range promoted {
+			g.RestoreChannel(cid)
+		}
+	}()
+
+	cur, rep, err := collective.RepairSchedule(s)
+	if err != nil {
+		return nil, report, err
+	}
+	if rep.Rerouted > 0 {
+		report.Repairs = append(report.Repairs, rep)
+	}
+
+	maxAttempts := len(plan.TimedDeaths()) + 1
+	for {
+		report.Attempts++
+		res := g.Resources()
+		plan.ApplyToResources(g, res)
+		result, _, err := cur.ExecuteOn(res)
+		if err == nil {
+			return result, report, nil
+		}
+		var fe *des.FaultError
+		if !errors.As(err, &fe) || report.Attempts >= maxAttempts {
+			return nil, report, err
+		}
+		died, ok := channelOfResource(res, fe.Faults[0].Resource)
+		if !ok {
+			return nil, report, fmt.Errorf("fault: cannot locate failed resource %q: %w", fe.Faults[0].Resource, err)
+		}
+		// Promote the mid-run death to a static one and repair around it —
+		// the collective relaunches on the surviving fabric.
+		report.MidRunDeaths = append(report.MidRunDeaths, died)
+		if !g.Channel(died).Down() {
+			g.KillChannel(died)
+			promoted = append(promoted, died)
+		}
+		next, rep, rerr := collective.RepairSchedule(cur)
+		if rerr != nil {
+			return nil, report, rerr
+		}
+		report.Repairs = append(report.Repairs, rep)
+		cur = next
+	}
+}
+
+// channelOfResource maps a des resource name back to its channel id (index
+// = ChannelID by the Resources contract).
+func channelOfResource(res []*des.Resource, name string) (topology.ChannelID, bool) {
+	for i, r := range res {
+		if r.Name == name {
+			return topology.ChannelID(i), true
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,126 @@
+package gpusim
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ccube/internal/collective"
+)
+
+// A generous budget: far more spins than a healthy run needs, small enough
+// that a genuinely dead path stalls in well under a second.
+const testSpinBudget = 1 << 18
+
+// The acceptance scenario on the functional emulator: the direct links for
+// the detoured tree edges are dead, and the run still computes an exact
+// AllReduce because traffic rides the static forwarding kernels (§IV-A).
+func TestDeadEdgeRecoversViaDetour(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, overlap := range []bool{false, true} {
+		inputs, want := randInputs(rng, 8, 1000)
+		cfg := dgx1Config(8, overlap)
+		cfg.DeadEdges = map[[2]int]bool{{2, 4}: true, {3, 5}: true}
+		cfg.SpinBudget = testSpinBudget
+		res, err := AllReduce(inputs, cfg)
+		if err != nil {
+			t.Fatalf("overlap=%v: %v", overlap, err)
+		}
+		checkSum(t, res, want)
+	}
+}
+
+// A dead edge with no detour must fail loudly with a *StallError naming the
+// starved kernels — never deadlock. The test completing at all is the
+// no-deadlock proof.
+func TestDeadEdgeWithoutDetourFailsLoudly(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, overlap := range []bool{false, true} {
+		inputs, _ := randInputs(rng, 8, 1000)
+		cfg := dgx1Config(8, overlap)
+		// Tree 1's GPU1->GPU2 edge has no detour mapping.
+		cfg.DeadEdges = map[[2]int]bool{{1, 2}: true}
+		cfg.SpinBudget = testSpinBudget
+		_, err := AllReduce(inputs, cfg)
+		var se *StallError
+		if !errors.As(err, &se) {
+			t.Fatalf("overlap=%v: err = %v, want *StallError", overlap, err)
+		}
+		if len(se.Kernels) == 0 || !strings.Contains(se.Error(), "stalled") {
+			t.Fatalf("overlap=%v: uninformative stall error: %v", overlap, se)
+		}
+	}
+}
+
+// Gradient-queuing consumers must also unwind on a stall: the chunks for
+// later layers never arrive, and the compute kernels report it instead of
+// spinning forever.
+func TestDeadEdgeStallsGradientQueueLoudly(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	inputs, _ := randInputs(rng, 8, 1000)
+	cfg := dgx1Config(8, true)
+	cfg.DeadEdges = map[[2]int]bool{{1, 2}: true}
+	cfg.SpinBudget = testSpinBudget
+	cfg.LayerElems = []int{300, 400, 300}
+	_, err := AllReduce(inputs, cfg)
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+}
+
+// Dead edge + no detour + unbounded spins is refused up front: that
+// configuration cannot terminate.
+func TestDeadEdgeWithoutBudgetRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	inputs, _ := randInputs(rng, 8, 100)
+	cfg := dgx1Config(4, true)
+	cfg.DeadEdges = map[[2]int]bool{{1, 2}: true}
+	_, err := AllReduce(inputs, cfg)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want config rejection", err)
+	}
+}
+
+// SpinBudget on a healthy fabric is harmless: same exact result.
+func TestSpinBudgetHealthyRunUnaffected(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	inputs, want := randInputs(rng, 8, 1000)
+	cfg := dgx1Config(8, true)
+	cfg.SpinBudget = testSpinBudget
+	cfg.LayerElems = []int{250, 250, 250, 250}
+	res, err := AllReduce(inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSum(t, res, want)
+	for g, order := range res.DequeueOrder {
+		if len(order) != 4 {
+			t.Fatalf("GPU %d dequeued %d layers, want 4", g, len(order))
+		}
+	}
+}
+
+// Killing a detoured edge must not perturb results across tree shapes and
+// chunk counts (the forwarding kernel is the same either way).
+func TestDeadDetouredEdgeMatchesHealthy(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	t1, t2 := collective.DGX1Trees()
+	for _, chunks := range []int{2, 7, 16} {
+		inputs, want := randInputs(rng, 8, 500)
+		cfg := Config{
+			Trees:      []collective.Tree{t1, t2},
+			Detours:    DGX1Detours(),
+			Chunks:     chunks,
+			Overlap:    true,
+			DeadEdges:  map[[2]int]bool{{2, 4}: true},
+			SpinBudget: testSpinBudget,
+		}
+		res, err := AllReduce(inputs, cfg)
+		if err != nil {
+			t.Fatalf("chunks=%d: %v", chunks, err)
+		}
+		checkSum(t, res, want)
+	}
+}

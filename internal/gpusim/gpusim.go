@@ -16,6 +16,8 @@ package gpusim
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"ccube/internal/chunk"
@@ -57,6 +59,55 @@ type Config struct {
 	// OnLayer is called by GPU g's compute kernel when layer l is dequeued,
 	// with a view of the reduced gradient slice. May be nil.
 	OnLayer func(gpu, layer int, grad []float32)
+
+	// DeadEdges marks tree edges (child, parent) whose direct NVLink has
+	// failed. A dead edge that has a Detours entry recovers transparently:
+	// traffic rides the intermediate GPU's forwarding kernel, exactly the
+	// paper's detour mechanism. A dead edge with no detour delivers nothing;
+	// kernels touching it exhaust their SpinBudget and the run fails loudly
+	// with a *StallError instead of deadlocking.
+	DeadEdges map[[2]int]bool
+
+	// SpinBudget bounds every device-side wait (mailbox send/recv, semaphore
+	// check, gradient-queue dequeue) to this many failed spins before the
+	// kernel gives up and reports a stall. <= 0 means unbounded waits (the
+	// healthy-fabric default). Required whenever DeadEdges contains an edge
+	// without a detour.
+	SpinBudget int
+}
+
+// StallError reports persistent kernels that exhausted their spin budget —
+// the loud-failure outcome for an unrepaired dead link. Kernels lists one
+// description per stalled kernel.
+type StallError struct {
+	Kernels []string
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("gpusim: %d kernel(s) stalled past their spin budget: %s",
+		len(e.Kernels), strings.Join(e.Kernels, "; "))
+}
+
+// stallTracker collects stall reports from kernels across goroutines.
+type stallTracker struct {
+	mu      sync.Mutex
+	kernels []string
+}
+
+func (s *stallTracker) note(format string, args ...any) {
+	s.mu.Lock()
+	s.kernels = append(s.kernels, fmt.Sprintf(format, args...))
+	s.mu.Unlock()
+}
+
+func (s *stallTracker) err() *StallError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.kernels) == 0 {
+		return nil
+	}
+	sort.Strings(s.kernels)
+	return &StallError{Kernels: append([]string(nil), s.kernels...)}
 }
 
 // Result reports the outcome of one emulated AllReduce.
@@ -91,9 +142,16 @@ type edgeLink struct {
 
 // newEdgeLink builds the mailboxes for an edge and, when detoured, starts
 // the static forwarding kernel on the intermediate GPU: a persistent loop
-// moving nChunks chunks from the inbound to the outbound mailbox.
-func newEdgeLink(depth, nChunks int, detoured bool, wg *sync.WaitGroup) edgeLink {
+// moving nChunks chunks from the inbound to the outbound mailbox. A dead
+// edge without a detour is wired as two disconnected mailboxes: sends fill
+// the first and never reach the last, so bounded kernels stall loudly.
+func newEdgeLink(depth, nChunks int, detoured, dead bool, desc string,
+	st *stallTracker, budget int, wg *sync.WaitGroup) edgeLink {
+
 	in := p2psync.NewMailbox(depth)
+	if dead && !detoured {
+		return edgeLink{first: in, last: p2psync.NewMailbox(depth)}
+	}
 	if !detoured {
 		return edgeLink{first: in, last: in}
 	}
@@ -102,7 +160,20 @@ func newEdgeLink(depth, nChunks int, detoured bool, wg *sync.WaitGroup) edgeLink
 	go func() { // forwarding kernel (paper §IV-A)
 		defer wg.Done()
 		for i := 0; i < nChunks; i++ {
-			in.Recv(func(data []float32) { out.Send(data) })
+			sendStalled := false
+			forwarded := in.RecvBounded(func(data []float32) {
+				if !out.SendBounded(data, budget) {
+					st.note("forwarding kernel %s: send stalled at chunk slot %d", desc, i)
+					sendStalled = true
+				}
+			}, budget)
+			if !forwarded {
+				st.note("forwarding kernel %s: recv stalled at chunk slot %d", desc, i)
+				return
+			}
+			if sendStalled {
+				return
+			}
 		}
 	}()
 	return edgeLink{first: in, last: out}
@@ -143,6 +214,15 @@ func AllReduce(inputs [][]float32, cfg Config) (*Result, error) {
 	if depth == 0 {
 		depth = 2
 	}
+	for e, dead := range cfg.DeadEdges {
+		if !dead {
+			continue
+		}
+		if _, ok := cfg.Detours[e]; !ok && cfg.SpinBudget <= 0 {
+			return nil, fmt.Errorf("gpusim: dead edge %d->%d has no detour and no spin budget: run would deadlock", e[0], e[1])
+		}
+	}
+	st := &stallTracker{}
 
 	part := chunk.Split(int64(elems), k)
 	res := &Result{
@@ -194,7 +274,7 @@ func AllReduce(inputs [][]float32, cfg Config) (*Result, error) {
 	var wg sync.WaitGroup
 	for ti, tr := range cfg.Trees {
 		chunks := treeChunkList(k, len(cfg.Trees), ti)
-		runTree(tr, chunks, cfg, depth, slice, enqueue, &wg)
+		runTree(ti, tr, chunks, cfg, depth, st, slice, enqueue, &wg)
 	}
 
 	// Forward-compute consumers (gradient queuing).
@@ -209,7 +289,11 @@ func AllReduce(inputs [][]float32, cfg Config) (*Result, error) {
 			go func() { // forward-compute kernel
 				defer wg.Done()
 				for {
-					l, ok := queues[g].DequeueLayer()
+					l, ok, stalled := queues[g].DequeueLayerBounded(cfg.SpinBudget)
+					if stalled {
+						st.note("compute kernel gpu %d: dequeue of layer %d stalled", g, l)
+						return
+					}
 					if !ok {
 						return
 					}
@@ -223,6 +307,9 @@ func AllReduce(inputs [][]float32, cfg Config) (*Result, error) {
 	}
 
 	wg.Wait()
+	if err := st.err(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -236,10 +323,13 @@ func treeChunkList(k, numTrees, t int) []int {
 
 // runTree launches the persistent kernels for one tree: a reduce kernel per
 // GPU and a broadcast kernel per non-root GPU (plus forwarding kernels
-// inside detoured edge links).
-func runTree(tr collective.Tree, chunks []int, cfg Config, depth int,
-	slice func(g, c int) []float32, enqueue func(g, c int), wg *sync.WaitGroup) {
+// inside detoured edge links). Every wait is bounded by cfg.SpinBudget
+// (unbounded when <= 0); a kernel that exhausts its budget records a stall
+// and exits, so a dead un-detoured link can never deadlock the run.
+func runTree(ti int, tr collective.Tree, chunks []int, cfg Config, depth int,
+	st *stallTracker, slice func(g, c int) []float32, enqueue func(g, c int), wg *sync.WaitGroup) {
 
+	budget := cfg.SpinBudget
 	p := len(tr.Parent)
 	up := make([]edgeLink, p)   // up[v]: v -> parent(v)
 	down := make([]edgeLink, p) // down[v]: parent(v) -> v
@@ -247,9 +337,13 @@ func runTree(tr collective.Tree, chunks []int, cfg Config, depth int,
 		if tr.Parent[v] < 0 {
 			continue
 		}
-		_, detoured := cfg.Detours[[2]int{v, tr.Parent[v]}]
-		up[v] = newEdgeLink(depth, len(chunks), detoured, wg)
-		down[v] = newEdgeLink(depth, len(chunks), detoured, wg)
+		edge := [2]int{v, tr.Parent[v]}
+		_, detoured := cfg.Detours[edge]
+		dead := cfg.DeadEdges[edge]
+		upDesc := fmt.Sprintf("tree %d edge %d->%d", ti, v, tr.Parent[v])
+		downDesc := fmt.Sprintf("tree %d edge %d->%d", ti, tr.Parent[v], v)
+		up[v] = newEdgeLink(depth, len(chunks), detoured, dead, upDesc, st, budget, wg)
+		down[v] = newEdgeLink(depth, len(chunks), detoured, dead, downDesc, st, budget, wg)
 	}
 
 	// Barrier for the non-overlapped tree: the root's broadcast waits until
@@ -269,21 +363,31 @@ func runTree(tr collective.Tree, chunks []int, cfg Config, depth int,
 			for _, c := range chunks {
 				local := slice(v, c)
 				for _, w := range children {
-					up[w].last.Recv(func(data []float32) {
+					got := up[w].last.RecvBounded(func(data []float32) {
 						for i := range local {
 							local[i] += data[i]
 						}
-					})
+					}, budget)
+					if !got {
+						st.note("reduce kernel gpu %d tree %d: recv of chunk %d from child %d stalled", v, ti, c, w)
+						return
+					}
 				}
 				if !isRoot {
-					up[v].first.Send(local)
+					if !up[v].first.SendBounded(local, budget) {
+						st.note("reduce kernel gpu %d tree %d: send of chunk %d to parent %d stalled", v, ti, c, tr.Parent[v])
+						return
+					}
 					continue
 				}
 				// Chunk fully reduced at the root.
 				enqueue(v, c)
 				if cfg.Overlap {
 					for _, w := range children {
-						down[w].first.Send(local)
+						if !down[w].first.SendBounded(local, budget) {
+							st.note("reduce kernel gpu %d tree %d: broadcast of chunk %d to child %d stalled", v, ti, c, w)
+							return
+						}
 					}
 				} else {
 					reductionDone.Post()
@@ -291,11 +395,17 @@ func runTree(tr collective.Tree, chunks []int, cfg Config, depth int,
 			}
 			if isRoot && !cfg.Overlap {
 				// Separate broadcast phase (baseline, Fig. 5(a)).
-				reductionDone.Check(int64(len(chunks)))
+				if !reductionDone.CheckBounded(int64(len(chunks)), budget) {
+					st.note("reduce kernel gpu %d tree %d: reduction barrier stalled", v, ti)
+					return
+				}
 				for _, c := range chunks {
 					local := slice(v, c)
 					for _, w := range children {
-						down[w].first.Send(local)
+						if !down[w].first.SendBounded(local, budget) {
+							st.note("reduce kernel gpu %d tree %d: broadcast of chunk %d to child %d stalled", v, ti, c, w)
+							return
+						}
 					}
 				}
 			}
@@ -309,12 +419,19 @@ func runTree(tr collective.Tree, chunks []int, cfg Config, depth int,
 				defer wg.Done()
 				for _, c := range chunks {
 					local := slice(v, c)
-					down[v].last.Recv(func(data []float32) {
+					got := down[v].last.RecvBounded(func(data []float32) {
 						copy(local, data)
-					})
+					}, budget)
+					if !got {
+						st.note("broadcast kernel gpu %d tree %d: recv of chunk %d from parent %d stalled", v, ti, c, tr.Parent[v])
+						return
+					}
 					enqueue(v, c)
 					for _, w := range children {
-						down[w].first.Send(local)
+						if !down[w].first.SendBounded(local, budget) {
+							st.note("broadcast kernel gpu %d tree %d: send of chunk %d to child %d stalled", v, ti, c, w)
+							return
+						}
 					}
 				}
 			}()

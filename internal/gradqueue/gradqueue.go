@@ -42,9 +42,14 @@ type Queue struct {
 }
 
 // New returns a queue for numChunks chunks and the given layer-chunk table.
+// The table must be valid (monotonic last-chunk indices): a non-monotonic
+// table would break the in-order dequeue guarantee, so New rejects it.
 func New(numChunks int, table chunk.LayerChunkTable) *Queue {
 	if numChunks < 1 {
 		panic(fmt.Sprintf("gradqueue: %d chunks", numChunks))
+	}
+	if err := table.Validate(); err != nil {
+		panic(fmt.Sprintf("gradqueue: invalid layer-chunk table: %v", err))
 	}
 	for i, last := range table.LastChunk {
 		if last < 0 || last >= numChunks {
@@ -96,6 +101,24 @@ func (q *Queue) DequeueLayer() (layer int, ok bool) {
 	q.enqueued.Check(int64(q.table.LastChunk[layer]) + 1)
 	q.lic++
 	return layer, true
+}
+
+// DequeueLayerBounded is DequeueLayer with a spin budget: when the layer's
+// chunks do not arrive within budget failed spins it returns stalled=true
+// without advancing the LIC (a budget <= 0 spins forever). Under fault
+// injection a dead upstream kernel surfaces here as a stall instead of a
+// deadlock.
+func (q *Queue) DequeueLayerBounded(budget int) (layer int, ok, stalled bool) {
+	if q.lic >= q.table.NumLayers() {
+		return 0, false, false
+	}
+	layer = q.lic
+	if !q.enqueued.CheckBounded(int64(q.table.LastChunk[layer])+1, budget) {
+		// layer identifies what the consumer was waiting on when it stalled.
+		return layer, false, true
+	}
+	q.lic++
+	return layer, true, false
 }
 
 // LIC returns the current Layer Index Counter value.

@@ -211,3 +211,39 @@ func TestConcurrentProducersPropertyRandom(t *testing.T) {
 		}
 	}
 }
+
+// Regression: New used to accept a non-monotonic table, which breaks the
+// in-order dequeue guarantee (a later layer "completing" on an earlier
+// chunk). It must be rejected at construction.
+func TestNewRejectsNonMonotonicTable(t *testing.T) {
+	bad := chunk.LayerChunkTable{LastChunk: []int{2, 1, 3}}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-monotonic layer-chunk table accepted")
+		}
+	}()
+	New(4, bad)
+}
+
+func TestDequeueLayerBounded(t *testing.T) {
+	q := New(2, chunk.LayerChunkTable{LastChunk: []int{0, 1}})
+	// Nothing enqueued: a bounded dequeue stalls without advancing the LIC.
+	if _, ok, stalled := q.DequeueLayerBounded(8); ok || !stalled {
+		t.Fatalf("dequeue on empty queue: ok=%v stalled=%v, want stall", ok, stalled)
+	}
+	if q.LIC() != 0 {
+		t.Fatalf("LIC advanced to %d on stall", q.LIC())
+	}
+	q.Enqueue(0)
+	if l, ok, stalled := q.DequeueLayerBounded(8); !ok || stalled || l != 0 {
+		t.Fatalf("dequeue after enqueue: l=%d ok=%v stalled=%v", l, ok, stalled)
+	}
+	q.Enqueue(1)
+	if l, ok, stalled := q.DequeueLayerBounded(8); !ok || stalled || l != 1 {
+		t.Fatalf("second dequeue: l=%d ok=%v stalled=%v", l, ok, stalled)
+	}
+	// Exhausted: ok=false, not a stall.
+	if _, ok, stalled := q.DequeueLayerBounded(8); ok || stalled {
+		t.Fatalf("dequeue past end: ok=%v stalled=%v", ok, stalled)
+	}
+}

@@ -1,0 +1,67 @@
+package p2psync
+
+import "testing"
+
+func TestWaitBoundedStallsAndRecovers(t *testing.T) {
+	s := NewSemaphore(0, 0)
+	if s.WaitBounded(64) {
+		t.Fatal("WaitBounded succeeded on an empty semaphore")
+	}
+	s.Post()
+	if !s.WaitBounded(64) {
+		t.Fatal("WaitBounded failed with a count available")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("count = %d after bounded wait, want 0", s.Count())
+	}
+}
+
+func TestPostBoundedStallsAtCapacity(t *testing.T) {
+	s := NewSemaphore(1, 1)
+	if s.PostBounded(64) {
+		t.Fatal("PostBounded succeeded at capacity")
+	}
+	s.Wait()
+	if !s.PostBounded(64) {
+		t.Fatal("PostBounded failed below capacity")
+	}
+}
+
+func TestCheckBoundedStalls(t *testing.T) {
+	s := NewSemaphore(1, 0)
+	if s.CheckBounded(2, 64) {
+		t.Fatal("CheckBounded(2) succeeded with count 1")
+	}
+	if !s.CheckBounded(1, 64) {
+		t.Fatal("CheckBounded(1) failed with count 1")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Check consumed the count: %d", s.Count())
+	}
+}
+
+func TestMailboxBoundedStallAndRecovery(t *testing.T) {
+	m := NewMailbox(1)
+	// Empty mailbox: bounded Recv stalls, consume never runs.
+	called := false
+	if m.RecvBounded(func([]float32) { called = true }, 64) {
+		t.Fatal("RecvBounded succeeded on an empty mailbox")
+	}
+	if called {
+		t.Fatal("consume called on a stalled RecvBounded")
+	}
+	if !m.SendBounded([]float32{1, 2}, 64) {
+		t.Fatal("SendBounded failed with a free slot")
+	}
+	// Full mailbox: bounded Send stalls.
+	if m.SendBounded([]float32{3}, 64) {
+		t.Fatal("SendBounded succeeded on a full mailbox")
+	}
+	var got []float32
+	if !m.RecvBounded(func(d []float32) { got = append(got[:0], d...) }, 64) {
+		t.Fatal("RecvBounded failed with a chunk available")
+	}
+	if len(got) != 2 || got[0] != 1 {
+		t.Fatalf("received %v, want [1 2]", got)
+	}
+}

@@ -29,11 +29,20 @@ func NewMailbox(depth int) *Mailbox {
 
 // Send copies data into the next receive buffer, blocking (spinning) while
 // all buffers are occupied.
-func (m *Mailbox) Send(data []float32) {
-	m.space.Wait()
+func (m *Mailbox) Send(data []float32) { m.SendBounded(data, 0) }
+
+// SendBounded is Send with a spin budget: it gives up and returns false
+// after budget failed spin iterations without delivering (a budget <= 0
+// spins forever). A false return means the receiver stalled — under fault
+// injection, that its GPU or link died.
+func (m *Mailbox) SendBounded(data []float32, budget int) bool {
+	if !m.space.WaitBounded(budget) {
+		return false
+	}
 	m.slots[m.tail] = append(m.slots[m.tail][:0], data...)
 	m.tail = (m.tail + 1) % len(m.slots)
 	m.fill.Post()
+	return true
 }
 
 // Recv calls consume on the oldest chunk while the slot is still owned by
@@ -41,11 +50,18 @@ func (m *Mailbox) Send(data []float32) {
 // is empty. The slice passed to consume must not be retained — the slot is
 // reused after Recv returns. Consuming in-slot is how the reduce kernels
 // accumulate directly out of the receive buffer.
-func (m *Mailbox) Recv(consume func(data []float32)) {
-	m.fill.Wait()
+func (m *Mailbox) Recv(consume func(data []float32)) { m.RecvBounded(consume, 0) }
+
+// RecvBounded is Recv with a spin budget (see SendBounded); consume is not
+// called when the budget runs out.
+func (m *Mailbox) RecvBounded(consume func(data []float32), budget int) bool {
+	if !m.fill.WaitBounded(budget) {
+		return false
+	}
 	consume(m.slots[m.head])
 	m.head = (m.head + 1) % len(m.slots)
 	m.space.Post()
+	return true
 }
 
 // RecvCopy returns a freshly allocated copy of the oldest chunk.

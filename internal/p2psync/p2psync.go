@@ -74,41 +74,74 @@ func NewSemaphore(initial, capacity int64) *Semaphore {
 
 // Post increments the count, spinning first while the count sits at
 // capacity (Fig. 11's `while cnt==value`).
-func (s *Semaphore) Post() {
+func (s *Semaphore) Post() { s.PostBounded(0) }
+
+// PostBounded is Post with a spin budget: it gives up and returns false
+// after budget failed spin iterations. A budget <= 0 means spin forever
+// (always returns true). Bounded waits are the fault-injection escape hatch:
+// a kernel whose peer died detects the stall instead of spinning eternally.
+func (s *Semaphore) PostBounded(budget int) bool {
 	s.lock.Lock()
 	for s.capacity > 0 && s.cnt == s.capacity {
 		s.lock.Unlock()
+		if budget > 0 {
+			budget--
+			if budget == 0 {
+				return false
+			}
+		}
 		runtime.Gosched()
 		s.lock.Lock()
 	}
 	s.cnt++
 	s.lock.Unlock()
+	return true
 }
 
 // Wait decrements the count, spinning while it is zero (Fig. 11's
 // `while cnt==0`).
-func (s *Semaphore) Wait() {
+func (s *Semaphore) Wait() { s.WaitBounded(0) }
+
+// WaitBounded is Wait with a spin budget (see PostBounded).
+func (s *Semaphore) WaitBounded(budget int) bool {
 	s.lock.Lock()
 	for s.cnt == 0 {
 		s.lock.Unlock()
+		if budget > 0 {
+			budget--
+			if budget == 0 {
+				return false
+			}
+		}
 		runtime.Gosched()
 		s.lock.Lock()
 	}
 	s.cnt--
 	s.lock.Unlock()
+	return true
 }
 
 // Check spins until the count reaches value without modifying it — the
 // paper's addition for gradient queuing, where each layer checks that its
 // chunks have all been enqueued before dequeuing (Fig. 11's `check`).
-func (s *Semaphore) Check(value int64) {
+func (s *Semaphore) Check(value int64) { s.CheckBounded(value, 0) }
+
+// CheckBounded is Check with a spin budget (see PostBounded).
+func (s *Semaphore) CheckBounded(value int64, budget int) bool {
 	s.lock.Lock()
 	for s.cnt < value {
 		s.lock.Unlock()
+		if budget > 0 {
+			budget--
+			if budget == 0 {
+				return false
+			}
+		}
 		runtime.Gosched()
 		s.lock.Lock()
 	}
 	s.lock.Unlock()
+	return true
 }
 
 // Count returns the current count (for tests and metrics).

@@ -235,6 +235,10 @@ func (ck *checker) links() {
 			continue
 		}
 		ch := p.Graph.Channel(op.Channel)
+		if ch.Down() {
+			ck.fail(ClassLink, i, "channel %d (%s->%s) is down: schedule needs repair",
+				op.Channel, p.Graph.Node(ch.From).Name, p.Graph.Node(ch.To).Name)
+		}
 		if op.Src.IsNode() && ch.From != op.Src.Node {
 			ck.fail(ClassLink, i, "channel %d starts at node %d but source buffer is on node %d",
 				op.Channel, ch.From, op.Src.Node)

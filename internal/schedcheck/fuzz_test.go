@@ -1,6 +1,7 @@
 package schedcheck_test
 
 import (
+	"errors"
 	"testing"
 
 	"ccube/internal/collective"
@@ -9,10 +10,12 @@ import (
 )
 
 // FuzzSchedCheck corrupts valid schedules and asserts the verifier notices.
-// Three corruption kinds mirror the mistakes a scheduler change could make:
+// Four corruption kinds mirror the mistakes a scheduler change could make:
 // dropping a dependency edge (overlap race), retargeting a transfer onto a
-// channel that does not start at its source (phantom link), and swapping
-// the chunk indices of two transfers (mis-routed data). Each corruption is
+// channel that does not start at its source (phantom link), swapping the
+// chunk indices of two transfers (mis-routed data), and killing a channel
+// the schedule rides (dead link — the verifier must flag the unrepaired
+// schedule, and the repaired one must verify clean). Each corruption is
 // guarded so the assertion only fires when the mutation is provably
 // observable — e.g. a dropped edge that another dependency path still
 // covers must instead keep the program clean.
@@ -20,7 +23,7 @@ import (
 // beyond the seeds; `go test` replays the seed corpus as regression tests.
 func FuzzSchedCheck(f *testing.F) {
 	for algo := uint8(0); algo < 6; algo++ {
-		for kind := uint8(0); kind < 3; kind++ {
+		for kind := uint8(0); kind < 4; kind++ {
 			f.Add(algo, kind, uint16(0), uint16(7))
 			f.Add(algo, kind, uint16(13), uint16(101))
 		}
@@ -40,13 +43,15 @@ func FuzzSchedCheck(f *testing.F) {
 		if r := schedcheck.Check(p); !r.OK() {
 			t.Fatalf("pristine schedule rejected: %s", r.Err())
 		}
-		switch kind % 3 {
+		switch kind % 4 {
 		case 0:
 			fuzzDropDep(t, p, pick, pick2)
 		case 1:
 			fuzzRetargetChannel(t, p, pick, pick2)
 		case 2:
 			fuzzSwapChunks(t, p, pick, pick2)
+		case 3:
+			fuzzRepair(t, g, s, p, pick)
 		}
 	})
 }
@@ -148,6 +153,43 @@ func fuzzRetargetChannel(t *testing.T, p *schedcheck.Program, pick, pick2 uint16
 	if r := schedcheck.Check(p); !hasClass(r, schedcheck.ClassLink) {
 		t.Fatalf("transfer %d on a channel not starting at its source went unnoticed: %s",
 			op.ID, r.Summary())
+	}
+}
+
+// fuzzRepair kills a channel the schedule rides, asserts the verifier flags
+// the now-stranded program, then repairs the schedule and asserts the
+// repaired program passes the full verification suite — the repair preserved
+// the Contract.
+func fuzzRepair(t *testing.T, g *topology.Graph, s *collective.Schedule, p *schedcheck.Program, pick uint16) {
+	seen := make(map[topology.ChannelID]bool)
+	var used []topology.ChannelID
+	for i := range p.Ops {
+		if op := &p.Ops[i]; !op.Marker() && !seen[op.Channel] {
+			seen[op.Channel] = true
+			used = append(used, op.Channel)
+		}
+	}
+	if len(used) == 0 {
+		t.Skip()
+	}
+	dead := used[int(pick)%len(used)]
+	g.KillChannel(dead)
+	if r := schedcheck.Check(p); !hasClass(r, schedcheck.ClassLink) {
+		t.Fatalf("schedule over dead channel %d went unnoticed: %s", dead, r.Summary())
+	}
+	repaired, rep, err := collective.RepairSchedule(s)
+	if err != nil {
+		var ue *collective.UnrepairableError
+		if errors.As(err, &ue) {
+			t.Skip() // a legitimately unrepairable kill, not a verifier bug
+		}
+		t.Fatalf("RepairSchedule: %v", err)
+	}
+	if rep.Rerouted == 0 {
+		t.Fatalf("channel %d was used but repair rerouted nothing", dead)
+	}
+	if r := schedcheck.Check(repaired.Program()); !r.OK() {
+		t.Fatalf("repaired schedule failed verification: %s", r.Err())
 	}
 }
 

@@ -72,13 +72,24 @@ func (r *Router) Claim(id ChannelID) {
 	r.claimed[id] = true
 }
 
+// Release returns a previously claimed channel to the pool so it can be
+// re-routed — the repair path frees the channels of a broken route before
+// computing a replacement. Releasing an unclaimed channel panics: that is
+// always a double-release bug in the caller.
+func (r *Router) Release(id ChannelID) {
+	if !r.claimed[id] {
+		panic(fmt.Sprintf("topology: channel %d released without being claimed", id))
+	}
+	delete(r.claimed, id)
+}
+
 // Claimed reports whether the channel has been claimed.
 func (r *Router) Claimed(id ChannelID) bool { return r.claimed[id] }
 
-// direct returns the first unclaimed direct channel a->b, or -1.
+// direct returns the first unclaimed, healthy direct channel a->b, or -1.
 func (r *Router) direct(a, b NodeID) ChannelID {
 	for _, cid := range r.g.ChannelsBetween(a, b) {
-		if !r.claimed[cid] {
+		if !r.claimed[cid] && !r.g.Channel(cid).Down() {
 			return cid
 		}
 	}
@@ -118,4 +129,71 @@ func (r *Router) Route(a, b NodeID) (Route, error) {
 	}
 	return Route{}, fmt.Errorf("topology: no direct channel or single-GPU detour from %s to %s",
 		r.g.Node(a).Name, r.g.Node(b).Name)
+}
+
+// Probe computes the route Route would return without claiming anything, so
+// callers can test feasibility non-destructively.
+func (r *Router) Probe(a, b NodeID) (Route, error) {
+	tx := r.Begin()
+	rt, err := tx.Route(a, b)
+	tx.Rollback()
+	return rt, err
+}
+
+// RouteTx is a transactional view of a Router: routes computed through it
+// claim channels tentatively and only reach the underlying router on Commit.
+// Rollback discards every tentative claim. This lets a repair attempt probe
+// several replacement routes and abandon the whole attempt atomically.
+type RouteTx struct {
+	r         *Router
+	tentative []ChannelID
+	done      bool
+}
+
+// Begin starts a routing transaction.
+func (r *Router) Begin() *RouteTx {
+	return &RouteTx{r: r}
+}
+
+// Route behaves like Router.Route but records its claims tentatively.
+func (tx *RouteTx) Route(a, b NodeID) (Route, error) {
+	if tx.done {
+		panic("topology: Route on a finished RouteTx")
+	}
+	rt, err := tx.r.Route(a, b)
+	if err != nil {
+		return rt, err
+	}
+	tx.tentative = append(tx.tentative, rt.Channels...)
+	return rt, nil
+}
+
+// Claim tentatively claims a single channel through the transaction.
+func (tx *RouteTx) Claim(id ChannelID) {
+	if tx.done {
+		panic("topology: Claim on a finished RouteTx")
+	}
+	tx.r.Claim(id)
+	tx.tentative = append(tx.tentative, id)
+}
+
+// Commit makes every tentative claim permanent.
+func (tx *RouteTx) Commit() {
+	if tx.done {
+		panic("topology: RouteTx finished twice")
+	}
+	tx.done = true
+	tx.tentative = nil
+}
+
+// Rollback releases every tentative claim.
+func (tx *RouteTx) Rollback() {
+	if tx.done {
+		panic("topology: RouteTx finished twice")
+	}
+	tx.done = true
+	for _, cid := range tx.tentative {
+		tx.r.Release(cid)
+	}
+	tx.tentative = nil
 }

@@ -54,23 +54,46 @@ type Node struct {
 type Channel struct {
 	ID        ChannelID
 	From, To  NodeID
-	Bandwidth float64 // bytes/second
+	Bandwidth float64 // bytes/second, nominal (healthy)
 	Latency   des.Time
 	Tag       string // e.g. "nvlink", "nvlink2" (second parallel link), "pcie"
+
+	// Health state, mutated only through Graph.KillChannel / DegradeChannel /
+	// RestoreChannel (the fault-injection layer).
+	down    bool
+	degrade float64 // bandwidth divisor; 0 or 1 = healthy
 }
 
+// Down reports whether the channel has failed and refuses all traffic.
+func (c *Channel) Down() bool { return c.down }
+
+// DegradeFactor returns the bandwidth divisor in effect (1 when healthy).
+func (c *Channel) DegradeFactor() float64 {
+	if c.degrade <= 1 {
+		return 1
+	}
+	return c.degrade
+}
+
+// EffectiveBandwidth returns the bandwidth after degradation.
+func (c *Channel) EffectiveBandwidth() float64 { return c.Bandwidth / c.DegradeFactor() }
+
 // TransferTime returns the alpha-beta cost of moving `bytes` over the
-// channel: Latency + bytes/Bandwidth.
+// channel: Latency + bytes/EffectiveBandwidth. Whether the channel is Down
+// is the caller's concern (Schedule.Instantiate refuses down channels with a
+// structured error); the cost of a hypothetical transfer is still defined.
 func (c *Channel) TransferTime(bytes int64) des.Time {
 	if bytes < 0 {
 		panic(fmt.Sprintf("topology: negative transfer size %d", bytes))
 	}
-	sec := float64(bytes) / c.Bandwidth
+	sec := float64(bytes) / c.EffectiveBandwidth()
 	return c.Latency + des.Time(sec*float64(des.Second))
 }
 
-// Graph is a physical topology: nodes plus directed channels. Graphs are
-// append-only; experiments never mutate a built topology.
+// Graph is a physical topology: nodes plus directed channels. The structure
+// is append-only — experiments never add or remove links from a built
+// topology — but each channel carries mutable *health* state (down,
+// degraded) that the fault-injection layer flips and restores.
 type Graph struct {
 	nodes    []Node
 	channels []Channel
@@ -212,6 +235,47 @@ func (g *Graph) Validate() error {
 		}
 	}
 	return nil
+}
+
+// KillChannel marks a channel as failed: it refuses all traffic until
+// RestoreChannel is called. Killing an already-dead channel is a no-op.
+func (g *Graph) KillChannel(id ChannelID) {
+	g.channels[g.mustChannel(id)].down = true
+}
+
+// DegradeChannel divides a channel's effective bandwidth by factor (>= 1).
+// Degrading an already-degraded channel replaces the factor rather than
+// compounding, so fault plans stay idempotent.
+func (g *Graph) DegradeChannel(id ChannelID, factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("topology: degrade factor %v < 1 on channel %d", factor, id))
+	}
+	g.channels[g.mustChannel(id)].degrade = factor
+}
+
+// RestoreChannel clears all health state on a channel.
+func (g *Graph) RestoreChannel(id ChannelID) {
+	c := &g.channels[g.mustChannel(id)]
+	c.down = false
+	c.degrade = 0
+}
+
+// DownChannels returns the ids of all failed channels, in id order.
+func (g *Graph) DownChannels() []ChannelID {
+	var ids []ChannelID
+	for i := range g.channels {
+		if g.channels[i].down {
+			ids = append(ids, ChannelID(i))
+		}
+	}
+	return ids
+}
+
+func (g *Graph) mustChannel(id ChannelID) int {
+	if id < 0 || int(id) >= len(g.channels) {
+		panic(fmt.Sprintf("topology: unknown channel %d", id))
+	}
+	return int(id)
 }
 
 // Resources materializes one des.Resource per channel, for use by an

@@ -24,6 +24,7 @@ import (
 	"ccube/internal/collective"
 	"ccube/internal/des"
 	"ccube/internal/dnn"
+	"ccube/internal/fault"
 	"ccube/internal/topology"
 )
 
@@ -104,6 +105,15 @@ type Config struct {
 	// collective waits for its backward, so one straggler stretches every
 	// iteration.
 	ComputeScale []float64
+
+	// Faults optionally injects link/GPU faults into the iteration. Static
+	// link deaths are repaired before launch (the schedule detours around
+	// them); static degradations slow the affected transfers; static GPUSlow
+	// events slow both the GPU's compute (straggler model) and its link
+	// engines. Timed events (At > 0) are armed on the channel resources — a
+	// link dying mid-iteration aborts the run with a structured error, never
+	// a hang. The graph's health state is restored before returning.
+	Faults *fault.Plan
 }
 
 // Result reports one simulated iteration.
@@ -238,6 +248,22 @@ func RunTraced(cfg Config) (*Result, *des.Graph, error) {
 		return nil, nil, err
 	}
 
+	// Fault injection: the schedule above was built for the healthy fabric;
+	// apply the static faults and repair the schedule around any dead links
+	// before anything executes.
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(cfg.Graph); err != nil {
+			return nil, nil, err
+		}
+		revert := cfg.Faults.Apply(cfg.Graph)
+		defer revert()
+		repaired, _, err := collective.RepairSchedule(sched)
+		if err != nil {
+			return nil, nil, err
+		}
+		sched = repaired
+	}
+
 	// Standalone communication time and turnaround for the decomposition.
 	commRes, err := sched.Execute()
 	if err != nil {
@@ -252,6 +278,7 @@ func RunTraced(cfg Config) (*Result, *des.Graph, error) {
 	// The iteration pipeline graph.
 	g := des.NewGraph()
 	chres := cfg.Graph.Resources()
+	cfg.Faults.ApplyToResources(cfg.Graph, chres)
 	streams := make([]*des.Resource, len(nodes))
 	tax := cfg.DetourSMTax
 	if tax == 0 {
@@ -265,14 +292,23 @@ func RunTraced(cfg Config) (*Result, *des.Graph, error) {
 		return nil, nil, fmt.Errorf("train: %d compute scales for %d GPUs",
 			len(cfg.ComputeScale), len(nodes))
 	}
+	faultFactor := func(int) float64 { return 1 }
+	if !cfg.Faults.Empty() {
+		maxID := 0
+		for _, n := range nodes {
+			if int(n) > maxID {
+				maxID = int(n)
+			}
+		}
+		gf := cfg.Faults.GPUFactors(maxID + 1)
+		faultFactor = func(i int) float64 { return gf[nodes[i]] }
+	}
 	straggler := func(i int) float64 {
-		if cfg.ComputeScale == nil {
-			return 1
+		s := 1.0
+		if cfg.ComputeScale != nil && cfg.ComputeScale[i] >= 1 {
+			s = cfg.ComputeScale[i]
 		}
-		if cfg.ComputeScale[i] < 1 {
-			return 1
-		}
-		return cfg.ComputeScale[i]
+		return s * faultFactor(i)
 	}
 	fwdScale := make([]float64, len(nodes))
 	for i, n := range nodes {
@@ -363,7 +399,9 @@ func RunTraced(cfg Config) (*Result, *des.Graph, error) {
 		}
 	}
 
-	g.Run()
+	if _, err := g.RunErr(); err != nil {
+		return nil, nil, fmt.Errorf("train: iteration aborted by mid-run fault: %w", err)
+	}
 
 	res := &Result{
 		Mode:        cfg.Mode,
