@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fuzz-smoke all
+.PHONY: build test race vet lint bench fuzz-smoke all
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,18 @@ test:
 
 # Race detector over the packages that actually spawn goroutines: the
 # p2psync primitives, the gpusim kernel runners, and the gradient queue —
-# plus the fault-matrix suite, which drives repairs end to end.
+# plus the fault-matrix suite, which drives repairs end to end, and the
+# sweep executor with its parallel-vs-serial determinism tests.
 race:
-	$(GO) test -race ./internal/p2psync/... ./internal/gpusim/... ./internal/gradqueue/... ./internal/fault/...
+	$(GO) test -race ./internal/p2psync/... ./internal/gpusim/... ./internal/gradqueue/... ./internal/fault/... ./internal/sweep/...
+	$(GO) test -race -run ParallelMatchesSerial ./internal/experiments/
+
+# Engine micro-benchmarks (with the alloc gate) plus the experiment-level
+# timing report: writes BENCH_ccube.json with ns/op, allocs/op, schedule-cache
+# hit rates, and the fig13 cached+parallel vs serial+uncached reference.
+bench:
+	$(GO) test -run ZeroAlloc -bench . -benchmem ./internal/des/
+	$(GO) run ./cmd/ccube-bench -fig 13 -benchjson BENCH_ccube.json
 
 vet:
 	$(GO) vet ./...

@@ -12,18 +12,47 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
+	"ccube/internal/bench"
 	"ccube/internal/collective"
 	"ccube/internal/experiments"
 	"ccube/internal/report"
 	"ccube/internal/schedcheck"
 	"ccube/internal/topology"
 )
+
+// benchReport is the BENCH_ccube.json payload: the engine micro-benchmark
+// results, per-experiment wall time, schedule-cache traffic, and — when
+// fig13 is among the runs — the serial/uncached reference timing that the
+// cache+parallel speedup is measured against.
+type benchReport struct {
+	Parallelism int            `json:"parallelism"`
+	Engine      []bench.Result `json:"engine"`
+	Experiments []expTiming    `json:"experiments"`
+	CacheHits   uint64         `json:"schedule_cache_hits"`
+	CacheMisses uint64         `json:"schedule_cache_misses"`
+	Fig13Ref    *fig13Ref      `json:"fig13_reference,omitempty"`
+}
+
+type expTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+type fig13Ref struct {
+	SerialUncachedSeconds float64 `json:"serial_uncached_seconds"`
+	Seconds               float64 `json:"seconds"`
+	Speedup               float64 `json:"speedup"`
+}
 
 // writeTable saves one table via the given writer method, creating the
 // directory if needed.
@@ -57,7 +86,11 @@ func pathDir(path string) string {
 	return "."
 }
 
-func main() {
+// main defers profile teardown inside run so error exits still flush the
+// pprof files.
+func main() { os.Exit(run()) }
+
+func run() int {
 	fig := flag.String("fig", "all", "figure to regenerate (e.g. 1, 3, 12a, 14b) or 'all'")
 	maxNodes := flag.Int("max-nodes", experiments.Fig14MaxNodes,
 		"largest node count for the scale-out sweep (paper: 1024)")
@@ -66,13 +99,47 @@ func main() {
 	mdDir := flag.String("md", "", "also write each table as Markdown into this directory")
 	verify := flag.Bool("verify", false,
 		"statically verify the whole algorithm zoo with schedcheck before running experiments")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker count for the grid sweeps (1 = serial reference path)")
+	benchJSON := flag.String("benchjson", "",
+		"write machine-readable benchmark results (engine allocs, wall times) to this JSON file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
 	experiments.Fig14MaxNodes = *maxNodes
+	experiments.Parallelism = *parallel
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // collect dead objects so the profile shows live bytes
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *verify {
 		if !verifyZoo(os.Stdout) {
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -80,7 +147,7 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Description)
 		}
-		return
+		return 0
 	}
 
 	var todo []experiments.Experiment
@@ -94,9 +161,25 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			fmt.Fprintln(os.Stderr, "use -list to see available experiments")
-			os.Exit(1)
+			return 1
 		}
 		todo = []experiments.Experiment{e}
+	}
+
+	rep := benchReport{Parallelism: *parallel}
+	if *benchJSON != "" {
+		fmt.Println("running engine micro-benchmarks...")
+		rep.Engine = bench.Engine()
+		for _, r := range rep.Engine {
+			fmt.Printf("  %-28s %12.0f ns/op %6d B/op %4d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		fmt.Println()
+		if over := bench.CheckBudgets(rep.Engine); len(over) > 0 {
+			fmt.Fprintf(os.Stderr, "alloc budget exceeded (steady state must be %d allocs/op): %s\n",
+				bench.SteadyStateBudget, strings.Join(over, ", "))
+			return 1
+		}
 	}
 
 	for _, e := range todo {
@@ -104,7 +187,7 @@ func main() {
 		tables, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		for i, t := range tables {
 			fmt.Println(t.Render())
@@ -112,19 +195,62 @@ func main() {
 				if err := writeTable(*csvDir, e.ID, i, len(tables), ".csv", t,
 					(*report.Table).WriteCSV); err != nil {
 					fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-					os.Exit(1)
+					return 1
 				}
 			}
 			if *mdDir != "" {
 				if err := writeTable(*mdDir, e.ID, i, len(tables), ".md", t,
 					(*report.Table).WriteMarkdown); err != nil {
 					fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-					os.Exit(1)
+					return 1
 				}
 			}
 		}
-		fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		rep.Experiments = append(rep.Experiments, expTiming{ID: e.ID, Seconds: elapsed})
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", e.ID, elapsed)
 	}
+
+	if *benchJSON != "" {
+		rep.CacheHits, rep.CacheMisses = collective.DefaultCache.Stats()
+		for _, t := range rep.Experiments {
+			if t.ID != "fig13" {
+				continue
+			}
+			// Reference: the pre-cache, single-worker behavior — memoization
+			// off, serial sweep. The recorded speedup is what the cache and
+			// the parallel executor buy together on identical work.
+			fmt.Println("timing fig13 serial/uncached reference...")
+			collective.DefaultCache.SetEnabled(false)
+			experiments.Parallelism = 1
+			start := time.Now()
+			if _, err := experiments.Fig13Sweep(); err != nil {
+				fmt.Fprintf(os.Stderr, "fig13 reference: %v\n", err)
+				return 1
+			}
+			ref := time.Since(start).Seconds()
+			collective.DefaultCache.SetEnabled(true)
+			experiments.Parallelism = *parallel
+			rep.Fig13Ref = &fig13Ref{
+				SerialUncachedSeconds: ref,
+				Seconds:               t.Seconds,
+				Speedup:               ref / t.Seconds,
+			}
+			fmt.Printf("[fig13: %.1fs serial/uncached vs %.1fs cached/parallel = %.1fx]\n\n",
+				ref, t.Seconds, rep.Fig13Ref.Speedup)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("benchmark results written to %s\n", *benchJSON)
+	}
+	return 0
 }
 
 // verifyZoo runs the schedcheck static verifier over every algorithm on the

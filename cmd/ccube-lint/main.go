@@ -20,6 +20,14 @@
 //	                    same-line comment containing "kernel" naming which
 //	                    kernel it models, so stray concurrency can't hide
 //	                    among them.
+//	des-hot-alloc     — the DES engine's hot functions (internal/des: event
+//	                    scheduling, the graph run loop, resource grants) must
+//	                    stay allocation-free in steady state. Every make or
+//	                    append there needs a same-line comment containing
+//	                    "amortized" or "prealloc" explaining why the growth is
+//	                    not per-operation; an unannotated allocation is either
+//	                    a regression or an undocumented exception, and both
+//	                    should fail review.
 //
 // Usage: ccube-lint ./...  (or explicit files/directories). Test files are
 // exempt from all rules. Exit status 1 when any issue is found.
@@ -163,6 +171,9 @@ func lintFile(fset *token.FileSet, path string, src any) ([]issue, error) {
 	if strings.Contains(slash, "internal/gpusim/") {
 		issues = append(issues, checkKernelGoroutines(fset, file)...)
 	}
+	if strings.Contains(slash, "internal/des/") {
+		issues = append(issues, checkDesHotAlloc(fset, file)...)
+	}
 	return issues, nil
 }
 
@@ -267,6 +278,65 @@ func checkLockPairing(fset *token.FileSet, file *ast.File) []issue {
 		}
 		return true
 	})
+	return issues
+}
+
+// desHotFuncs are the internal/des functions on (or reachable from) the
+// simulator's per-event / per-task fast path, where an allocation multiplies
+// by the event count. The zero-alloc contract is enforced dynamically by the
+// AllocsPerRun tests; this rule enforces the paper trail: any make/append in
+// these bodies must say, on its own line, why it is "amortized" (capacity
+// reused across operations) or a "prealloc" (one-time sizing).
+var desHotFuncs = map[string]bool{
+	// des.go — event engine
+	"At": true, "After": true, "Run": true, "RunUntil": true,
+	"step": true, "recycle": true, "push": true, "pop": true, "Reserve": true,
+	// graph.go — task graph run loop
+	"Add": true, "AddDeps": true, "RunErr": true, "buildAdjacency": true,
+	"dependents": true, "readyPush": true, "readyPop": true,
+	// resource.go — per-grant path
+	"reserve": true, "Prealloc": true,
+}
+
+// checkDesHotAlloc flags make/append calls inside desHotFuncs bodies that
+// lack a same-line "amortized" or "prealloc" comment.
+func checkDesHotAlloc(fset *token.FileSet, file *ast.File) []issue {
+	annotated := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.ToLower(c.Text)
+			if strings.Contains(text, "amortized") || strings.Contains(text, "prealloc") {
+				annotated[fset.Position(c.Slash).Line] = true
+			}
+		}
+	}
+	var issues []issue
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !desHotFuncs[fn.Name.Name] {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || (id.Name != "make" && id.Name != "append") {
+				return true
+			}
+			pos := fset.Position(call.Pos())
+			if !annotated[pos.Line] {
+				issues = append(issues, issue{
+					pos:  pos,
+					rule: "des-hot-alloc",
+					msg: fmt.Sprintf(`%s in DES hot function %s without an "amortized"/"prealloc" same-line comment; the engine's steady state must not allocate`,
+						id.Name, fn.Name.Name),
+				})
+			}
+			return true
+		})
+	}
 	return issues
 }
 

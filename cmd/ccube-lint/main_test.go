@@ -173,6 +173,50 @@ func f() {
 	}
 }
 
+func TestDesHotAllocRule(t *testing.T) {
+	// An unannotated append in a hot function is a steady-state alloc risk.
+	bare := `package des
+type Engine struct{ events []int }
+func (e *Engine) push(v int) {
+	e.events = append(e.events, v)
+}
+`
+	if got := rules(lintSource(t, "internal/des/x.go", bare)); len(got) != 1 || got[0] != "des-hot-alloc" {
+		t.Fatalf("bare append in hot func: issues = %v, want [des-hot-alloc]", got)
+	}
+
+	// A same-line amortized/prealloc comment is the documented exception.
+	annotated := `package des
+type Engine struct{ events []int }
+func (e *Engine) push(v int) {
+	e.events = append(e.events, v) // amortized: heap capacity is reused across runs
+}
+func (e *Engine) Reserve(n int) {
+	e.events = make([]int, 0, n) // prealloc: sizing the heap once
+}
+`
+	if got := lintSource(t, "internal/des/x.go", annotated); len(got) != 0 {
+		t.Fatalf("annotated allocations flagged: %v", got)
+	}
+
+	// Cold functions in the same package may allocate freely.
+	cold := `package des
+func (g *Graph) CriticalPath() []int {
+	path := make([]int, 0, 8)
+	return append(path, 1)
+}
+type Graph struct{}
+`
+	if got := lintSource(t, "internal/des/x.go", cold); len(got) != 0 {
+		t.Fatalf("cold-path allocation flagged: %v", got)
+	}
+
+	// Outside internal/des the rule does not apply, even for hot names.
+	if got := lintSource(t, "internal/collective/x.go", bare); len(got) != 0 {
+		t.Fatalf("non-des file flagged: %v", got)
+	}
+}
+
 func TestRunOnRepo(t *testing.T) {
 	// The repo itself must lint clean — this is the tree the tool ships in.
 	var out strings.Builder

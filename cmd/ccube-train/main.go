@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ccube/internal/des"
 	"ccube/internal/dnn"
@@ -30,7 +32,34 @@ func main() {
 	mode := flag.String("mode", "all", "configuration: B, C1, C2, R, CC, DDP, or all")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt of GPU streams and channels (single mode only)")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event timeline (single mode only)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // collect dead objects so the profile shows live bytes
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	var model dnn.Model
 	var err error

@@ -1,0 +1,112 @@
+// Package bench runs the simulator's engine micro-benchmarks in-process, so
+// ccube-bench can record machine-readable performance numbers (wall time,
+// allocations) next to the figures they time. The benchmark bodies mirror
+// internal/des's *_test benchmarks over the exported API; the alloc budgets
+// themselves are enforced by the des package's AllocsPerRun tests.
+package bench
+
+import (
+	"testing"
+
+	"ccube/internal/des"
+)
+
+// Result is one micro-benchmark outcome in BENCH_ccube.json form.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func run(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// Engine runs the DES micro-benchmarks and returns their results. The
+// schedule/run and cancel benches must report 0 allocs/op — the engine's
+// zero-alloc steady-state contract; CI's bench job fails if they regress.
+func Engine() []Result {
+	return []Result{
+		run("EngineScheduleRun1024", func(b *testing.B) {
+			e := des.NewEngine()
+			const n = 1024
+			e.Reserve(n)
+			fn := func() {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := e.Now()
+				for j := 0; j < n; j++ {
+					e.At(base+des.Time(j%13), fn)
+				}
+				e.Run()
+			}
+		}),
+		run("EngineScheduleCancelRun1024", func(b *testing.B) {
+			e := des.NewEngine()
+			const n = 1024
+			e.Reserve(n)
+			fn := func() {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := e.Now()
+				for j := 0; j < n; j++ {
+					h := e.At(base+des.Time(j%13), fn)
+					if j%2 == 0 {
+						h.Cancel()
+					}
+				}
+				e.Run()
+			}
+		}),
+		run("GraphPipeline8x256", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := des.NewGraph()
+				const d, k = 8, 256
+				links := make([]*des.Resource, d)
+				for l := range links {
+					links[l] = des.NewResource("link")
+				}
+				prev := make([]int, k)
+				for l := 0; l < d; l++ {
+					for c := 0; c < k; c++ {
+						if l == 0 {
+							prev[c] = g.Add("hop", links[l], 100)
+						} else {
+							prev[c] = g.Add("hop", links[l], 100, prev[c])
+						}
+					}
+				}
+				g.Run()
+			}
+		}),
+	}
+}
+
+// SteadyStateBudget is the allocs/op ceiling for the steady-state engine
+// benches (everything except the build-inclusive graph pipeline).
+const SteadyStateBudget = 0
+
+// CheckBudgets returns the names of steady-state benches exceeding
+// SteadyStateBudget.
+func CheckBudgets(results []Result) []string {
+	var over []string
+	for _, r := range results {
+		if r.Name == "GraphPipeline8x256" {
+			continue // builds its graph per op by design
+		}
+		if r.AllocsPerOp > SteadyStateBudget {
+			over = append(over, r.Name)
+		}
+	}
+	return over
+}

@@ -1,0 +1,175 @@
+package collective
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"ccube/internal/topology"
+)
+
+// Cache memoizes compiled collective schedules. Building a schedule —
+// embedding logical trees or rings into the physical topology, splitting the
+// message into chunks, emitting tens of thousands of transfers — and then
+// proving it correct with the static verifier is the dominant per-cell setup
+// cost of every experiment sweep, and it is pure: the output depends only on
+// the topology's content (structure, bandwidths, health state) and the
+// operation parameters. The cache keys on exactly that — a
+// topology.Graph.Fingerprint plus (algorithm, participants, bytes, chunk
+// count, sharing flag) — so a hit returns an already-built,
+// already-schedcheck-verified schedule and skips both costs.
+//
+// Correctness properties:
+//
+//   - Misses verify: a schedule enters the cache only after passing the full
+//     static verifier (Schedule.Validate), so hits never skip a check that
+//     was not already performed on identical inputs.
+//   - Staleness is loud: cached schedules are stamped with the fingerprint
+//     they were verified against. Mutating the topology (KillChannel,
+//     DegradeChannel) changes its fingerprint, so the next lookup misses and
+//     rebuilds — and executing a previously returned schedule anyway fails
+//     with *StaleScheduleError instead of silently timing traffic over a
+//     changed fabric.
+//   - Shared safely: schedules are immutable after construction (execution
+//     instantiates into fresh des.Graphs; repairs clone), so one cached
+//     schedule may be executed by many goroutines concurrently. The cache
+//     itself is mutex-guarded.
+//
+// The graph pointer is part of the key: a schedule holds a reference to the
+// graph it was built on, and handing it to a caller operating on a different
+// (even content-identical) graph would make later health mutations on the
+// caller's graph invisible to repair and staleness checks.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[cacheKey]*Schedule
+	hits     uint64
+	misses   uint64
+	disabled bool
+}
+
+type cacheKey struct {
+	graph  *topology.Graph
+	fp     uint64
+	alg    Algorithm
+	bytes  int64
+	chunks int
+	shared bool
+	extra  string // canonical encoding of Nodes / ring-order overrides
+}
+
+// NewCache returns an empty schedule cache.
+func NewCache() *Cache { return &Cache{entries: make(map[cacheKey]*Schedule)} }
+
+// DefaultCache is the process-wide schedule cache used by BuildCached and
+// Run. Experiment sweeps share it across goroutines.
+var DefaultCache = NewCache()
+
+// BuildCached builds the configured collective through the DefaultCache.
+func BuildCached(cfg Config) (*Schedule, error) { return DefaultCache.Build(cfg) }
+
+// cacheable reports whether the configuration can be keyed; Tree overrides
+// carry arbitrary logical structure and bypass the cache.
+func cacheable(cfg Config) bool { return cfg.Graph != nil && cfg.Trees == nil }
+
+func (c *Cache) key(cfg Config) cacheKey {
+	var sb strings.Builder
+	for _, n := range cfg.Nodes {
+		sb.WriteByte('n')
+		sb.WriteString(strconv.Itoa(int(n)))
+	}
+	orders := cfg.RingOrders
+	if orders == nil && cfg.RingOrder != nil {
+		orders = [][]int{cfg.RingOrder}
+	}
+	for _, ord := range orders {
+		sb.WriteByte('r')
+		for _, i := range ord {
+			sb.WriteByte(',')
+			sb.WriteString(strconv.Itoa(i))
+		}
+	}
+	return cacheKey{
+		graph:  cfg.Graph,
+		fp:     cfg.Graph.Fingerprint(),
+		alg:    cfg.Algorithm,
+		bytes:  cfg.Bytes,
+		chunks: cfg.Chunks,
+		shared: cfg.AllowSharedChannels,
+		extra:  sb.String(),
+	}
+}
+
+// Build returns the memoized schedule for cfg, constructing and verifying it
+// on a miss. The returned schedule is shared and must be treated as
+// immutable (every execution path already does); use Schedule.Clone before
+// rewriting transfers.
+func (c *Cache) Build(cfg Config) (*Schedule, error) {
+	if !cacheable(cfg) {
+		return Build(cfg)
+	}
+	k := c.key(cfg)
+
+	c.mu.Lock()
+	if c.disabled {
+		c.mu.Unlock()
+		return Build(cfg)
+	}
+	if s, ok := c.entries[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return s, nil
+	}
+	c.mu.Unlock()
+
+	// Build and verify outside the lock: construction can be expensive, and
+	// independent cells of a parallel sweep miss on different keys. A
+	// concurrent duplicate build of the same key is benign — both results
+	// are identical, and the second store wins.
+	s, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s.stamp()
+
+	c.mu.Lock()
+	c.entries[k] = s
+	c.misses++
+	c.mu.Unlock()
+	return s, nil
+}
+
+// Stats reports cache hits and misses since construction (or the last
+// Clear). Errors count toward neither.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached schedules.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// SetEnabled turns memoization on or off. Disabled, Build degrades to the
+// plain uncached (and unverified) construction path — the pre-cache
+// behavior. ccube-bench uses this for its reference timing.
+func (c *Cache) SetEnabled(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.disabled = !on
+}
+
+// Clear drops every cached schedule and resets the statistics. Benchmarks
+// use it to measure cold-cache builds.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[cacheKey]*Schedule)
+	c.hits, c.misses = 0, 0
+}

@@ -213,8 +213,11 @@ func Build(cfg Config) (*Schedule, error) {
 }
 
 // Run builds and executes the configured AllReduce, returning its timing.
+// Builds go through the DefaultCache: repeated runs of the same (topology
+// content, algorithm, size) reuse the verified schedule and pay only for
+// execution.
 func Run(cfg Config) (*Result, error) {
-	s, err := Build(cfg)
+	s, err := BuildCached(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -81,6 +81,10 @@ func RepairSchedule(s *Schedule) (*Schedule, *RepairReport, error) {
 	}
 	sort.Slice(rep.DeadChannels, func(i, j int) bool { return rep.DeadChannels[i] < rep.DeadChannels[j] })
 	if len(broken) == 0 {
+		// Nothing to rewire: the schedule rides no dead channel. The scan
+		// above validated exactly that against the current topology, so the
+		// clone is stamped fresh.
+		out.stamp()
 		return out, rep, nil
 	}
 
@@ -128,6 +132,11 @@ func RepairSchedule(s *Schedule) (*Schedule, *RepairReport, error) {
 	if err := out.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("collective: repaired schedule failed verification: %w", err)
 	}
+	// The repair just verified the clone against the current topology, so
+	// restamp it: a stamped input's stale fingerprint must not outlive the
+	// repair, and executing the repaired schedule after further topology
+	// mutations should again fail loudly.
+	out.stamp()
 	return out, rep, nil
 }
 

@@ -80,6 +80,12 @@ type Schedule struct {
 	Contract Contract
 
 	transfers []*transfer
+
+	// builtFor is the topology fingerprint the schedule was built (and, for
+	// cached schedules, schedcheck-verified) against; 0 means unstamped.
+	// Stamped schedules refuse to instantiate on a topology whose
+	// fingerprint has drifted — see StaleScheduleError.
+	builtFor uint64
 }
 
 func newSchedule(g *topology.Graph, nodes []topology.NodeID, part chunk.Partition) *Schedule {
@@ -116,6 +122,36 @@ func (s *Schedule) markFinal(id int, n topology.NodeID) { s.transfers[id].finalN
 // NumTransfers reports how many operations the schedule contains (markers
 // included).
 func (s *Schedule) NumTransfers() int { return len(s.transfers) }
+
+// StaleScheduleError reports an attempt to instantiate a stamped schedule on
+// a topology whose fingerprint no longer matches the one it was built and
+// verified against — e.g. a channel was killed or degraded after the
+// schedule came out of the cache. The fix is to rebuild (a cache lookup
+// misses on the new fingerprint) or to run RepairSchedule, which re-verifies
+// against the current topology and restamps.
+type StaleScheduleError struct {
+	Built   uint64 // fingerprint at build/verification time
+	Current uint64 // fingerprint now
+}
+
+func (e *StaleScheduleError) Error() string {
+	return fmt.Sprintf("collective: stale schedule: topology fingerprint changed %016x -> %016x since the schedule was built; rebuild or repair it",
+		e.Built, e.Current)
+}
+
+// stamp binds the schedule to the current topology fingerprint; Instantiate
+// then fails loudly if the topology mutates underneath it.
+func (s *Schedule) stamp() { s.builtFor = s.Graph.Fingerprint() }
+
+// BuiltFingerprint returns the topology fingerprint the schedule is stamped
+// with (0 for unstamped schedules, which skip the staleness check).
+func (s *Schedule) BuiltFingerprint() uint64 { return s.builtFor }
+
+// Clone returns a deep copy of the schedule (transfers and dependency lists;
+// the immutable Graph/Nodes/Partition are shared). Execution never mutates a
+// schedule, so cached schedules are shared directly; Clone exists for
+// callers that want to rewrite transfers, e.g. RepairSchedule.
+func (s *Schedule) Clone() *Schedule { return s.clone() }
 
 // Result summarizes one timed execution of a schedule.
 type Result struct {
@@ -170,7 +206,27 @@ func (s *Schedule) Instantiate(g *des.Graph, res []*des.Resource, startDep int) 
 	if len(res) != s.Graph.NumChannels() {
 		return nil, fmt.Errorf("collective: %d resources for %d channels", len(res), s.Graph.NumChannels())
 	}
+	if s.builtFor != 0 {
+		if fp := s.Graph.Fingerprint(); fp != s.builtFor {
+			return nil, &StaleScheduleError{Built: s.builtFor, Current: fp}
+		}
+	}
+	g.Reserve(len(s.transfers))
+	// Size each channel's interval log up front: busy-slice growth inside
+	// the run loop was a measurable allocation source across a sweep.
+	chCount := make([]int, len(res))
+	for _, t := range s.transfers {
+		if !t.isMarker() {
+			chCount[t.channel]++
+		}
+	}
+	for i, n := range chCount {
+		if n > 0 {
+			res[i].Prealloc(n)
+		}
+	}
 	ids := make([]int, len(s.transfers))
+	var deps []int // scratch, reused: Graph.Add copies deps into its edge list
 	for i, t := range s.transfers {
 		var r *des.Resource
 		var d des.Time
@@ -186,7 +242,7 @@ func (s *Schedule) Instantiate(g *des.Graph, res []*des.Resource, startDep int) 
 				d -= ch.Latency
 			}
 		}
-		deps := make([]int, 0, len(t.deps)+1)
+		deps = deps[:0]
 		for _, dep := range t.deps {
 			deps = append(deps, ids[dep])
 		}

@@ -1,0 +1,178 @@
+package des
+
+import (
+	"testing"
+)
+
+// The zero-alloc budget for the DES hot path. These tests are the alloc
+// regression gate CI's benchmark smoke job runs: steady-state scheduling,
+// running, cancelling, and resource acquire/release must not allocate.
+const steadyStateAllocBudget = 0
+
+// TestEngineScheduleRunZeroAllocSteadyState proves that once the event pool
+// and heap have grown to a workload's high-water mark, a full
+// schedule-then-run cycle performs zero heap allocations.
+func TestEngineScheduleRunZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	const n = 256
+	fn := func() {}
+	cycle := func() {
+		base := e.Now()
+		for i := 0; i < n; i++ {
+			e.At(base+Time(i%7), fn)
+		}
+		e.Run()
+	}
+	cycle() // warm up: grow pool and heap once
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > steadyStateAllocBudget {
+		t.Fatalf("steady-state Schedule+Run allocates %.1f/op, budget %d", allocs, steadyStateAllocBudget)
+	}
+}
+
+// TestEngineReservePreallocatesZeroAlloc proves Reserve removes even the
+// first-run growth: a reserved engine never allocates while scheduling up to
+// the reserved count.
+func TestEngineReservePreallocatesZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	const n = 128
+	e.Reserve(n)
+	fn := func() {}
+	cycle := func() {
+		base := e.Now()
+		for i := 0; i < n; i++ {
+			e.At(base+Time(i), fn)
+		}
+		e.Run()
+	}
+	if allocs := testing.AllocsPerRun(20, cycle); allocs > steadyStateAllocBudget {
+		t.Fatalf("reserved engine allocates %.1f/op, budget %d", allocs, steadyStateAllocBudget)
+	}
+}
+
+// TestEngineCancelZeroAllocSteadyState covers the cancel path: cancelled
+// events are dropped at pop time and recycled without allocating.
+func TestEngineCancelZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	const n = 64
+	fn := func() {}
+	cycle := func() {
+		base := e.Now()
+		for i := 0; i < n; i++ {
+			h := e.At(base+Time(i), fn)
+			if i%2 == 0 {
+				h.Cancel()
+			}
+		}
+		e.Run()
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > steadyStateAllocBudget {
+		t.Fatalf("steady-state cancel cycle allocates %.1f/op, budget %d", allocs, steadyStateAllocBudget)
+	}
+}
+
+// TestResourceReserveResetZeroAllocSteadyState covers resource
+// acquire/release: after the interval log has grown once, reserve+Reset
+// cycles are allocation-free.
+func TestResourceReserveResetZeroAllocSteadyState(t *testing.T) {
+	r := NewResource("link")
+	const n = 128
+	cycle := func() {
+		for i := 0; i < n; i++ {
+			if _, _, err := r.reserve(Time(i), 10, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.Reset()
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > steadyStateAllocBudget {
+		t.Fatalf("steady-state reserve/Reset allocates %.1f/op, budget %d", allocs, steadyStateAllocBudget)
+	}
+}
+
+// TestResourcePreallocZeroAllocFirstRun proves Prealloc removes the first
+// run's growth allocations too.
+func TestResourcePreallocZeroAllocFirstRun(t *testing.T) {
+	r := NewResource("link")
+	const n = 64
+	r.Prealloc(n)
+	cycle := func() {
+		for i := 0; i < n; i++ {
+			if _, _, err := r.reserve(Time(i), 10, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.Reset()
+	}
+	if allocs := testing.AllocsPerRun(20, cycle); allocs > steadyStateAllocBudget {
+		t.Fatalf("preallocated resource allocates %.1f/op, budget %d", allocs, steadyStateAllocBudget)
+	}
+}
+
+// TestEventHandleSurvivesRecycling pins the Cancel-after-fire contract: a
+// handle to a fired event must be inert even after the engine reuses the
+// event's storage for a new event.
+func TestEventHandleSurvivesRecycling(t *testing.T) {
+	e := NewEngine()
+	firstRan := false
+	stale := e.At(1, func() { firstRan = true })
+	e.Run()
+	if !firstRan {
+		t.Fatal("first event did not run")
+	}
+	if stale.Pending() {
+		t.Fatal("fired event still reports Pending")
+	}
+	// The pool guarantees the next event reuses the fired event's record.
+	secondRan := false
+	fresh := e.At(e.Now()+1, func() { secondRan = true })
+	if fresh.ev != stale.ev {
+		t.Fatalf("pool did not recycle the fired event's record")
+	}
+	stale.Cancel() // must NOT cancel the unrelated second event
+	e.Run()
+	if !secondRan {
+		t.Fatal("stale Cancel killed a recycled event — generation guard broken")
+	}
+	if stale.At() != 1 {
+		t.Fatalf("stale handle At() = %v, want 1", stale.At())
+	}
+}
+
+// TestCancelledEventRecycledAtPop asserts the lazy-drop path returns
+// cancelled events to the pool when their fire time arrives, instead of
+// leaking them.
+func TestCancelledEventRecycledAtPop(t *testing.T) {
+	e := NewEngine()
+	h := e.At(5, func() { t.Fatal("cancelled event fired") })
+	h.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d before pop, want 1 (lazy cancellation)", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after run, want 0", e.Pending())
+	}
+	if len(e.pool) != 1 {
+		t.Fatalf("pool = %d after run, want 1 recycled event", len(e.pool))
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("fired = %d, want 0: cancelled events must not count", e.Fired())
+	}
+	if e.Now() != 0 {
+		t.Fatalf("now = %v, want 0: dropping a cancelled event must not advance time", e.Now())
+	}
+}
+
+// TestZeroEventHandleIsInert guards the documented zero-value behavior.
+func TestZeroEventHandleIsInert(t *testing.T) {
+	var h Event
+	h.Cancel() // must not panic
+	if h.Pending() {
+		t.Fatal("zero handle reports Pending")
+	}
+	if h.At() != 0 {
+		t.Fatalf("zero handle At() = %v", h.At())
+	}
+}

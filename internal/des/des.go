@@ -8,10 +8,16 @@
 // Time is virtual and measured in integer nanoseconds, so runs are exactly
 // reproducible: two executions of the same graph yield bit-identical
 // timelines regardless of host load.
+//
+// The hot path is allocation-free in steady state: fired (and cancelled)
+// events are recycled onto a per-engine free list, the event heap reuses its
+// backing array, and At/After only allocate while the pool is still growing
+// toward the engine's high-water mark. Regression tests assert this with
+// testing.AllocsPerRun, and cmd/ccube-lint's des-hot-alloc rule flags any
+// unannotated make/append that sneaks into the hot functions.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -48,57 +54,60 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback inside an Engine.
-type Event struct {
-	at  Time
-	seq uint64 // tie-breaker preserving schedule order at equal times
-	fn  func()
-
-	index    int // heap index; -1 when popped or cancelled
+// event is the engine-internal record backing a scheduled callback. Events
+// are pooled: after an event fires (or its cancellation is collected at pop
+// time) the record returns to the engine's free list and its generation is
+// bumped, which inertly invalidates every outstanding Event handle to it.
+type event struct {
+	at       Time
+	seq      uint64 // tie-breaker preserving schedule order at equal times
+	gen      uint64 // incremented on recycle; guards stale handles
+	fn       func()
 	canceled bool
 }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+// Event is a cancellable handle to a scheduled callback, returned by
+// At/After. It is a small value; copying it is cheap and safe.
+//
+// Cancel contract: cancelling is only meaningful while the event is pending.
+// Once the event has fired (or a completed Run has drained it), the engine
+// recycles its storage for future events; the handle detects this through a
+// generation check, so Cancel after fire is always a safe no-op — it can
+// never cancel an unrelated event that happened to reuse the storage. The
+// zero Event is inert.
+type Event struct {
+	ev  *event
+	gen uint64
+	at  Time
+}
 
-// At reports the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Cancel prevents a pending event from firing. The event's storage is
+// reclaimed lazily: it stays in the heap until its fire time, at which point
+// the engine drops it without running the callback and recycles it into the
+// pool. Cancelling an event that has already fired (or cancelling twice) is
+// a no-op; see the Event type for the exact contract.
+func (h Event) Cancel() {
+	if h.ev != nil && h.ev.gen == h.gen {
+		h.ev.canceled = true
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// At reports the virtual time the event was scheduled for. It stays valid
+// after the event fires.
+func (h Event) At() Time { return h.at }
+
+// Pending reports whether the event is still scheduled: not yet fired and
+// not cancelled.
+func (h Event) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.canceled
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all callbacks run on the goroutine that calls Run.
 type Engine struct {
 	now    Time
-	events eventHeap
+	events []*event // binary min-heap by (at, seq)
+	pool   []*event // recycled records, reused by At/After
 	seq    uint64
 	fired  int
 }
@@ -106,29 +115,58 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reserve preallocates capacity for n simultaneously pending events (heap
+// slots plus pooled records), so a sized workload schedules with zero
+// allocations from the first event on.
+func (e *Engine) Reserve(n int) {
+	if cap(e.events) < n {
+		grown := make([]*event, len(e.events), n) // prealloc: sizing the heap once
+		copy(grown, e.events)
+		e.events = grown
+	}
+	if cap(e.pool) < n {
+		grown := make([]*event, len(e.pool), n) // prealloc: sizing the pool once
+		copy(grown, e.pool)
+		e.pool = grown
+	}
+	for len(e.pool)+len(e.events) < n {
+		e.pool = append(e.pool, &event{}) // prealloc: filling the reserved pool
+	}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Fired reports how many events have executed so far.
+// Fired reports how many events have executed so far (cancelled events do
+// not count).
 func (e *Engine) Fired() int { return e.fired }
 
 // Pending reports how many events are scheduled but not yet executed.
+// Cancelled events still count until their storage is collected at pop time.
 func (e *Engine) Pending() int { return len(e.events) }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently corrupt causality in a model.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.canceled = t, e.seq, fn, false
 	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	e.push(ev)
+	return Event{ev: ev, gen: ev.gen, at: t}
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("des: negative delay %v", d))
 	}
@@ -157,8 +195,9 @@ func (e *Engine) RunUntil(deadline Time) Time {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(*Event)
+	ev := e.pop()
 	if ev.canceled {
+		e.recycle(ev)
 		return
 	}
 	if ev.at < e.now {
@@ -166,5 +205,69 @@ func (e *Engine) step() {
 	}
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
+}
+
+// recycle returns an event record to the pool, invalidating outstanding
+// handles via the generation bump and dropping the callback reference so the
+// pool does not retain closures.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	e.pool = append(e.pool, ev) // amortized: pool capacity is reused across steps
+}
+
+// less orders events by (time, schedule sequence); the sequence tie-break
+// keeps equal-time events in submission order, the determinism contract.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the heap (sift-up). Hand-rolled instead of
+// container/heap so the hot path stays monomorphic and interface-free.
+func (e *Engine) push(ev *event) {
+	e.events = append(e.events, ev) // amortized: heap capacity is reused across runs
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e.events[i], e.events[parent]) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event (sift-down).
+func (e *Engine) pop() *event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.events = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && eventLess(h[l], h[min]) {
+			min = l
+		}
+		if r < n && eventLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return root
 }

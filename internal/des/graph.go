@@ -1,9 +1,6 @@
 package des
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Task is a unit of work in a dependency graph. A task becomes ready when all
 // of its dependencies have ended; it then occupies its Resource (if any) for
@@ -20,30 +17,89 @@ type Task struct {
 	Start Time // when the resource was granted
 	End   Time // Start + Duration (after resource slowdown)
 
-	deps       int // remaining unfinished dependencies
-	depsTotal  int
-	dependents []int
-	scheduled  bool
-	done       bool
-	earliest   Time // lower bound on readiness independent of deps
+	deps      int // remaining unfinished dependencies
+	depsTotal int
+	scheduled bool
+	done      bool
+	earliest  Time // lower bound on readiness independent of deps
 }
 
 // Graph is a DAG of Tasks executed over serialized Resources. Build it once,
 // then call Run; the computed Start/End times answer every timing question an
 // experiment asks.
+//
+// Tasks live in one contiguous slice — adding a task is an amortized slice
+// append, not a heap allocation per task (use Reserve when the count is
+// known). The *Task pointers returned by Task are therefore only stable
+// once construction is done: hold ids, not pointers, while still adding.
+// Dependency edges accumulate in one flat list and are compiled into a CSR
+// adjacency at run time, so a task's dependent fan-out costs no per-task
+// slice.
 type Graph struct {
-	tasks []*Task
-	ran   bool
+	tasks []Task
+	edges []depEdge // (pred, succ) in insertion order
+	// CSR adjacency compiled by RunErr: dependents of task i are
+	// depAdj[depOff[i-1]:depOff[i]] (depOff[-1] treated as 0), preserving
+	// per-pred insertion order for deterministic scheduling.
+	depOff []int32
+	depAdj []int32
+	ran    bool
+}
+
+type depEdge struct{ pred, succ int32 }
+
+// dependents returns task id's successors; valid after buildAdjacency.
+func (g *Graph) dependents(id int32) []int32 {
+	var start int32
+	if id > 0 {
+		start = g.depOff[id-1]
+	}
+	return g.depAdj[start:g.depOff[id]]
+}
+
+// buildAdjacency compiles the flat edge list into the CSR arrays: a counting
+// sort by predecessor, stable in insertion order. depOff doubles as the fill
+// cursor — after the forward fill, depOff[i] has advanced from task i's
+// start offset to its end offset, which is exactly the convention
+// dependents() reads.
+func (g *Graph) buildAdjacency() {
+	g.depOff = make([]int32, len(g.tasks)) // prealloc: exact CSR offset table
+	for _, e := range g.edges {
+		g.depOff[e.pred]++
+	}
+	var sum int32
+	for i := range g.depOff {
+		c := g.depOff[i]
+		g.depOff[i] = sum // start offset of task i
+		sum += c
+	}
+	g.depAdj = make([]int32, len(g.edges)) // prealloc: exact CSR payload
+	for _, e := range g.edges {
+		g.depAdj[g.depOff[e.pred]] = e.succ
+		g.depOff[e.pred]++
+	}
 }
 
 // NewGraph returns an empty task graph.
 func NewGraph() *Graph { return &Graph{} }
 
+// Reserve preallocates capacity for n tasks, so the following Adds don't
+// grow the slice. Schedule instantiation knows its task count up front.
+func (g *Graph) Reserve(n int) {
+	if cap(g.tasks)-len(g.tasks) < n {
+		grown := make([]Task, len(g.tasks), len(g.tasks)+n) // prealloc: sizing the task store once
+		copy(grown, g.tasks)
+		g.tasks = grown
+	}
+}
+
 // NumTasks reports how many tasks have been added.
 func (g *Graph) NumTasks() int { return len(g.tasks) }
 
-// Task returns the task with the given id.
-func (g *Graph) Task(id int) *Task { return g.tasks[id] }
+// Task returns the task with the given id. The pointer aliases the graph's
+// task store: it is invalidated by a later Add, so only retain it after
+// construction is complete.
+func (g *Graph) Task(id int) *Task { return &g.tasks[id] }
 
 // Add appends a task occupying res for d, depending on the given task ids,
 // and returns its id. A nil res models a pure delay.
@@ -55,8 +111,7 @@ func (g *Graph) Add(label string, res *Resource, d Time, deps ...int) int {
 		panic(fmt.Sprintf("des: task %q has negative duration %v", label, d))
 	}
 	id := len(g.tasks)
-	t := &Task{ID: id, Label: label, Resource: res, Duration: d}
-	g.tasks = append(g.tasks, t)
+	g.tasks = append(g.tasks, Task{ID: id, Label: label, Resource: res, Duration: d}) // amortized: Reserve sizes the store
 	g.AddDeps(id, deps...)
 	return id
 }
@@ -64,7 +119,7 @@ func (g *Graph) Add(label string, res *Resource, d Time, deps ...int) int {
 // AddDeps declares that task id depends on each task in deps. Dependencies
 // must already exist and must precede id (the graph is built topologically).
 func (g *Graph) AddDeps(id int, deps ...int) {
-	t := g.tasks[id]
+	t := &g.tasks[id]
 	for _, d := range deps {
 		if d < 0 || d >= len(g.tasks) {
 			panic(fmt.Sprintf("des: task %q depends on unknown task %d", t.Label, d))
@@ -72,7 +127,7 @@ func (g *Graph) AddDeps(id int, deps ...int) {
 		if d == id {
 			panic(fmt.Sprintf("des: task %q depends on itself", t.Label))
 		}
-		g.tasks[d].dependents = append(g.tasks[d].dependents, id)
+		g.edges = append(g.edges, depEdge{pred: int32(d), succ: int32(id)}) // amortized: one flat list for all edges
 		t.deps++
 		t.depsTotal++
 	}
@@ -87,25 +142,54 @@ func (g *Graph) SetEarliest(id int, t Time) {
 	g.tasks[id].earliest = t
 }
 
-// readyHeap orders tasks by (ready time, id) for deterministic FIFO grants.
-type readyHeap []*Task
+// The ready queue is a hand-rolled binary min-heap of task ids ordered by
+// (ready time, id) for deterministic FIFO grants — ids rather than pointers,
+// and manual sifting rather than container/heap, to keep RunErr's inner loop
+// free of interface dispatch.
 
-func (h readyHeap) Len() int { return len(h) }
-func (h readyHeap) Less(i, j int) bool {
-	if h[i].Ready != h[j].Ready {
-		return h[i].Ready < h[j].Ready
+func readyLess(tasks []Task, a, b int32) bool {
+	if tasks[a].Ready != tasks[b].Ready {
+		return tasks[a].Ready < tasks[b].Ready
 	}
-	return h[i].ID < h[j].ID
+	return a < b
 }
-func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x any)   { *h = append(*h, x.(*Task)) }
-func (h *readyHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
+
+func readyPush(tasks []Task, h []int32, id int32) []int32 {
+	h = append(h, id) // amortized: RunErr preallocates full capacity
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !readyLess(tasks, h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func readyPop(tasks []Task, h []int32) (int32, []int32) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && readyLess(tasks, h[r], h[l]) {
+			min = r
+		}
+		if !readyLess(tasks, h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top, h
 }
 
 // TaskFault identifies one task refused by its failed resource.
@@ -155,20 +239,24 @@ func (g *Graph) RunErr() (Time, error) {
 		panic("des: graph ran twice")
 	}
 	g.ran = true
+	g.buildAdjacency()
 
-	var ready readyHeap
-	for _, t := range g.tasks {
+	ready := make([]int32, 0, len(g.tasks)) // prealloc: every task enters the heap at most once
+	for i := range g.tasks {
+		t := &g.tasks[i]
 		if t.deps == 0 {
 			t.Ready = t.earliest
 			t.scheduled = true
-			heap.Push(&ready, t)
+			ready = readyPush(g.tasks, ready, int32(i))
 		}
 	}
 
 	var makespan Time
 	executed := 0
-	for ready.Len() > 0 {
-		t := heap.Pop(&ready).(*Task)
+	for len(ready) > 0 {
+		var id int32
+		id, ready = readyPop(g.tasks, ready)
+		t := &g.tasks[id]
 		if t.Resource != nil {
 			start, end, err := t.Resource.reserve(t.Ready, t.Duration, t.ID)
 			if err != nil {
@@ -195,8 +283,8 @@ func (g *Graph) RunErr() (Time, error) {
 		if t.End > makespan {
 			makespan = t.End
 		}
-		for _, did := range t.dependents {
-			d := g.tasks[did]
+		for _, did := range g.dependents(id) {
+			d := &g.tasks[did]
 			if t.End > d.Ready {
 				d.Ready = t.End
 			}
@@ -206,7 +294,7 @@ func (g *Graph) RunErr() (Time, error) {
 					d.Ready = d.earliest
 				}
 				d.scheduled = true
-				heap.Push(&ready, d)
+				ready = readyPush(g.tasks, ready, int32(did))
 			}
 		}
 	}
@@ -225,9 +313,9 @@ func (g *Graph) End(id int) Time { return g.tasks[id].End }
 // Makespan recomputes the maximum End across all tasks (valid after Run).
 func (g *Graph) Makespan() Time {
 	var m Time
-	for _, t := range g.tasks {
-		if t.End > m {
-			m = t.End
+	for i := range g.tasks {
+		if g.tasks[i].End > m {
+			m = g.tasks[i].End
 		}
 	}
 	return m
@@ -241,19 +329,17 @@ func (g *Graph) CriticalPath() []int {
 		return nil
 	}
 	// Find the makespan task.
-	last := g.tasks[0]
-	for _, t := range g.tasks[1:] {
-		if t.End > last.End {
+	last := &g.tasks[0]
+	for i := range g.tasks[1:] {
+		if t := &g.tasks[i+1]; t.End > last.End {
 			last = t
 		}
 	}
 	// Build reverse dependency lists lazily: find, for each task on the path,
 	// a predecessor that determined its readiness.
 	prev := make(map[int][]int, len(g.tasks))
-	for _, t := range g.tasks {
-		for _, did := range t.dependents {
-			prev[did] = append(prev[did], t.ID)
-		}
+	for _, e := range g.edges {
+		prev[int(e.succ)] = append(prev[int(e.succ)], int(e.pred))
 	}
 	var path []int
 	cur := last
@@ -261,8 +347,7 @@ func (g *Graph) CriticalPath() []int {
 		path = append(path, cur.ID)
 		var next *Task
 		for _, pid := range prev[cur.ID] {
-			p := g.tasks[pid]
-			if p.End == cur.Ready {
+			if p := &g.tasks[pid]; p.End == cur.Ready {
 				next = p
 				break
 			}

@@ -147,8 +147,20 @@ func (r *Resource) reserve(ready Time, d Time, taskID int) (start, end Time, err
 	}
 	end = start + r.scaledAt(start, d)
 	r.freeAt = end
-	r.busy = append(r.busy, Interval{Start: start, End: end, TaskID: taskID})
+	r.busy = append(r.busy, Interval{Start: start, End: end, TaskID: taskID}) // amortized: Reset keeps the backing array
 	return start, end, nil
+}
+
+// Prealloc ensures capacity for n further occupancy intervals, so a sized
+// workload reserves with zero allocations from the first grant on (Reset
+// already keeps the backing array, making steady-state reuse
+// allocation-free).
+func (r *Resource) Prealloc(n int) {
+	if want := len(r.busy) + n; cap(r.busy) < want {
+		grown := make([]Interval, len(r.busy), want) // prealloc: sizing the interval log once
+		copy(grown, r.busy)
+		r.busy = grown
+	}
 }
 
 // FreeAt reports when the resource next becomes idle.

@@ -6,6 +6,7 @@ import (
 	"ccube/internal/collective"
 	"ccube/internal/fault"
 	"ccube/internal/report"
+	"ccube/internal/sweep"
 )
 
 // ExtFaults measures degradation under link failures (framed like the
@@ -17,6 +18,15 @@ import (
 // with the failure count instead of falling off a cliff; the double tree is
 // the most exposed because every killed tree edge adds a two-hop detour to a
 // pipelined critical path.
+// extFaultRow is one rendered table row, computed inside a sweep cell.
+type extFaultRow struct {
+	alg      string
+	failed   int
+	makespan string
+	slowdown string
+	rerouted int
+}
+
 func ExtFaults() ([]*report.Table, error) {
 	const bytes = 64 << 20
 	const seed = 1
@@ -28,13 +38,18 @@ func ExtFaults() ([]*report.Table, error) {
 	}
 	t := report.New("Extension: perf loss vs number of failed links (random kills, repaired schedules, 64MB)",
 		"algorithm", "failed links", "makespan", "slowdown", "rerouted transfers")
-	for _, alg := range algs {
+	// One sweep cell per algorithm: fault plans mutate the graph's health
+	// state, so every cell builds a private dgx1() and runs its whole
+	// healthy-plus-failures column on it. Rows land in algorithm order.
+	rows, err := sweep.Grid(len(algs), Parallelism, func(i int) ([]extFaultRow, error) {
+		alg := algs[i]
 		g := dgx1()
 		healthy, _, err := fault.RunCollective(collective.Config{
 			Graph: g, Algorithm: alg, Bytes: bytes}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("faults healthy %v: %w", alg, err)
 		}
+		var out []extFaultRow
 		for failed := 0; failed <= 3; failed++ {
 			plan := fault.RandomLinkFailures(g, seed, failed)
 			res, rep, err := fault.RunCollective(collective.Config{
@@ -42,9 +57,21 @@ func ExtFaults() ([]*report.Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("faults %v n=%d: %w", alg, failed, err)
 			}
-			t.AddRow(alg.String(), fmt.Sprintf("%d", failed), report.Time(res.Total),
-				report.Ratio(float64(res.Total)/float64(healthy.Total)),
-				fmt.Sprintf("%d", rep.Rerouted()))
+			out = append(out, extFaultRow{
+				alg: alg.String(), failed: failed, makespan: report.Time(res.Total),
+				slowdown: report.Ratio(float64(res.Total) / float64(healthy.Total)),
+				rerouted: rep.Rerouted(),
+			})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, col := range rows {
+		for _, r := range col {
+			t.AddRow(r.alg, fmt.Sprintf("%d", r.failed), r.makespan, r.slowdown,
+				fmt.Sprintf("%d", r.rerouted))
 		}
 	}
 	t.AddNote("dead links repaired statically: parallel channel when one survives, else a one-GPU detour (§IV-A)")

@@ -6,6 +6,7 @@ import (
 	"ccube/internal/collective"
 	"ccube/internal/des"
 	"ccube/internal/report"
+	"ccube/internal/sweep"
 	"ccube/internal/topology"
 )
 
@@ -29,19 +30,29 @@ func ExtHetero() ([]*report.Table, error) {
 	}
 	healthyG := dgx1()
 	degradedG := degradedDGX1()
-	for _, alg := range algs {
+	// Both graphs are shared read-only across cells; one cell per algorithm,
+	// rows assembled in algorithm order.
+	type heteroRow struct{ healthy, degraded *collective.Result }
+	rows, err := sweep.Grid(len(algs), Parallelism, func(i int) (heteroRow, error) {
+		alg := algs[i]
 		healthy, err := collective.Run(collective.Config{
 			Graph: healthyG, Algorithm: alg, Bytes: 64 << 20})
 		if err != nil {
-			return nil, fmt.Errorf("hetero healthy %v: %w", alg, err)
+			return heteroRow{}, fmt.Errorf("hetero healthy %v: %w", alg, err)
 		}
 		degraded, err := collective.Run(collective.Config{
 			Graph: degradedG, Algorithm: alg, Bytes: 64 << 20})
 		if err != nil {
-			return nil, fmt.Errorf("hetero degraded %v: %w", alg, err)
+			return heteroRow{}, fmt.Errorf("hetero degraded %v: %w", alg, err)
 		}
-		t.AddRow(alg.String(), report.Time(healthy.Total), report.Time(degraded.Total),
-			report.Ratio(float64(degraded.Total)/float64(healthy.Total)))
+		return heteroRow{healthy, degraded}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		t.AddRow(algs[i].String(), report.Time(r.healthy.Total), report.Time(r.degraded.Total),
+			report.Ratio(float64(r.degraded.Total)/float64(r.healthy.Total)))
 	}
 	t.AddNote("a degraded link slows every schedule routed over it; pipelined schedules stall at the slow stage")
 	return []*report.Table{t}, nil

@@ -5,6 +5,7 @@ import (
 
 	"ccube/internal/dnn"
 	"ccube/internal/report"
+	"ccube/internal/sweep"
 	"ccube/internal/topology"
 	"ccube/internal/train"
 )
@@ -21,33 +22,54 @@ type Fig13Cell struct {
 	Result    *train.Result
 }
 
-// Fig13Sweep runs the full training grid and returns every cell.
-func Fig13Sweep() ([]Fig13Cell, error) {
-	var cells []Fig13Cell
+// fig13Point is one grid coordinate, enumerated up front so the sweep can
+// fan cells across workers while preserving the serial bw → model → batch →
+// mode order in the output.
+type fig13Point struct {
+	bw    string
+	graph *topology.Graph
+	model dnn.Model
+	batch int
+	mode  train.Mode
+}
+
+func fig13Grid() []fig13Point {
+	graphs := map[string]*topology.Graph{"low": dgx1Low(), "high": dgx1()}
+	var pts []fig13Point
 	for _, bw := range []string{"low", "high"} {
-		var g *topology.Graph
-		if bw == "low" {
-			g = dgx1Low()
-		} else {
-			g = dgx1()
-		}
 		for _, model := range dnn.EvaluationModels() {
 			for _, batch := range fig13Batches {
 				for _, mode := range train.Modes() {
-					res, err := train.Run(train.Config{
-						Model: model, Batch: batch, Graph: g, Mode: mode,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("fig13 %s b%d %s %s: %w", model.Name, batch, bw, mode, err)
-					}
-					cells = append(cells, Fig13Cell{
-						Model: model.Name, Batch: batch, Bandwidth: bw, Mode: mode, Result: res,
-					})
+					pts = append(pts, fig13Point{bw, graphs[bw], model, batch, mode})
 				}
 			}
 		}
 	}
-	return cells, nil
+	return pts
+}
+
+// runFig13Grid evaluates the given points on up to workers goroutines. The
+// two graphs are shared across cells but only read; schedules come from the
+// mutex-guarded collective cache and execute on per-cell resources, so any
+// worker count produces bit-identical cells (see TestFig13ParallelMatchesSerial).
+func runFig13Grid(pts []fig13Point, workers int) ([]Fig13Cell, error) {
+	return sweep.Grid(len(pts), workers, func(i int) (Fig13Cell, error) {
+		p := pts[i]
+		res, err := train.Run(train.Config{
+			Model: p.model, Batch: p.batch, Graph: p.graph, Mode: p.mode,
+		})
+		if err != nil {
+			return Fig13Cell{}, fmt.Errorf("fig13 %s b%d %s %s: %w", p.model.Name, p.batch, p.bw, p.mode, err)
+		}
+		return Fig13Cell{
+			Model: p.model.Name, Batch: p.batch, Bandwidth: p.bw, Mode: p.mode, Result: res,
+		}, nil
+	})
+}
+
+// Fig13Sweep runs the full training grid and returns every cell.
+func Fig13Sweep() ([]Fig13Cell, error) {
+	return runFig13Grid(fig13Grid(), Parallelism)
 }
 
 // Fig13 reproduces the normalized-performance grid (Fig. 13) plus the

@@ -19,6 +19,7 @@ func fig14Config(maxNodes int) scaleout.Config {
 		}
 	}
 	cfg.NodeCounts = counts
+	cfg.Workers = Parallelism
 	return cfg
 }
 

@@ -1,0 +1,11 @@
+package experiments
+
+import "ccube/internal/sweep"
+
+// Parallelism is the worker count the grid sweeps (fig13, fig14, ext-hetero,
+// ext-faults) fan their cells across. It defaults to every available core;
+// ccube-bench's -parallel flag overrides it, and 1 forces the reference
+// serial path. Cells are independent and results are assembled in grid
+// order, so the output is bit-identical at any setting — see
+// internal/sweep.
+var Parallelism = sweep.DefaultWorkers()

@@ -49,8 +49,10 @@ func RunCollective(cfg collective.Config, plan *Plan) (*collective.Result, *RunR
 	report := &RunReport{}
 
 	// The schedule is built against the healthy fabric — it is the schedule
-	// that was deployed before the faults hit.
-	s, err := collective.Build(cfg)
+	// that was deployed before the faults hit. The cached build means the
+	// repair-relaunch loop and fault sweeps pay the healthy build + verify
+	// once per topology, not once per injected fault.
+	s, err := collective.BuildCached(cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -15,6 +15,7 @@ import (
 
 	"ccube/internal/collective"
 	"ccube/internal/des"
+	"ccube/internal/sweep"
 	"ccube/internal/topology"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 
 	// Hierarchy overrides the fabric model; zero value uses defaults.
 	Hierarchy topology.HierarchyConfig
+
+	// Workers bounds the sweep's parallelism. 0 uses every available core;
+	// 1 forces the serial reference path. Output order and content are
+	// identical at any setting.
+	Workers int
 }
 
 // DefaultConfig returns the paper's sweep: P in 4..1024 and the three
@@ -75,12 +81,24 @@ func DefaultConfig() Config {
 }
 
 // Run executes the sweep and returns one Point per (nodes, size) pair, in
-// nodes-major order.
+// nodes-major order. Cells run on up to cfg.Workers goroutines (0 = all
+// cores); the fabric graph for each node count is built once up front and
+// shared read-only by that count's size cells.
 func Run(cfg Config) ([]Point, error) {
 	if len(cfg.NodeCounts) == 0 || len(cfg.Sizes) == 0 {
 		return nil, fmt.Errorf("scaleout: empty sweep")
 	}
-	var out []Point
+	chunkBytes := cfg.ChunkBytes
+	if chunkBytes == 0 {
+		chunkBytes = 256 << 10
+	}
+	type cell struct {
+		graph  *topology.Graph
+		nodes  int
+		bytes  int64
+		chunks int
+	}
+	var cells []cell
 	for _, p := range cfg.NodeCounts {
 		if p < 2 {
 			return nil, fmt.Errorf("scaleout: node count %d", p)
@@ -91,10 +109,6 @@ func Run(cfg Config) ([]Point, error) {
 		}
 		hcfg.NumGPUs = p
 		g := topology.Hierarchy(hcfg)
-		chunkBytes := cfg.ChunkBytes
-		if chunkBytes == 0 {
-			chunkBytes = 256 << 10
-		}
 		for _, n := range cfg.Sizes {
 			k := int(n / chunkBytes)
 			if k < 2 {
@@ -103,14 +117,21 @@ func Run(cfg Config) ([]Point, error) {
 			if k > collective.MaxAutoChunks {
 				k = collective.MaxAutoChunks
 			}
-			pt, err := runPoint(g, p, n, k)
-			if err != nil {
-				return nil, fmt.Errorf("scaleout: P=%d N=%d: %w", p, n, err)
-			}
-			out = append(out, pt)
+			cells = append(cells, cell{g, p, n, k})
 		}
 	}
-	return out, nil
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = sweep.DefaultWorkers()
+	}
+	return sweep.Grid(len(cells), workers, func(i int) (Point, error) {
+		c := cells[i]
+		pt, err := runPoint(c.graph, c.nodes, c.bytes, c.chunks)
+		if err != nil {
+			return pt, fmt.Errorf("scaleout: P=%d N=%d: %w", c.nodes, c.bytes, err)
+		}
+		return pt, nil
+	})
 }
 
 func runPoint(g *topology.Graph, p int, bytes int64, chunks int) (Point, error) {

@@ -1,0 +1,88 @@
+// Package sweep runs independent experiment cells across a worker pool.
+//
+// Every figure in this repo is a grid sweep: a list of (topology, algorithm,
+// size, ...) cells, each simulated independently, results assembled in grid
+// order. The cells share no mutable state — or arrange their own isolation,
+// like fault sweeps building a private graph per cell — so they parallelize
+// trivially. Grid fans them across workers while keeping the output
+// deterministic: results land at their cell's index, so the assembled slice
+// is bit-identical to a serial run regardless of worker count or completion
+// order.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// DefaultWorkers is the worker count used when a sweep does not specify one:
+// the process's GOMAXPROCS, i.e. every core the scheduler may use.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Grid evaluates cell(i) for i in [0, n) on up to workers goroutines and
+// returns the n results in index order. workers <= 1 (or n < 2) runs the
+// cells inline on the calling goroutine, in order — the reference serial
+// path.
+//
+// cell must treat distinct indices as independent: it may be called for
+// different i concurrently from different goroutines. If any cell returns an
+// error, Grid reports the error of the lowest failing index — the same error
+// a serial loop that stops at the first failure would surface — and the
+// results are discarded. All in-flight cells are still drained (there is no
+// cancellation; cells are finite simulations).
+func Grid[T any](n, workers int, cell func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := cell(i)
+			if err != nil {
+				return nil, &CellError{Index: i, Err: err}
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	next := make(chan int) // feeder: indices are handed out in order
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range next {
+				out[i], errs[i] = cell(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, &CellError{Index: i, Err: err}
+		}
+	}
+	return out, nil
+}
+
+// CellError reports which grid cell failed. Both the serial and parallel
+// paths wrap cell failures identically, and Unwrap exposes the cell's own
+// error so callers can errors.As through the sweep layer.
+type CellError struct {
+	Index int
+	Err   error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("sweep: cell %d: %v", e.Index, e.Err) }
+func (e *CellError) Unwrap() error { return e.Err }

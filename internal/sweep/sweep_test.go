@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGridSerialAndParallelIdentical(t *testing.T) {
+	cell := func(i int) (int, error) { return i * i, nil }
+	serial, err := Grid(100, 1, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 200} {
+		par, err := Grid(100, workers, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: cell %d = %d, serial %d", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestGridRunsEveryCellOnce(t *testing.T) {
+	var calls [64]int32
+	_, err := Grid(64, 8, func(i int) (struct{}, error) {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestGridReportsLowestFailingIndex(t *testing.T) {
+	sentinel := errors.New("boom")
+	cell := func(i int) (int, error) {
+		if i%7 == 3 { // fails at 3, 10, 17, ...
+			return 0, fmt.Errorf("cell %d: %w", i, sentinel)
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 8} {
+		_, err := Grid(40, workers, cell)
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: got %v, want *CellError", workers, err)
+		}
+		if ce.Index != 3 {
+			t.Fatalf("workers=%d: failing index %d, want 3 (lowest)", workers, ce.Index)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: CellError does not unwrap to the cell error", workers)
+		}
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	out, err := Grid(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Grid(0) = %v, %v; want nil, nil", out, err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

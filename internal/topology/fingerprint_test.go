@@ -1,0 +1,61 @@
+package topology
+
+import "testing"
+
+func TestFingerprintStableAcrossIdenticalBuilds(t *testing.T) {
+	a := DGX1(DefaultDGX1Config())
+	b := DGX1(DefaultDGX1Config())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("two identical DGX-1 builds have different fingerprints")
+	}
+}
+
+func TestFingerprintDistinguishesConfigurations(t *testing.T) {
+	high := DGX1(DefaultDGX1Config())
+	lowCfg := DefaultDGX1Config()
+	lowCfg.LowBandwidth = true
+	low := DGX1(lowCfg)
+	if high.Fingerprint() == low.Fingerprint() {
+		t.Fatal("high- and low-bandwidth DGX-1 share a fingerprint")
+	}
+	if high.Fingerprint() == FullyConnected(4, 25e9, 0).Fingerprint() {
+		t.Fatal("DGX-1 and fc4 share a fingerprint")
+	}
+}
+
+func TestFingerprintTracksHealthState(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	healthy := g.Fingerprint()
+
+	g.KillChannel(0)
+	killed := g.Fingerprint()
+	if killed == healthy {
+		t.Fatal("KillChannel did not change the fingerprint")
+	}
+
+	g.RestoreChannel(0)
+	if g.Fingerprint() != healthy {
+		t.Fatal("RestoreChannel did not restore the fingerprint")
+	}
+
+	g.DegradeChannel(0, 4)
+	degraded := g.Fingerprint()
+	if degraded == healthy || degraded == killed {
+		t.Fatal("DegradeChannel fingerprint collides with healthy or killed state")
+	}
+	g.DegradeChannel(0, 2)
+	if g.Fingerprint() == degraded {
+		t.Fatal("changing the degrade factor did not change the fingerprint")
+	}
+	g.RestoreChannel(0)
+	if g.Fingerprint() != healthy {
+		t.Fatal("RestoreChannel after degrade did not restore the fingerprint")
+	}
+}
+
+func TestFingerprintAllocationFree(t *testing.T) {
+	g := DGX1(DefaultDGX1Config())
+	if allocs := testing.AllocsPerRun(20, func() { g.Fingerprint() }); allocs > 0 {
+		t.Fatalf("Fingerprint allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -62,6 +62,11 @@ type Channel struct {
 	// RestoreChannel (the fault-injection layer).
 	down    bool
 	degrade float64 // bandwidth divisor; 0 or 1 = healthy
+
+	// resName is the des.Resource name, formatted once at AddChannel time:
+	// Resources() runs once per simulated execution, and per-call Sprintf
+	// was a measurable slice of sweep time.
+	resName string
 }
 
 // Down reports whether the channel has failed and refuses all traffic.
@@ -133,6 +138,7 @@ func (g *Graph) AddChannel(from, to NodeID, bandwidth float64, latency des.Time,
 	id := ChannelID(len(g.channels))
 	g.channels = append(g.channels, Channel{
 		ID: id, From: from, To: to, Bandwidth: bandwidth, Latency: latency, Tag: tag,
+		resName: fmt.Sprintf("ch%d:%s->%s(%s)", id, g.nodes[from].Name, g.nodes[to].Name, tag),
 	})
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
@@ -282,9 +288,8 @@ func (g *Graph) mustChannel(id ChannelID) int {
 // execution engine. Index i corresponds to ChannelID i.
 func (g *Graph) Resources() []*des.Resource {
 	res := make([]*des.Resource, len(g.channels))
-	for i, c := range g.channels {
-		res[i] = des.NewResource(fmt.Sprintf("ch%d:%s->%s(%s)",
-			c.ID, g.nodes[c.From].Name, g.nodes[c.To].Name, c.Tag))
+	for i := range g.channels {
+		res[i] = des.NewResource(g.channels[i].resName)
 	}
 	return res
 }

@@ -209,7 +209,9 @@ func (cfg *Config) buildSchedule(nodes []topology.NodeID) (*collective.Schedule,
 	if err != nil {
 		return nil, err
 	}
-	return collective.Build(collective.Config{
+	// BuildCached: iteration sweeps rebuild the same (topology, mode, model)
+	// schedule for every cell; the memoized copy is already verified.
+	return collective.BuildCached(collective.Config{
 		Graph:               cfg.Graph,
 		Algorithm:           alg,
 		Nodes:               nodes,
