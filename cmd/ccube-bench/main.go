@@ -25,6 +25,7 @@ import (
 	"ccube/internal/bench"
 	"ccube/internal/collective"
 	"ccube/internal/experiments"
+	"ccube/internal/metrics"
 	"ccube/internal/report"
 	"ccube/internal/schedcheck"
 	"ccube/internal/topology"
@@ -35,12 +36,17 @@ import (
 // fig13 is among the runs — the serial/uncached reference timing that the
 // cache+parallel speedup is measured against.
 type benchReport struct {
-	Parallelism int            `json:"parallelism"`
-	Engine      []bench.Result `json:"engine"`
-	Experiments []expTiming    `json:"experiments"`
-	CacheHits   uint64         `json:"schedule_cache_hits"`
-	CacheMisses uint64         `json:"schedule_cache_misses"`
-	Fig13Ref    *fig13Ref      `json:"fig13_reference,omitempty"`
+	NumCPU         int                      `json:"num_cpu"`
+	GoMaxProcs     int                      `json:"gomaxprocs"`
+	Parallelism    int                      `json:"parallelism"`
+	Engine         []bench.Result           `json:"engine"`
+	Experiments    []expTiming              `json:"experiments"`
+	CacheHits      uint64                   `json:"schedule_cache_hits"`
+	CacheMisses    uint64                   `json:"schedule_cache_misses"`
+	CacheEvictions uint64                   `json:"schedule_cache_evictions"`
+	CacheHitRate   float64                  `json:"schedule_cache_hit_rate"`
+	Fig13Ref       *fig13Ref                `json:"fig13_reference,omitempty"`
+	Metrics        []metrics.FamilySnapshot `json:"metrics,omitempty"`
 }
 
 type expTiming struct {
@@ -166,8 +172,15 @@ func run() int {
 		todo = []experiments.Experiment{e}
 	}
 
-	rep := benchReport{Parallelism: *parallel}
+	rep := benchReport{
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: *parallel,
+	}
 	if *benchJSON != "" {
+		// Collect the runtime metrics layer alongside the wall times so the
+		// JSON records utilization/overlap/queue behavior, not just totals.
+		metrics.Default.Enable()
 		fmt.Println("running engine micro-benchmarks...")
 		rep.Engine = bench.Engine()
 		for _, r := range rep.Engine {
@@ -213,6 +226,10 @@ func run() int {
 
 	if *benchJSON != "" {
 		rep.CacheHits, rep.CacheMisses = collective.DefaultCache.Stats()
+		rep.CacheEvictions = collective.DefaultCache.Evictions()
+		if lookups := rep.CacheHits + rep.CacheMisses; lookups > 0 {
+			rep.CacheHitRate = float64(rep.CacheHits) / float64(lookups)
+		}
 		for _, t := range rep.Experiments {
 			if t.ID != "fig13" {
 				continue
@@ -239,6 +256,7 @@ func run() int {
 			fmt.Printf("[fig13: %.1fs serial/uncached vs %.1fs cached/parallel = %.1fx]\n\n",
 				ref, t.Seconds, rep.Fig13Ref.Speedup)
 		}
+		rep.Metrics = metrics.Default.Snapshot()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

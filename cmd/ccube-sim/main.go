@@ -19,6 +19,7 @@ import (
 
 	"ccube/internal/collective"
 	"ccube/internal/fault"
+	"ccube/internal/metrics"
 	"ccube/internal/report"
 	"ccube/internal/schedcheck"
 	"ccube/internal/topology"
@@ -46,7 +47,13 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt view of channel occupancy")
 	showTopo := flag.Bool("show-topo", false, "print the topology's link summary first")
 	faultSpec := flag.String("fault", "", `inject faults and repair around them, e.g. "kill:2-3", "degrade:0-1x4,slow:0x1.5", "kill:ch17@50000" (@T = virtual ns)`)
+	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and print a Prometheus text dump after the run")
+	metricsJSON := flag.String("metrics-json", "", "collect runtime metrics and write a JSON snapshot to this file")
 	flag.Parse()
+
+	if *showMetrics || *metricsJSON != "" {
+		metrics.Default.Enable()
+	}
 
 	alg, ok := algorithms[*algo]
 	if !ok {
@@ -73,6 +80,7 @@ func main() {
 	}
 	if *faultSpec != "" {
 		runFaulted(g, cfg, *algo, *topo, *faultSpec, *topChannels)
+		dumpMetrics(*showMetrics, *metricsJSON)
 		return
 	}
 	sched, err := collective.Build(cfg)
@@ -126,6 +134,32 @@ func main() {
 
 	if *gantt {
 		fmt.Println(trace.Gantt(taskGraph, trace.GanttOptions{Width: 100, MaxLanes: *topChannels}))
+	}
+
+	dumpMetrics(*showMetrics, *metricsJSON)
+}
+
+// dumpMetrics emits the collected runtime metrics: Prometheus text on stdout
+// when show is set, a JSON snapshot to jsonPath when non-empty.
+func dumpMetrics(show bool, jsonPath string) {
+	if show {
+		fmt.Println("-- runtime metrics (Prometheus text format) --")
+		if err := metrics.Default.WritePrometheus(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := metrics.Default.WriteJSON(f); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", jsonPath)
 	}
 }
 

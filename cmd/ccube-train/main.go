@@ -18,6 +18,7 @@ import (
 
 	"ccube/internal/des"
 	"ccube/internal/dnn"
+	"ccube/internal/metrics"
 	"ccube/internal/report"
 	"ccube/internal/topology"
 	"ccube/internal/trace"
@@ -34,7 +35,13 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event timeline (single mode only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and print a Prometheus text dump after the run")
+	metricsJSON := flag.String("metrics-json", "", "collect runtime metrics and write a JSON snapshot to this file")
 	flag.Parse()
+
+	if *showMetrics || *metricsJSON != "" {
+		metrics.Default.Enable()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -135,6 +142,26 @@ func main() {
 	}
 	t.AddNote("B=double-tree baseline, C1=overlapped tree, C2=gradient queuing, R=ring, CC=C-Cube, DDP=bucketed backward overlap")
 	fmt.Println(t.Render())
+
+	if *showMetrics {
+		fmt.Println("-- runtime metrics (Prometheus text format) --")
+		if err := metrics.Default.WritePrometheus(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *metricsJSON != "" {
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := metrics.Default.WriteJSON(f); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsJSON)
+	}
 }
 
 func fail(format string, args ...any) {

@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"container/list"
 	"strconv"
 	"strings"
 	"sync"
@@ -39,13 +40,32 @@ import (
 // graph it was built on, and handing it to a caller operating on a different
 // (even content-identical) graph would make later health mutations on the
 // caller's graph invisible to repair and staleness checks.
+//
+// Capacity is bounded with LRU eviction. Without a bound, health-mutating
+// sweeps (ext-faults kills/degrades mint a fresh fingerprint per mutation)
+// grow the process-wide cache monotonically; dead fingerprints can never hit
+// again, so evicting the least-recently-used entry is free in practice.
 type Cache struct {
-	mu       sync.Mutex
-	entries  map[cacheKey]*Schedule
-	hits     uint64
-	misses   uint64
-	disabled bool
+	mu        sync.Mutex
+	entries   map[cacheKey]*list.Element // -> *lruEntry element in lru
+	lru       *list.List                 // front = most recently used
+	capacity  int                        // max entries; <= 0 means unbounded
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	disabled  bool
 }
+
+type lruEntry struct {
+	key cacheKey
+	s   *Schedule
+}
+
+// DefaultCacheCapacity bounds DefaultCache (and every NewCache). Sized for
+// the experiment suite: the full figure sweep uses well under a hundred
+// distinct (topology fingerprint, operation) keys, so the bound only bites
+// on pathological fingerprint churn.
+const DefaultCacheCapacity = 256
 
 type cacheKey struct {
 	graph  *topology.Graph
@@ -57,8 +77,14 @@ type cacheKey struct {
 	extra  string // canonical encoding of Nodes / ring-order overrides
 }
 
-// NewCache returns an empty schedule cache.
-func NewCache() *Cache { return &Cache{entries: make(map[cacheKey]*Schedule)} }
+// NewCache returns an empty schedule cache bounded at DefaultCacheCapacity.
+func NewCache() *Cache {
+	return &Cache{
+		entries:  make(map[cacheKey]*list.Element),
+		lru:      list.New(),
+		capacity: DefaultCacheCapacity,
+	}
+}
 
 // DefaultCache is the process-wide schedule cache used by BuildCached and
 // Run. Experiment sweeps share it across goroutines.
@@ -114,10 +140,12 @@ func (c *Cache) Build(cfg Config) (*Schedule, error) {
 		c.mu.Unlock()
 		return Build(cfg)
 	}
-	if s, ok := c.entries[k]; ok {
+	if el, ok := c.entries[k]; ok {
 		c.hits++
+		c.lru.MoveToFront(el)
 		c.mu.Unlock()
-		return s, nil
+		mCacheHits.Inc()
+		return el.Value.(*lruEntry).s, nil
 	}
 	c.mu.Unlock()
 
@@ -135,18 +163,77 @@ func (c *Cache) Build(cfg Config) (*Schedule, error) {
 	s.stamp()
 
 	c.mu.Lock()
-	c.entries[k] = s
 	c.misses++
+	evicted := c.store(k, s)
 	c.mu.Unlock()
+	mCacheMisses.Inc()
+	mCacheEvictions.Add(int64(evicted))
 	return s, nil
 }
 
+// store inserts (or refreshes) an entry as most-recently-used and evicts
+// from the LRU end while over capacity, returning how many entries were
+// dropped. Caller holds c.mu.
+func (c *Cache) store(k cacheKey, s *Schedule) (evicted int) {
+	if el, ok := c.entries[k]; ok {
+		// A concurrent duplicate build of the same key landed first; keep
+		// the newer result (both are identical) and just refresh recency.
+		el.Value.(*lruEntry).s = s
+		c.lru.MoveToFront(el)
+		return 0
+	}
+	c.entries[k] = c.lru.PushFront(&lruEntry{key: k, s: s})
+	for c.capacity > 0 && c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		e := oldest.Value.(*lruEntry)
+		c.lru.Remove(oldest)
+		delete(c.entries, e.key)
+		c.evictions++
+		evicted++
+	}
+	return evicted
+}
+
 // Stats reports cache hits and misses since construction (or the last
-// Clear). Errors count toward neither.
+// Clear). Errors count toward neither; evicted entries keep their recorded
+// hits and misses.
 func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions reports how many entries the capacity bound has dropped since
+// construction (or the last Clear).
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Capacity returns the current entry bound (<= 0 means unbounded).
+func (c *Cache) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// SetCapacity changes the entry bound and immediately evicts down to it;
+// n <= 0 removes the bound.
+func (c *Cache) SetCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	var evicted int64
+	for c.capacity > 0 && c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		e := oldest.Value.(*lruEntry)
+		c.lru.Remove(oldest)
+		delete(c.entries, e.key)
+		c.evictions++
+		evicted++
+	}
+	mCacheEvictions.Add(evicted)
 }
 
 // Len reports the number of cached schedules.
@@ -170,6 +257,7 @@ func (c *Cache) SetEnabled(on bool) {
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = make(map[cacheKey]*Schedule)
-	c.hits, c.misses = 0, 0
+	c.entries = make(map[cacheKey]*list.Element)
+	c.lru.Init()
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }

@@ -5,6 +5,7 @@ import (
 
 	"ccube/internal/chunk"
 	"ccube/internal/des"
+	"ccube/internal/metrics"
 	"ccube/internal/schedcheck"
 	"ccube/internal/topology"
 )
@@ -331,6 +332,9 @@ func (s *Schedule) ExecuteOn(res []*des.Resource) (*Result, *des.Graph, error) {
 		if err := r.ValidateSerialized(); err != nil {
 			return nil, nil, err
 		}
+	}
+	if metrics.Default.Enabled() {
+		s.publishExecutionMetrics(res, g, inst.TaskIDs, total)
 	}
 	return &Result{
 		Total:      total,

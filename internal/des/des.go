@@ -151,6 +151,7 @@ func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, e.now))
 	}
+	mEventsScheduled.Inc()
 	var ev *event
 	if n := len(e.pool); n > 0 {
 		ev = e.pool[n-1]
@@ -158,6 +159,7 @@ func (e *Engine) At(t Time, fn func()) Event {
 		e.pool = e.pool[:n-1]
 	} else {
 		ev = &event{}
+		mPoolAlloc.Inc()
 	}
 	ev.at, ev.seq, ev.fn, ev.canceled = t, e.seq, fn, false
 	e.seq++
@@ -197,6 +199,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 func (e *Engine) step() {
 	ev := e.pop()
 	if ev.canceled {
+		mEventsCancelled.Inc()
 		e.recycle(ev)
 		return
 	}
@@ -205,6 +208,7 @@ func (e *Engine) step() {
 	}
 	e.now = ev.at
 	e.fired++
+	mEventsFired.Inc()
 	fn := ev.fn
 	e.recycle(ev)
 	fn()
@@ -214,6 +218,7 @@ func (e *Engine) step() {
 // handles via the generation bump and dropping the callback reference so the
 // pool does not retain closures.
 func (e *Engine) recycle(ev *event) {
+	mPoolRecycled.Inc()
 	ev.gen++
 	ev.fn = nil
 	ev.canceled = false

@@ -253,7 +253,11 @@ func (g *Graph) RunErr() (Time, error) {
 
 	var makespan Time
 	executed := 0
+	maxReadyDepth := len(ready)
 	for len(ready) > 0 {
+		if len(ready) > maxReadyDepth {
+			maxReadyDepth = len(ready)
+		}
 		var id int32
 		id, ready = readyPop(g.tasks, ready)
 		t := &g.tasks[id]
@@ -261,6 +265,8 @@ func (g *Graph) RunErr() (Time, error) {
 			start, end, err := t.Resource.reserve(t.Ready, t.Duration, t.ID)
 			if err != nil {
 				ref := err.(*refusal)
+				mTasksExecuted.Add(int64(executed))
+				mReadyDepthMax.SetMax(float64(maxReadyDepth))
 				return makespan, &FaultError{
 					Faults: []TaskFault{{
 						TaskID:   t.ID,
@@ -301,6 +307,8 @@ func (g *Graph) RunErr() (Time, error) {
 	if executed != len(g.tasks) {
 		panic(fmt.Sprintf("des: dependency cycle: %d of %d tasks executed", executed, len(g.tasks)))
 	}
+	mTasksExecuted.Add(int64(executed))
+	mReadyDepthMax.SetMax(float64(maxReadyDepth))
 	return makespan, nil
 }
 

@@ -148,6 +148,7 @@ func (r *Resource) reserve(ready Time, d Time, taskID int) (start, end Time, err
 	end = start + r.scaledAt(start, d)
 	r.freeAt = end
 	r.busy = append(r.busy, Interval{Start: start, End: end, TaskID: taskID}) // amortized: Reset keeps the backing array
+	mResourceBusyNS.Add(int64(end - start))
 	return start, end, nil
 }
 

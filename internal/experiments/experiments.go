@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
+	"ccube/internal/metrics"
 	"ccube/internal/report"
 	"ccube/internal/topology"
 )
@@ -19,9 +21,29 @@ type Experiment struct {
 	Run         func() ([]*report.Table, error)
 }
 
+var (
+	mExpRuns = metrics.Default.CounterVec("experiments_runs_total",
+		"experiment executions", "id")
+	mExpSeconds = metrics.Default.GaugeVec("experiments_last_run_seconds",
+		"wall-clock seconds of the experiment's last run", "id")
+)
+
+// timed wraps an experiment runner with per-experiment wall-time metrics.
+func timed(id string, run func() ([]*report.Table, error)) func() ([]*report.Table, error) {
+	return func() ([]*report.Table, error) {
+		start := time.Now()
+		tables, err := run()
+		if err == nil && metrics.Default.Enabled() {
+			mExpRuns.With(id).Inc()
+			mExpSeconds.With(id).Set(time.Since(start).Seconds())
+		}
+		return tables, err
+	}
+}
+
 // All returns every experiment in paper order.
 func All() []Experiment {
-	return []Experiment{
+	list := []Experiment{
 		{"fig1", "AllReduce fraction of execution time (MLPerf suite, 8-GPU DGX-1)", Fig1},
 		{"fig3", "One-shot vs layer-wise vs slicing AllReduce (ResNet-50 parameters)", Fig3},
 		{"fig4", "Ring vs tree AllReduce cost-model ratio over P and N", Fig4},
@@ -43,6 +65,10 @@ func All() []Experiment {
 		{"ext-faults", "Extension: perf loss vs failed links, schedules repaired via detours", ExtFaults},
 		{"ext-interference", "Extension: two concurrent collectives sharing one DGX-1", ExtInterference},
 	}
+	for i := range list {
+		list[i].Run = timed(list[i].ID, list[i].Run)
+	}
+	return list
 }
 
 // ByID returns the experiment with the given id.

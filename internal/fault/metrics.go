@@ -1,0 +1,15 @@
+package fault
+
+import "ccube/internal/metrics"
+
+// Resilience instruments: how much repair work the fault layer performed.
+var (
+	mLaunchAttempts = metrics.Default.Counter("fault_launch_attempts_total",
+		"schedule launches, including relaunches after mid-run deaths")
+	mRepairs = metrics.Default.Counter("fault_repairs_total",
+		"RepairSchedule invocations that rewired transfers")
+	mMidRunDeaths = metrics.Default.Counter("fault_midrun_deaths_total",
+		"channels that died mid-run and forced a relaunch")
+	mRerouted = metrics.Default.Counter("fault_rerouted_transfers_total",
+		"transfers rerouted around dead links by static repair")
+)

@@ -72,11 +72,14 @@ func RunCollective(cfg collective.Config, plan *Plan) (*collective.Result, *RunR
 	}
 	if rep.Rerouted > 0 {
 		report.Repairs = append(report.Repairs, rep)
+		mRepairs.Inc()
+		mRerouted.Add(int64(rep.Rerouted))
 	}
 
 	maxAttempts := len(plan.TimedDeaths()) + 1
 	for {
 		report.Attempts++
+		mLaunchAttempts.Inc()
 		res := g.Resources()
 		plan.ApplyToResources(g, res)
 		result, _, err := cur.ExecuteOn(res)
@@ -94,6 +97,7 @@ func RunCollective(cfg collective.Config, plan *Plan) (*collective.Result, *RunR
 		// Promote the mid-run death to a static one and repair around it —
 		// the collective relaunches on the surviving fabric.
 		report.MidRunDeaths = append(report.MidRunDeaths, died)
+		mMidRunDeaths.Inc()
 		if !g.Channel(died).Down() {
 			g.KillChannel(died)
 			promoted = append(promoted, died)
@@ -103,6 +107,8 @@ func RunCollective(cfg collective.Config, plan *Plan) (*collective.Result, *RunR
 			return nil, report, rerr
 		}
 		report.Repairs = append(report.Repairs, rep)
+		mRepairs.Inc()
+		mRerouted.Add(int64(rep.Rerouted))
 		cur = next
 	}
 }

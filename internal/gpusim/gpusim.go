@@ -95,6 +95,7 @@ type stallTracker struct {
 }
 
 func (s *stallTracker) note(format string, args ...any) {
+	mKernelStalls.Inc()
 	s.mu.Lock()
 	s.kernels = append(s.kernels, fmt.Sprintf(format, args...))
 	s.mu.Unlock()
@@ -174,6 +175,7 @@ func newEdgeLink(depth, nChunks int, detoured, dead bool, desc string,
 			if sendStalled {
 				return
 			}
+			mChunksForwarded.Inc()
 		}
 	}()
 	return edgeLink{first: in, last: out}
@@ -195,6 +197,7 @@ func AllReduce(inputs [][]float32, cfg Config) (*Result, error) {
 	if elems == 0 {
 		return nil, fmt.Errorf("gpusim: empty inputs")
 	}
+	mAllReduces.Inc()
 	if len(cfg.Trees) == 0 {
 		return nil, fmt.Errorf("gpusim: no trees")
 	}

@@ -1,0 +1,13 @@
+package gpusim
+
+import "ccube/internal/metrics"
+
+// Persistent-kernel emulation instruments.
+var (
+	mAllReduces = metrics.Default.Counter("gpusim_allreduce_total",
+		"emulated AllReduce operations started")
+	mKernelStalls = metrics.Default.Counter("gpusim_kernel_stalls_total",
+		"persistent kernels that exhausted their spin budget")
+	mChunksForwarded = metrics.Default.Counter("gpusim_chunks_forwarded_total",
+		"chunks moved by detour forwarding kernels")
+)

@@ -84,6 +84,7 @@ func (q *Queue) Enqueue(c int) {
 		advance++
 	}
 	q.mu.Unlock()
+	mChunksEnqueued.Inc()
 	for i := 0; i < advance; i++ {
 		q.enqueued.Post()
 	}
@@ -100,6 +101,7 @@ func (q *Queue) DequeueLayer() (layer int, ok bool) {
 	layer = q.lic
 	q.enqueued.Check(int64(q.table.LastChunk[layer]) + 1)
 	q.lic++
+	mLayersDequeued.Inc()
 	return layer, true
 }
 
@@ -115,9 +117,11 @@ func (q *Queue) DequeueLayerBounded(budget int) (layer int, ok, stalled bool) {
 	layer = q.lic
 	if !q.enqueued.CheckBounded(int64(q.table.LastChunk[layer])+1, budget) {
 		// layer identifies what the consumer was waiting on when it stalled.
+		mDequeueStalls.Inc()
 		return layer, false, true
 	}
 	q.lic++
+	mLayersDequeued.Inc()
 	return layer, true, false
 }
 

@@ -1,0 +1,15 @@
+package gradqueue
+
+import "ccube/internal/metrics"
+
+// Gradient-queue instruments: the C2 mechanism's event counts. Per-layer
+// forward-start latency lives in internal/train, where virtual timestamps
+// exist; here we count the queue's own traffic and stalls.
+var (
+	mChunksEnqueued = metrics.Default.Counter("gradqueue_chunks_enqueued_total",
+		"reduced gradient chunks enqueued across all queues")
+	mLayersDequeued = metrics.Default.Counter("gradqueue_layers_dequeued_total",
+		"layers released to forward compute across all queues")
+	mDequeueStalls = metrics.Default.Counter("gradqueue_dequeue_stalls_total",
+		"bounded dequeues that exhausted their spin budget")
+)

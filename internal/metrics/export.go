@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), deterministically: families sorted by name,
+// labeled children by label value. Safe to call concurrently with updates.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		f.mu.Lock()
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				f.mu.Unlock()
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			f.mu.Unlock()
+			return err
+		}
+		var err error
+		if f.label == "" {
+			err = writeInstrument(w, f.name, "", f.scalar)
+		} else {
+			values := make([]string, 0, len(f.children))
+			for v := range f.children {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				lbl := fmt.Sprintf(`{%s=%q}`, f.label, escapeLabel(v))
+				if err = writeInstrument(w, f.name, lbl, f.children[v]); err != nil {
+					break
+				}
+			}
+		}
+		f.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeInstrument(w io.Writer, name, labels string, inst any) error {
+	switch v := inst.(type) {
+	case nil:
+		return nil
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, v.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(v.Value()))
+		return err
+	case *Histogram:
+		cum := int64(0)
+		for i := range v.counts {
+			cum += v.counts[i].Load()
+			le := "+Inf"
+			if i < len(v.bounds) {
+				le = formatFloat(v.bounds[i])
+			}
+			bucketLabels := fmt.Sprintf(`{le=%q}`, le)
+			if labels != "" {
+				bucketLabels = strings.TrimSuffix(labels, "}") + fmt.Sprintf(`,le=%q}`, le)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(v.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, v.Count())
+		return err
+	default:
+		return fmt.Errorf("metrics: unknown instrument %T for %s", inst, name)
+	}
+}
+
+// formatFloat renders floats the way Prometheus expects: shortest
+// round-trippable form, integers without a trailing ".0".
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	// %q in the callers already escapes quotes and backslashes; nothing
+	// further needed, but keep newlines out of label values defensively.
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
+// ValueSnapshot is one instrument's state in a JSON snapshot. Counter and
+// gauge values land in Value; histograms use Count/Sum/Buckets.
+type ValueSnapshot struct {
+	Label   string   `json:"label,omitempty"`
+	Value   float64  `json:"value"`
+	Count   int64    `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket; Le is the inclusive upper
+// bound (+Inf for the overflow bucket).
+type Bucket struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// FamilySnapshot is one metric family in a JSON snapshot.
+type FamilySnapshot struct {
+	Name   string          `json:"name"`
+	Kind   string          `json:"kind"`
+	Help   string          `json:"help,omitempty"`
+	Label  string          `json:"label,omitempty"`
+	Values []ValueSnapshot `json:"values"`
+}
+
+// Snapshot returns a deterministic point-in-time copy of every registered
+// family, suitable for embedding in reports (BENCH_ccube.json).
+func (r *Registry) Snapshot() []FamilySnapshot {
+	families := r.sortedFamilies()
+	out := make([]FamilySnapshot, 0, len(families))
+	for _, f := range families {
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind.String(), Help: f.help, Label: f.label}
+		f.mu.Lock()
+		if f.label == "" {
+			if v := snapshotInstrument("", f.scalar); v != nil {
+				fs.Values = append(fs.Values, *v)
+			}
+		} else {
+			values := make([]string, 0, len(f.children))
+			for v := range f.children {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, lv := range values {
+				if v := snapshotInstrument(lv, f.children[lv]); v != nil {
+					fs.Values = append(fs.Values, *v)
+				}
+			}
+		}
+		f.mu.Unlock()
+		out = append(out, fs)
+	}
+	return out
+}
+
+func snapshotInstrument(label string, inst any) *ValueSnapshot {
+	switch v := inst.(type) {
+	case *Counter:
+		return &ValueSnapshot{Label: label, Value: float64(v.Value())}
+	case *Gauge:
+		return &ValueSnapshot{Label: label, Value: v.Value()}
+	case *Histogram:
+		vs := &ValueSnapshot{Label: label, Count: v.Count(), Sum: v.Sum()}
+		cum := int64(0)
+		for i := range v.counts {
+			cum += v.counts[i].Load()
+			le := "+Inf"
+			if i < len(v.bounds) {
+				le = formatFloat(v.bounds[i])
+			}
+			vs.Buckets = append(vs.Buckets, Bucket{Le: le, Count: cum})
+		}
+		return vs
+	default:
+		return nil
+	}
+}
+
+// WriteJSON writes the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

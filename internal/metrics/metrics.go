@@ -1,0 +1,395 @@
+// Package metrics is the simulator's runtime observability layer: counter,
+// gauge, and histogram primitives that every subsystem (des engine,
+// collective execution, gradient queuing, fault handling, training pipeline)
+// publishes into one process-wide registry, exportable as a Prometheus
+// text-format snapshot or JSON.
+//
+// The design contract, pinned by internal/des's AllocsPerRun tests, is
+// zero overhead on the hot path when collection is disabled:
+//
+//   - Instruments are registered once, at package init or setup time, and
+//     preallocate all of their storage (histogram buckets included). The
+//     hot-path operations (Inc, Add, Set, SetMax, Observe) never allocate —
+//     enabled or not.
+//   - Every hot-path operation first loads one atomic bool; when the owning
+//     registry is disabled it returns immediately. Disabled cost is a load
+//     and a predictable branch.
+//   - All mutation is atomic (CAS loops for float accumulation), so
+//     instruments are safe to update from parallel sweep workers and the
+//     gpusim kernel goroutines under the race detector.
+//
+// Labeled families (CounterVec/GaugeVec) materialize one child per label
+// value on first use; acquisition takes a lock and may allocate, so hot code
+// acquires children during setup (or publishes post-run), never per event.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the instrument families a registry can hold.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Registry owns a set of named instrument families. The zero value is not
+// usable; call NewRegistry. A registry starts disabled: instruments ignore
+// updates until Enable is called, which is what keeps library code free to
+// instrument unconditionally.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one named metric: either a single scalar instrument or a set of
+// labeled children (a "vec").
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	label  string    // label key; "" for scalar families
+	bounds []float64 // histogram bucket upper bounds
+
+	mu       sync.Mutex
+	scalar   any            // *Counter / *Gauge / *Histogram when label == ""
+	children map[string]any // label value -> instrument when label != ""
+}
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry every package in this repository
+// publishes into. Commands enable it with their -metrics flags.
+var Default = NewRegistry()
+
+// Enable turns collection on: instrument updates start taking effect.
+func (r *Registry) Enable() { r.enabled.Store(true) }
+
+// Disable turns collection off; already-recorded values are kept.
+func (r *Registry) Disable() { r.enabled.Store(false) }
+
+// Enabled reports whether collection is on. Callers computing expensive
+// derived metrics (interval merging, per-channel aggregation) guard the whole
+// computation on this.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// lookup returns the family with the given name, creating it on first use.
+// Re-registering an existing name with a different kind or label key panics:
+// two subsystems fighting over one name is a wiring bug.
+func (r *Registry) lookup(name, help string, kind Kind, label string, bounds []float64) *family {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, label: label, bounds: bounds}
+		if label != "" {
+			f.children = make(map[string]any)
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind || f.label != label {
+		panic(fmt.Sprintf("metrics: %s re-registered as %v/%q (was %v/%q)",
+			name, kind, label, f.kind, f.label))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	return f
+}
+
+// Counter returns the counter with the given name, registering it on first
+// use. Counters only go up.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, KindCounter, "", nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.scalar == nil {
+		f.scalar = &Counter{r: r}
+	}
+	return f.scalar.(*Counter)
+}
+
+// Gauge returns the gauge with the given name, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, KindGauge, "", nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.scalar == nil {
+		f.scalar = &Gauge{r: r}
+	}
+	return f.scalar.(*Gauge)
+}
+
+// Histogram returns the histogram with the given name, registering it on
+// first use with the given bucket upper bounds (ascending; an implicit +Inf
+// bucket is appended). Bounds are fixed at registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: %s has non-ascending bucket bounds", name))
+		}
+	}
+	f := r.lookup(name, help, KindHistogram, "", bounds)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.scalar == nil {
+		f.scalar = newHistogram(r, f.bounds)
+	}
+	return f.scalar.(*Histogram)
+}
+
+// CounterVec returns a labeled counter family: one counter per label value,
+// materialized by With.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if label == "" {
+		panic(fmt.Sprintf("metrics: %s: empty label key", name))
+	}
+	return &CounterVec{f: r.lookup(name, help, KindCounter, label, nil), r: r}
+}
+
+// GaugeVec returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if label == "" {
+		panic(fmt.Sprintf("metrics: %s: empty label key", name))
+	}
+	return &GaugeVec{f: r.lookup(name, help, KindGauge, label, nil), r: r}
+}
+
+// Reset zeroes every registered instrument and drops all vec children, while
+// keeping the registrations (and any scalar instrument handles held by
+// instrumented code) valid. Commands call it to scope a snapshot to one run.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		f.mu.Lock()
+		switch v := f.scalar.(type) {
+		case *Counter:
+			v.v.Store(0)
+		case *Gauge:
+			v.bits.Store(0)
+		case *Histogram:
+			v.reset()
+		}
+		if f.children != nil {
+			f.children = make(map[string]any)
+		}
+		f.mu.Unlock()
+	}
+}
+
+// sortedFamilies returns the registered families in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].name < out[b].name })
+	return out
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	r *Registry
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (must be >= 0; negative deltas are ignored — counters only go
+// up). A nil counter is inert.
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 || !c.r.enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (readable even while disabled).
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	r    *Registry
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !g.r.enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a running
+// maximum (ready-queue high-water marks).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil || !g.r.enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Add adds v to the gauge (atomic CAS accumulation).
+func (g *Gauge) Add(v float64) {
+	if g == nil || !g.r.enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Storage is allocated at
+// registration; Observe never allocates.
+type Histogram struct {
+	r       *Registry
+	bounds  []float64 // upper bounds, ascending; +Inf implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(r *Registry, bounds []float64) *Histogram {
+	return &Histogram{
+		r:      r,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.r.enabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct {
+	f *family
+	r *Registry
+}
+
+// With returns the child counter for the given label value, creating it on
+// first use. Acquisition locks and may allocate; hot paths must hold the
+// returned child, not call With per event.
+func (v *CounterVec) With(value string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	c, ok := v.f.children[value]
+	if !ok {
+		c = &Counter{r: v.r}
+		v.f.children[value] = c
+	}
+	return c.(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct {
+	f *family
+	r *Registry
+}
+
+// With returns the child gauge for the given label value (see
+// CounterVec.With for the acquisition contract).
+func (v *GaugeVec) With(value string) *Gauge {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	g, ok := v.f.children[value]
+	if !ok {
+		g = &Gauge{r: v.r}
+		v.f.children[value] = g
+	}
+	return g.(*Gauge)
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at start
+// and multiplying by factor: the standard shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

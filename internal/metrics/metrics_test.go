@@ -1,0 +1,306 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterDisabledIgnoresUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled counter recorded %d, want 0", got)
+	}
+	r.Enable()
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters only go up; negative deltas dropped
+	if got := c.Value(); got != 5 {
+		t.Fatalf("enabled counter = %d, want 5", got)
+	}
+	r.Disable()
+	c.Inc()
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter after re-disable = %d, want 5 (kept, not grown)", got)
+	}
+}
+
+func TestNilInstrumentsAreInert(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	h.Observe(1)
+}
+
+func TestGaugeSetMaxAndAdd(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	g := r.Gauge("depth", "high-water mark")
+	g.SetMax(3)
+	g.SetMax(1)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("SetMax high-water = %v, want 3", got)
+	}
+	g.Set(0.5)
+	g.Add(0.25)
+	if got := g.Value(); got != 0.75 {
+		t.Fatalf("Set+Add = %v, want 0.75", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	h := r.Histogram("lat", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Fatalf("Sum = %v, want 556.5", h.Sum())
+	}
+	// Bounds are inclusive upper bounds: 0.5 and 1 land in le=1; 5 in
+	// le=10; 50 in le=100; 500 overflows to +Inf.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramRejectsNonAscendingBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-ascending bounds")
+		}
+	}()
+	NewRegistry().Histogram("bad", "", []float64{1, 1})
+}
+
+func TestLookupConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic re-registering counter as gauge")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("c", "") != r.Counter("c", "later help") {
+		t.Fatal("Counter get-or-create returned distinct instruments")
+	}
+	v := r.CounterVec("cv", "", "ch")
+	if v.With("a") != v.With("a") {
+		t.Fatal("CounterVec.With returned distinct children for one label")
+	}
+	if v.With("a") == v.With("b") {
+		t.Fatal("CounterVec.With shared a child across labels")
+	}
+}
+
+func TestResetKeepsHandlesValid(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1})
+	cv := r.CounterVec("cv", "", "k")
+	cv.With("x").Inc()
+	c.Add(7)
+	g.Set(2)
+	h.Observe(3)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset did not zero instruments")
+	}
+	if cv.With("x").Value() != 0 {
+		t.Fatal("Reset did not drop vec children")
+	}
+	c.Inc() // the old handle must still feed the registry
+	if c.Value() != 1 {
+		t.Fatal("scalar handle dead after Reset")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "c 1\n") {
+		t.Fatalf("post-Reset export missing revived counter:\n%s", buf.String())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	r.Counter("b_total", "bytes moved").Add(42)
+	r.Gauge("util", "link \"utilization\"").Set(0.5)
+	r.Histogram("wait_us", "dequeue wait", []float64{10, 100}).Observe(7)
+	r.CounterVec("ch_bytes_total", "per-channel bytes", "channel").With(`ch0:a->b("x")`).Add(9)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP b_total bytes moved\n# TYPE b_total counter\nb_total 42\n",
+		"# TYPE util gauge\nutil 0.5\n",
+		"# TYPE wait_us histogram\n",
+		`wait_us_bucket{le="10"} 1`,
+		`wait_us_bucket{le="100"} 1`,
+		`wait_us_bucket{le="+Inf"} 1`,
+		"wait_us_sum 7\n",
+		"wait_us_count 1\n",
+		`ch_bytes_total{channel="ch0:a->b(\"x\")"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Families must come out name-sorted for deterministic diffs.
+	if strings.Index(out, "# TYPE b_total") > strings.Index(out, "# TYPE util") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestSnapshotJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	r.Counter("c_total", "").Add(3)
+	r.GaugeVec("g", "", "mode").With("CC").Set(1.5)
+	r.Histogram("h", "", []float64{1}).Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap []FamilySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d families, want 3", len(snap))
+	}
+	byName := map[string]FamilySnapshot{}
+	for _, f := range snap {
+		byName[f.Name] = f
+	}
+	if got := byName["c_total"].Values[0].Value; got != 3 {
+		t.Errorf("c_total = %v, want 3", got)
+	}
+	gv := byName["g"]
+	if gv.Label != "mode" || gv.Values[0].Label != "CC" || gv.Values[0].Value != 1.5 {
+		t.Errorf("gauge vec snapshot wrong: %+v", gv)
+	}
+	hv := byName["h"].Values[0]
+	if hv.Count != 1 || hv.Sum != 2 || len(hv.Buckets) != 2 || hv.Buckets[1].Le != "+Inf" {
+		t.Errorf("histogram snapshot wrong: %+v", hv)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 10, 100})
+	for _, enabled := range []bool{false, true} {
+		if enabled {
+			r.Enable()
+		} else {
+			r.Disable()
+		}
+		allocs := testing.AllocsPerRun(1000, func() {
+			c.Inc()
+			c.Add(3)
+			g.Set(1)
+			g.Add(0.5)
+			g.SetMax(2)
+			h.Observe(42)
+		})
+		if allocs != 0 {
+			t.Errorf("enabled=%v: %v allocs/op on the hot path, want 0", enabled, allocs)
+		}
+	}
+}
+
+// TestConcurrentUpdates exists primarily for the race-enabled CI job: every
+// mutation path runs from many goroutines against one registry, concurrent
+// with exports.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	r.Enable()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2})
+	cv := r.CounterVec("cv", "", "k")
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := cv.With("shared")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				g.SetMax(float64(i))
+				h.Observe(float64(i % 3))
+				child.Inc()
+			}
+		}(w)
+	}
+	var wgExport sync.WaitGroup
+	wgExport.Add(1)
+	go func() {
+		defer wgExport.Done()
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+			}
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	wgExport.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); math.Abs(got-workers*iters) > 0.5 {
+		t.Fatalf("gauge accumulated %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := cv.With("shared").Value(); got != workers*iters {
+		t.Fatalf("vec child = %d, want %d", got, workers*iters)
+	}
+}

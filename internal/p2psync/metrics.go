@@ -1,0 +1,10 @@
+package p2psync
+
+import "ccube/internal/metrics"
+
+// mSemSpins counts failed semaphore spin iterations (post/wait/check
+// combined): the device-side busy-wait cost the paper's persistent kernels
+// pay for host-free synchronization. One atomic check-and-add per failed
+// spin, next to the Gosched the spin already performs.
+var mSemSpins = metrics.Default.Counter("p2psync_semaphore_spins_total",
+	"failed semaphore spin iterations across post/wait/check")

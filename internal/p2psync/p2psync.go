@@ -84,6 +84,7 @@ func (s *Semaphore) PostBounded(budget int) bool {
 	s.lock.Lock()
 	for s.capacity > 0 && s.cnt == s.capacity {
 		s.lock.Unlock()
+		mSemSpins.Inc()
 		if budget > 0 {
 			budget--
 			if budget == 0 {
@@ -107,6 +108,7 @@ func (s *Semaphore) WaitBounded(budget int) bool {
 	s.lock.Lock()
 	for s.cnt == 0 {
 		s.lock.Unlock()
+		mSemSpins.Inc()
 		if budget > 0 {
 			budget--
 			if budget == 0 {
@@ -131,6 +133,7 @@ func (s *Semaphore) CheckBounded(value int64, budget int) bool {
 	s.lock.Lock()
 	for s.cnt < value {
 		s.lock.Unlock()
+		mSemSpins.Inc()
 		if budget > 0 {
 			budget--
 			if budget == 0 {

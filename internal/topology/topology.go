@@ -72,6 +72,12 @@ type Channel struct {
 // Down reports whether the channel has failed and refuses all traffic.
 func (c *Channel) Down() bool { return c.down }
 
+// ResourceName returns the stable name of the des.Resource that Resources()
+// materializes for this channel ("ch3:gpu0->gpu1(nvlink)"). The metrics
+// layer uses it as the per-channel label so utilization series line up with
+// trace lanes.
+func (c *Channel) ResourceName() string { return c.resName }
+
 // DegradeFactor returns the bandwidth divisor in effect (1 when healthy).
 func (c *Channel) DegradeFactor() float64 {
 	if c.degrade <= 1 {

@@ -35,9 +35,23 @@ type chromeMeta struct {
 	Args map[string]string `json:"args"`
 }
 
+// chromeInstant is a zero-duration ("i" phase) event, drawn as a tick on
+// its lane. Scope "t" confines the tick to the thread row.
+type chromeInstant struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s"`
+}
+
 // Chrome writes the executed graph as Chrome trace-event JSON. Each
-// des.Resource becomes a lane holding its tasks; zero-duration bookkeeping
-// tasks (markers, joins) are omitted. The graph must have run.
+// des.Resource becomes a lane holding its tasks. Zero-duration bookkeeping
+// tasks (markers, joins) are emitted as instant events — on their
+// resource's lane when they have one, otherwise on a shared "markers" lane
+// — so synchronization points stay visible in the viewer. The graph must
+// have run.
 func Chrome(w io.Writer, g *des.Graph) error {
 	if !g.Ran() {
 		return fmt.Errorf("trace: graph has not run")
@@ -45,17 +59,37 @@ func Chrome(w io.Writer, g *des.Graph) error {
 	lanes := make(map[*des.Resource]int)
 	var laneNames []string
 	var events []any
+	laneOf := func(res *des.Resource, name string) int {
+		tid, ok := lanes[res]
+		if !ok {
+			tid = len(laneNames)
+			lanes[res] = tid
+			laneNames = append(laneNames, name)
+		}
+		return tid
+	}
 
 	for i := 0; i < g.NumTasks(); i++ {
 		t := g.Task(i)
-		if t.Resource == nil || t.End == t.Start {
+		if t.End == t.Start {
+			tid := 0
+			if t.Resource != nil {
+				tid = laneOf(t.Resource, t.Resource.Name)
+			} else {
+				tid = laneOf(nil, "markers")
+			}
+			events = append(events, chromeInstant{
+				Name: t.Label,
+				Ph:   "i",
+				Ts:   t.Start.Micros(),
+				Pid:  0,
+				Tid:  tid,
+				S:    "t",
+			})
 			continue
 		}
-		tid, ok := lanes[t.Resource]
-		if !ok {
-			tid = len(laneNames)
-			lanes[t.Resource] = tid
-			laneNames = append(laneNames, t.Resource.Name)
+		if t.Resource == nil {
+			continue
 		}
 		events = append(events, chromeEvent{
 			Name: t.Label,
@@ -63,16 +97,16 @@ func Chrome(w io.Writer, g *des.Graph) error {
 			Ts:   t.Start.Micros(),
 			Dur:  (t.End - t.Start).Micros(),
 			Pid:  0,
-			Tid:  tid,
+			Tid:  laneOf(t.Resource, t.Resource.Name),
 		})
 	}
-	for name, tid := range lanes {
+	for tid, name := range laneNames {
 		events = append(events, chromeMeta{
 			Name: "thread_name",
 			Ph:   "M",
 			Pid:  0,
 			Tid:  tid,
-			Args: map[string]string{"name": name.Name},
+			Args: map[string]string{"name": name},
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -82,17 +116,16 @@ func Chrome(w io.Writer, g *des.Graph) error {
 // GanttOptions controls the ASCII rendering.
 type GanttOptions struct {
 	Width    int // characters for the time axis (default 80)
-	MaxLanes int // busiest lanes shown (default 16; 0 = all)
+	MaxLanes int // busiest lanes shown (0 = all)
 }
 
 // Gantt renders the executed graph's resource occupancy as text: one line
-// per resource, '#' where the resource is busy, ordered by busy time.
+// per resource, '#' where the resource is busy, ordered by busy time. When
+// MaxLanes truncates the view, a "(+N more lanes)" footer says how many
+// lanes were cut.
 func Gantt(g *des.Graph, opts GanttOptions) string {
 	if opts.Width <= 0 {
 		opts.Width = 80
-	}
-	if opts.MaxLanes == 0 {
-		opts.MaxLanes = 16
 	}
 	type lane struct {
 		res   *des.Resource
@@ -130,7 +163,9 @@ func Gantt(g *des.Graph, opts GanttOptions) string {
 		}
 		return lanes[a].res.Name < lanes[b].res.Name
 	})
+	hidden := 0
 	if opts.MaxLanes > 0 && len(lanes) > opts.MaxLanes {
+		hidden = len(lanes) - opts.MaxLanes
 		lanes = lanes[:opts.MaxLanes]
 	}
 
@@ -160,6 +195,9 @@ func Gantt(g *des.Graph, opts GanttOptions) string {
 		}
 		fmt.Fprintf(&b, "%-*s |%s| %.1f%%\n", nameW, l.res.Name, row,
 			100*float64(l.busy)/float64(horizon))
+	}
+	if hidden > 0 {
+		fmt.Fprintf(&b, "(+%d more lanes)\n", hidden)
 	}
 	return b.String()
 }

@@ -36,8 +36,10 @@ func TestChromeExport(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	var complete, meta int
+	var complete, meta, instant int
 	names := map[string]bool{}
+	laneNames := map[string]bool{}
+	var markerEv map[string]any
 	for _, ev := range doc.TraceEvents {
 		switch ev["ph"] {
 		case "X":
@@ -45,20 +47,83 @@ func TestChromeExport(t *testing.T) {
 			names[ev["name"].(string)] = true
 		case "M":
 			meta++
+			laneNames[ev["args"].(map[string]any)["name"].(string)] = true
+		case "i":
+			instant++
+			if ev["name"] == "marker" {
+				markerEv = ev
+			}
 		}
 	}
-	// 3 real tasks (marker omitted), 2 lanes.
+	// 3 real tasks on 2 lanes, plus the zero-duration marker as an instant
+	// event on a third "markers" lane.
 	if complete != 3 {
 		t.Errorf("complete events = %d, want 3", complete)
 	}
-	if meta != 2 {
-		t.Errorf("lane metadata events = %d, want 2", meta)
+	if meta != 3 {
+		t.Errorf("lane metadata events = %d, want 3", meta)
 	}
-	if names["marker"] {
-		t.Error("zero-duration marker exported")
+	if instant != 1 {
+		t.Errorf("instant events = %d, want 1", instant)
+	}
+	if markerEv == nil {
+		t.Fatal("zero-duration marker not exported as an instant event")
+	}
+	if markerEv["s"] != "t" {
+		t.Errorf("instant scope = %v, want %q", markerEv["s"], "t")
+	}
+	if _, hasDur := markerEv["dur"]; hasDur {
+		t.Error("instant event carries a dur field")
+	}
+	// The marker fires when send-2 finishes (t=200).
+	if markerEv["ts"].(float64) != des.Time(200).Micros() {
+		t.Errorf("marker ts = %v, want %v", markerEv["ts"], des.Time(200).Micros())
+	}
+	if !laneNames["markers"] {
+		t.Errorf("no markers lane named, lanes: %v", laneNames)
 	}
 	if !names["send-1"] || !names["compute"] {
 		t.Errorf("missing task names: %v", names)
+	}
+}
+
+func TestChromeInstantOnResourceLane(t *testing.T) {
+	// A zero-duration task that owns a resource ticks on that resource's
+	// lane, not on the shared markers lane.
+	g := des.NewGraph()
+	link := des.NewResource("link:A->B")
+	a := g.Add("send", link, 100)
+	g.Add("flush", link, 0, a)
+	g.Run()
+	var buf bytes.Buffer
+	if err := Chrome(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var sendTid, flushTid, metaCount = -1.0, -2.0, 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev["name"] == "send":
+			sendTid = ev["tid"].(float64)
+		case ev["name"] == "flush":
+			if ev["ph"] != "i" {
+				t.Errorf("flush ph = %v, want i", ev["ph"])
+			}
+			flushTid = ev["tid"].(float64)
+		case ev["ph"] == "M":
+			metaCount++
+		}
+	}
+	if sendTid != flushTid {
+		t.Errorf("flush tid = %v, send tid = %v: instant not on its resource lane", flushTid, sendTid)
+	}
+	if metaCount != 1 {
+		t.Errorf("lane metadata events = %d, want 1 (no markers lane needed)", metaCount)
 	}
 }
 
@@ -100,8 +165,27 @@ func TestGanttLaneCap(t *testing.T) {
 	g.Run()
 	out := Gantt(g, GanttOptions{Width: 20, MaxLanes: 5})
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != 6 { // header + 5 lanes
-		t.Fatalf("lines = %d, want 6:\n%s", len(lines), out)
+	if len(lines) != 7 { // header + 5 lanes + truncation footer
+		t.Fatalf("lines = %d, want 7:\n%s", len(lines), out)
+	}
+	if lines[6] != "(+25 more lanes)" {
+		t.Fatalf("footer = %q, want %q", lines[6], "(+25 more lanes)")
+	}
+}
+
+func TestGanttZeroMaxLanesShowsAll(t *testing.T) {
+	g := des.NewGraph()
+	for i := 0; i < 30; i++ {
+		g.Add("t", des.NewResource("r"), 10)
+	}
+	g.Run()
+	out := Gantt(g, GanttOptions{Width: 20}) // MaxLanes 0 = all
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 31 { // header + all 30 lanes, no footer
+		t.Fatalf("lines = %d, want 31:\n%s", len(lines), out)
+	}
+	if strings.Contains(out, "more lanes") {
+		t.Fatalf("unexpected truncation footer with MaxLanes=0:\n%s", out)
 	}
 }
 

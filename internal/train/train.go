@@ -19,12 +19,14 @@ package train
 
 import (
 	"fmt"
+	"time"
 
 	"ccube/internal/chunk"
 	"ccube/internal/collective"
 	"ccube/internal/des"
 	"ccube/internal/dnn"
 	"ccube/internal/fault"
+	"ccube/internal/metrics"
 	"ccube/internal/topology"
 )
 
@@ -151,6 +153,20 @@ type Result struct {
 	// first layer started) on the critical GPU — the dotted arrows of
 	// Fig. 16. Zero means perfect chaining.
 	Bubbles des.Time
+
+	// CommDone is when the in-pipeline AllReduce delivered its last chunk to
+	// the critical GPU (absolute virtual time). In chained modes (C2, CC)
+	// early forward layers start strictly before it — the C2 benefit.
+	CommDone des.Time
+
+	// LayerForwardStart[l] is the absolute virtual start time of forward
+	// layer l on the critical GPU.
+	LayerForwardStart []des.Time
+
+	// LayerDequeueWait[l] is how long forward layer l on the critical GPU
+	// waited for its gradients after its compute dependency (previous layer,
+	// or backward for l=0) had finished — the per-layer gradient-queue wait.
+	LayerDequeueWait []des.Time
 }
 
 // Efficiency returns Normalized as a percentage.
@@ -230,6 +246,7 @@ func Run(cfg Config) (*Result, error) {
 // RunTraced is Run, additionally returning the executed task graph for
 // timeline export (internal/trace).
 func RunTraced(cfg Config) (*Result, *des.Graph, error) {
+	wallStart := time.Now()
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -419,17 +436,35 @@ func RunTraced(cfg Config) (*Result, *des.Graph, error) {
 			res.IterTime = res.PerGPU[i]
 			firstStart := g.Task(fwdTasks[i][0]).Start
 			res.FirstForwardWait = firstStart - bwdEnd
+			res.CommDone = g.End(commDone[i])
+			if res.LayerForwardStart == nil {
+				res.LayerForwardStart = make([]des.Time, len(fwd))
+				res.LayerDequeueWait = make([]des.Time, len(fwd))
+			}
 			var bubbles des.Time
-			for l := 1; l < len(fwd); l++ {
-				gap := g.Task(fwdTasks[i][l]).Start - g.End(fwdTasks[i][l-1])
-				if gap > 0 {
-					bubbles += gap
+			for l := 0; l < len(fwd); l++ {
+				t := g.Task(fwdTasks[i][l])
+				res.LayerForwardStart[l] = t.Start
+				computeFree := bwdEnd
+				if l > 0 {
+					computeFree = g.End(fwdTasks[i][l-1])
+					if gap := t.Start - computeFree; gap > 0 {
+						bubbles += gap
+					}
+				}
+				if wait := t.Ready - computeFree; wait > 0 {
+					res.LayerDequeueWait[l] = wait
+				} else {
+					res.LayerDequeueWait[l] = 0
 				}
 			}
 			res.Bubbles = bubbles
 		}
 	}
 	res.Normalized = float64(computeTime) / float64(res.IterTime)
+	if metrics.Default.Enabled() {
+		publishIteration(res, bwdEnd, time.Since(wallStart))
+	}
 
 	for _, r := range chres {
 		if err := r.ValidateSerialized(); err != nil {
