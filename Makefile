@@ -12,10 +12,11 @@ test:
 
 # Race detector over the packages that actually spawn goroutines: the
 # p2psync primitives, the gpusim kernel runners, and the gradient queue —
-# plus the fault-matrix suite, which drives repairs end to end, and the
-# sweep executor with its parallel-vs-serial determinism tests.
+# plus the fault-matrix suite, which drives repairs end to end, the sweep
+# executor with its parallel-vs-serial determinism tests, and the HTTP
+# service layer with its load generator.
 race:
-	$(GO) test -race ./internal/p2psync/... ./internal/gpusim/... ./internal/gradqueue/... ./internal/fault/... ./internal/sweep/...
+	$(GO) test -race ./internal/p2psync/... ./internal/gpusim/... ./internal/gradqueue/... ./internal/fault/... ./internal/sweep/... ./internal/server/... ./internal/loadgen/...
 	$(GO) test -race -run ParallelMatchesSerial ./internal/experiments/
 
 # Engine micro-benchmarks (with the alloc gate) plus the experiment-level

@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -25,9 +28,11 @@ import (
 	"ccube/internal/bench"
 	"ccube/internal/collective"
 	"ccube/internal/experiments"
+	"ccube/internal/loadgen"
 	"ccube/internal/metrics"
 	"ccube/internal/report"
 	"ccube/internal/schedcheck"
+	"ccube/internal/server"
 	"ccube/internal/topology"
 )
 
@@ -46,6 +51,7 @@ type benchReport struct {
 	CacheEvictions uint64                   `json:"schedule_cache_evictions"`
 	CacheHitRate   float64                  `json:"schedule_cache_hit_rate"`
 	Fig13Ref       *fig13Ref                `json:"fig13_reference,omitempty"`
+	ServerSmoke    *loadgen.Report          `json:"server_smoke,omitempty"`
 	Metrics        []metrics.FamilySnapshot `json:"metrics,omitempty"`
 }
 
@@ -111,7 +117,22 @@ func run() int {
 		"write machine-readable benchmark results (engine allocs, wall times) to this JSON file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve GET /metrics and /healthz on this address while running (e.g. :9090)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		metrics.Default.Enable()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer ln.Close()
+		// Reuses the server package's ops endpoints; no second handler
+		// implementation.
+		go http.Serve(ln, server.OpsHandler())
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	experiments.Fig14MaxNodes = *maxNodes
 	experiments.Parallelism = *parallel
@@ -256,6 +277,15 @@ func run() int {
 			fmt.Printf("[fig13: %.1fs serial/uncached vs %.1fs cached/parallel = %.1fx]\n\n",
 				ref, t.Seconds, rep.Fig13Ref.Speedup)
 		}
+		smoke, err := serverSmoke()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "server smoke: %v\n", err)
+			return 1
+		}
+		rep.ServerSmoke = smoke
+		fmt.Printf("[server smoke: %d requests, %.0f req/s, p99 %.2fms, %d failed]\n\n",
+			smoke.Requests, smoke.Throughput, smoke.P99MS, smoke.Failed)
+
 		rep.Metrics = metrics.Default.Snapshot()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -269,6 +299,38 @@ func run() int {
 		fmt.Printf("benchmark results written to %s\n", *benchJSON)
 	}
 	return 0
+}
+
+// serverSmoke boots an in-process ccube-serve instance and drives it with
+// the loadgen mix, recording service throughput alongside the engine
+// numbers. Any response other than 200 or a deliberate 429 fails the run.
+func serverSmoke() (*loadgen.Report, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{Workers: 4})
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Concurrency: 4,
+		Requests:    120,
+		Targets: []loadgen.Target{
+			{Name: "plan", Path: "/v1/plan", Body: `{"topology":"dgx1","bytes":"16M"}`},
+			{Name: "simulate", Path: "/v1/simulate", Body: `{"topology":"dgx1","algorithm":"ccube","bytes":"16M"}`},
+			{Name: "train", Path: "/v1/train", Body: `{"topology":"dgx1","model":"zfnet","batch":16,"mode":"CC"}`},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Failed > 0 {
+		return nil, fmt.Errorf("%d requests failed (by status: %v)", rep.Failed, rep.ByStatus)
+	}
+	return rep, nil
 }
 
 // verifyZoo runs the schedcheck static verifier over every algorithm on the

@@ -28,6 +28,11 @@
 //	                    not per-operation; an unannotated allocation is either
 //	                    a regression or an undocumented exception, and both
 //	                    should fail review.
+//	server-ctx        — internal/server must launch simulations through the
+//	                    context-aware engine entry points (RunCtx,
+//	                    ExecuteCtx, SelectCtx, ...). A plain Run/Execute call
+//	                    detaches the simulation from the request deadline, so
+//	                    a client timeout could no longer cancel it.
 //
 // Usage: ccube-lint ./...  (or explicit files/directories). Test files are
 // exempt from all rules. Exit status 1 when any issue is found.
@@ -174,7 +179,57 @@ func lintFile(fset *token.FileSet, path string, src any) ([]issue, error) {
 	if strings.Contains(slash, "internal/des/") {
 		issues = append(issues, checkDesHotAlloc(fset, file)...)
 	}
+	if strings.Contains(slash, "internal/server/") {
+		issues = append(issues, checkServerCtx(fset, file)...)
+	}
 	return issues, nil
+}
+
+// engineEntryPoints are the context-free engine entry points that
+// internal/server handler code must never call: each has a *Ctx variant, and
+// calling the plain form would detach the simulation from the request's
+// deadline, so a client timeout or disconnect could no longer cancel it.
+var engineEntryPoints = map[string]string{
+	"Run":                "RunCtx",
+	"RunErr":             "RunCtxErr",
+	"RunTraced":          "RunTracedCtx",
+	"Execute":            "ExecuteCtx",
+	"ExecuteOn":          "ExecuteOnCtx",
+	"ExecuteTraced":      "ExecuteTracedCtx",
+	"RunCollective":      "RunCollectiveCtx",
+	"RunBackwardOverlap": "RunBackwardOverlapCtx",
+	"Select":             "SelectCtx",
+	"Best":               "BestCtx",
+	"Candidates":         "CandidatesCtx",
+}
+
+// checkServerCtx flags context-free engine calls in internal/server: every
+// simulation launched by a handler must run under r.Context() so request
+// deadlines and client disconnects propagate into the DES run loop.
+func checkServerCtx(fset *token.FileSet, file *ast.File) []issue {
+	var issues []issue
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		want, bad := engineEntryPoints[sel.Sel.Name]
+		if !bad {
+			return true
+		}
+		issues = append(issues, issue{
+			pos:  fset.Position(call.Pos()),
+			rule: "server-ctx",
+			msg: fmt.Sprintf("%s.%s ignores the request context; use %s so r.Context() cancels the simulation",
+				types.ExprString(sel.X), sel.Sel.Name, want),
+		})
+		return true
+	})
+	return issues
 }
 
 // checkNoSleep reports time.Sleep calls.
@@ -294,6 +349,9 @@ var desHotFuncs = map[string]bool{
 	// graph.go — task graph run loop
 	"Add": true, "AddDeps": true, "RunErr": true, "buildAdjacency": true,
 	"dependents": true, "readyPush": true, "readyPop": true,
+	// cancel.go / graph.go — context-checkpointed run loops; the
+	// cancellation checkpoint must stay allocation-free too
+	"runErr": true, "RunCtx": true, "RunCtxErr": true,
 	// resource.go — per-grant path
 	"reserve": true, "Prealloc": true,
 }

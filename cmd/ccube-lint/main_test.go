@@ -217,6 +217,56 @@ type Graph struct{}
 	}
 }
 
+func TestServerCtxRule(t *testing.T) {
+	// A context-free engine call in a server handler detaches the
+	// simulation from the request deadline.
+	bare := `package server
+import "ccube/internal/collective"
+func compute(cfg collective.Config) error {
+	_, err := collective.Run(cfg)
+	return err
+}
+`
+	got := lintSource(t, "internal/server/run.go", bare)
+	if r := rules(got); len(r) != 1 || r[0] != "server-ctx" {
+		t.Fatalf("collective.Run in server: issues = %v, want [server-ctx]", r)
+	}
+	if !strings.Contains(got[0].msg, "RunCtx") {
+		t.Errorf("message %q does not name the Ctx variant", got[0].msg)
+	}
+
+	// Method forms are flagged too (Schedule.ExecuteOn and friends).
+	method := `package server
+func compute(s sched, res []int) {
+	s.ExecuteOn(res)
+	s.Select(nil, 0, 0, false)
+}
+type sched struct{}
+`
+	if r := rules(lintSource(t, "internal/server/run.go", method)); len(r) != 2 {
+		t.Fatalf("method calls: issues = %v, want 2 server-ctx", r)
+	}
+
+	// The Ctx variants are the sanctioned path.
+	ok := `package server
+import "ccube/internal/collective"
+import "context"
+func compute(ctx context.Context, cfg collective.Config) error {
+	_, err := collective.RunCtx(ctx, cfg)
+	return err
+}
+`
+	if r := rules(lintSource(t, "internal/server/run.go", ok)); len(r) != 0 {
+		t.Fatalf("RunCtx flagged: %v", r)
+	}
+
+	// The rule is scoped to internal/server; engines and CLIs keep their
+	// context-free entry points.
+	if r := rules(lintSource(t, "cmd/ccube-sim/main.go", bare)); len(r) != 0 {
+		t.Fatalf("non-server file flagged: %v", r)
+	}
+}
+
 func TestRunOnRepo(t *testing.T) {
 	// The repo itself must lint clean — this is the tree the tool ships in.
 	var out strings.Builder

@@ -1,0 +1,84 @@
+// Command ccube-loadgen drives a running ccube-serve with closed-loop load
+// and reports throughput and latency percentiles.
+//
+// Usage:
+//
+//	ccube-loadgen -url http://localhost:8080 -endpoint mix -n 200 -c 8
+//	ccube-loadgen -endpoint simulate -duration 10s -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ccube/internal/loadgen"
+)
+
+// defaultTargets maps -endpoint values to request mixes.
+var defaultTargets = map[string][]loadgen.Target{
+	"plan": {
+		{Name: "plan", Path: "/v1/plan", Body: `{"topology":"dgx1","bytes":"16M"}`},
+	},
+	"simulate": {
+		{Name: "simulate", Path: "/v1/simulate", Body: `{"topology":"dgx1","algorithm":"ccube","bytes":"16M"}`},
+	},
+	"train": {
+		{Name: "train", Path: "/v1/train", Body: `{"topology":"dgx1","model":"zfnet","batch":16,"mode":"CC"}`},
+	},
+}
+
+func init() {
+	var mix []loadgen.Target
+	for _, k := range []string{"plan", "simulate", "train"} {
+		mix = append(mix, defaultTargets[k]...)
+	}
+	defaultTargets["mix"] = mix
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "server base URL")
+	endpoint := flag.String("endpoint", "mix", "workload: plan, simulate, train, or mix")
+	n := flag.Int("n", 100, "total requests (ignored with -duration)")
+	c := flag.Int("c", 4, "closed-loop concurrency")
+	duration := flag.Duration("duration", 0, "run for a wall-clock window instead of -n requests")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	flag.Parse()
+
+	targets, ok := defaultTargets[*endpoint]
+	if !ok {
+		fail("unknown endpoint %q (want plan, simulate, train, mix)", *endpoint)
+	}
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     *url,
+		Targets:     targets,
+		Concurrency: *c,
+		Requests:    *n,
+		Duration:    *duration,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail("%v", err)
+		}
+	} else {
+		fmt.Println(rep.Table(fmt.Sprintf("ccube-loadgen: %s against %s", *endpoint, *url)).Render())
+	}
+	if rep.Failed > 0 {
+		fail("%d requests failed", rep.Failed)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -12,6 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -20,6 +22,7 @@ import (
 	"ccube/internal/dnn"
 	"ccube/internal/metrics"
 	"ccube/internal/report"
+	"ccube/internal/server"
 	"ccube/internal/topology"
 	"ccube/internal/trace"
 	"ccube/internal/train"
@@ -37,10 +40,22 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and print a Prometheus text dump after the run")
 	metricsJSON := flag.String("metrics-json", "", "collect runtime metrics and write a JSON snapshot to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve GET /metrics and /healthz on this address while running (e.g. :9090)")
 	flag.Parse()
 
-	if *showMetrics || *metricsJSON != "" {
+	if *showMetrics || *metricsJSON != "" || *metricsAddr != "" {
 		metrics.Default.Enable()
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer ln.Close()
+		// Reuses the server package's ops endpoints; no second handler
+		// implementation.
+		go http.Serve(ln, server.OpsHandler())
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	if *cpuprofile != "" {

@@ -15,6 +15,8 @@
 package autotune
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -65,6 +67,16 @@ func (c Candidate) metric(o Objective) des.Time {
 // size, in algorithm order. Algorithms that cannot run (e.g.
 // halving-doubling on a non-power-of-two system) carry a non-nil Err.
 func Candidates(g *topology.Graph, bytes int64, allowShared bool) []Candidate {
+	out, _ := CandidatesCtx(context.Background(), g, bytes, allowShared)
+	return out
+}
+
+// CandidatesCtx is Candidates under a cancellation context: each candidate
+// simulation runs with ctx, and a cancellation (deadline or explicit)
+// aborts the whole evaluation with the wrapped *des.CanceledError instead
+// of recording it as that algorithm's failure — a half-evaluated ranking
+// must not be mistaken for a complete one.
+func CandidatesCtx(ctx context.Context, g *topology.Graph, bytes int64, allowShared bool) ([]Candidate, error) {
 	algs := []collective.Algorithm{
 		collective.AlgRing,
 		collective.AlgHalvingDoubling,
@@ -76,13 +88,17 @@ func Candidates(g *topology.Graph, bytes int64, allowShared bool) []Candidate {
 	out := make([]Candidate, 0, len(algs))
 	for _, alg := range algs {
 		c := Candidate{Algorithm: alg}
-		res, err := collective.Run(collective.Config{
+		res, err := collective.RunCtx(ctx, collective.Config{
 			Graph:               g,
 			Algorithm:           alg,
 			Bytes:               bytes,
 			AllowSharedChannels: allowShared,
 		})
 		if err != nil {
+			var ce *des.CanceledError
+			if errors.As(err, &ce) {
+				return nil, err
+			}
 			c.Err = err
 		} else {
 			c.Total = res.Total
@@ -91,7 +107,7 @@ func Candidates(g *topology.Graph, bytes int64, allowShared bool) []Candidate {
 		}
 		out = append(out, c)
 	}
-	return out
+	return out, nil
 }
 
 // Select returns the runnable candidates ranked best-first under the
@@ -99,8 +115,19 @@ func Candidates(g *topology.Graph, bytes int64, allowShared bool) []Candidate {
 // property (ring, halving-doubling) are excluded — a gradient-queuing
 // consumer cannot use them (Observation #3).
 func Select(g *topology.Graph, bytes int64, o Objective, requireInOrder bool) ([]Candidate, error) {
+	return SelectCtx(context.Background(), g, bytes, o, requireInOrder, false)
+}
+
+// SelectCtx is Select under a cancellation context, additionally exposing
+// the allow-shared-channels knob the candidate evaluation takes (Select
+// keeps its historical signature with sharing off).
+func SelectCtx(ctx context.Context, g *topology.Graph, bytes int64, o Objective, requireInOrder, allowShared bool) ([]Candidate, error) {
+	all, err := CandidatesCtx(ctx, g, bytes, allowShared)
+	if err != nil {
+		return nil, err
+	}
 	var runnable []Candidate
-	for _, c := range Candidates(g, bytes, false) {
+	for _, c := range all {
 		if c.Err != nil {
 			continue
 		}
@@ -121,6 +148,15 @@ func Select(g *topology.Graph, bytes int64, o Objective, requireInOrder bool) ([
 // Best returns only the winner.
 func Best(g *topology.Graph, bytes int64, o Objective, requireInOrder bool) (Candidate, error) {
 	ranked, err := Select(g, bytes, o, requireInOrder)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return ranked[0], nil
+}
+
+// BestCtx returns only the winner, under a cancellation context.
+func BestCtx(ctx context.Context, g *topology.Graph, bytes int64, o Objective, requireInOrder, allowShared bool) (Candidate, error) {
+	ranked, err := SelectCtx(ctx, g, bytes, o, requireInOrder, allowShared)
 	if err != nil {
 		return Candidate{}, err
 	}

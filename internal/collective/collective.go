@@ -9,10 +9,12 @@
 package collective
 
 import (
+	"context"
 	"fmt"
 
 	"ccube/internal/chunk"
 	"ccube/internal/costmodel"
+	"ccube/internal/des"
 	"ccube/internal/topology"
 )
 
@@ -222,4 +224,20 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return s.Execute()
+}
+
+// RunCtx is Run under a cancellation context: the build still goes through
+// the DefaultCache (building is fast and verified; cancelling it would
+// poison nothing), while the execution aborts at its next checkpoint when
+// ctx is cancelled, surfacing a wrapped *des.CanceledError.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("collective: execution canceled: %w",
+			&des.CanceledError{Cause: err})
+	}
+	s, err := BuildCached(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecuteCtx(ctx)
 }

@@ -1,6 +1,8 @@
 package collective
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ccube/internal/chunk"
@@ -291,6 +293,14 @@ func (s *Schedule) Execute() (*Result, error) {
 	return r, err
 }
 
+// ExecuteCtx is Execute under a cancellation context: a request deadline
+// (or explicit cancel) aborts the discrete-event run at its next task-pop
+// checkpoint with a wrapped *des.CanceledError.
+func (s *Schedule) ExecuteCtx(ctx context.Context) (*Result, error) {
+	r, _, err := s.ExecuteOnCtx(ctx, s.Graph.Resources())
+	return r, err
+}
+
 // ExecuteTraced is Execute, additionally returning the executed task graph
 // for timeline export (see internal/trace).
 func (s *Schedule) ExecuteTraced() (*Result, *des.Graph, error) {
@@ -302,13 +312,26 @@ func (s *Schedule) ExecuteTraced() (*Result, *des.Graph, error) {
 // resources with SetSlowdownAt/FailAt breakpoints before the run. A failed
 // resource surfaces as a *des.FaultError (wrapped), never a panic.
 func (s *Schedule) ExecuteOn(res []*des.Resource) (*Result, *des.Graph, error) {
+	return s.ExecuteOnCtx(context.Background(), res)
+}
+
+// ExecuteOnCtx is ExecuteOn under a cancellation context — the fully
+// general execution entry point. Cancellation surfaces as a wrapped
+// *des.CanceledError (which unwraps further to the context error);
+// resource faults surface as a wrapped *des.FaultError, exactly as in
+// ExecuteOn.
+func (s *Schedule) ExecuteOnCtx(ctx context.Context, res []*des.Resource) (*Result, *des.Graph, error) {
 	g := des.NewGraph()
 	inst, err := s.Instantiate(g, res, -1)
 	if err != nil {
 		return nil, nil, err
 	}
-	total, err := g.RunErr()
+	total, err := g.RunCtxErr(ctx)
 	if err != nil {
+		var ce *des.CanceledError
+		if errors.As(err, &ce) {
+			return nil, nil, fmt.Errorf("collective: execution canceled: %w", err)
+		}
 		return nil, nil, fmt.Errorf("collective: execution aborted: %w", err)
 	}
 

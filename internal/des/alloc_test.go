@@ -1,6 +1,7 @@
 package des
 
 import (
+	"context"
 	"testing"
 
 	"ccube/internal/metrics"
@@ -109,6 +110,67 @@ func TestResourcePreallocZeroAllocFirstRun(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(20, cycle); allocs > steadyStateAllocBudget {
 		t.Fatalf("preallocated resource allocates %.1f/op, budget %d", allocs, steadyStateAllocBudget)
+	}
+}
+
+// TestEngineRunCtxZeroAllocSteadyState extends the alloc gate to the
+// cancellation checkpoint: RunCtx over a live (cancellable, never
+// cancelled) context performs the per-pop Done check on every event and
+// must still be allocation-free in steady state.
+func TestEngineRunCtxZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 256
+	fn := func() {}
+	cycle := func() {
+		base := e.Now()
+		for i := 0; i < n; i++ {
+			e.At(base+Time(i%7), fn)
+		}
+		if _, err := e.RunCtx(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm up: grow pool and heap once
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > steadyStateAllocBudget {
+		t.Fatalf("steady-state RunCtx allocates %.1f/op, budget %d (context check must be free)", allocs, steadyStateAllocBudget)
+	}
+}
+
+// TestGraphRunCtxErrZeroExtraAlloc pins that the task-graph checkpoint adds
+// no per-task allocations: an identical graph run via RunCtxErr with a live
+// context allocates exactly as much as RunErr (construction allocations
+// only, measured as the delta between the two paths being zero).
+func TestGraphRunCtxErrZeroExtraAlloc(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 128
+	build := func() *Graph {
+		g := NewGraph()
+		g.Reserve(n)
+		prev := -1
+		for i := 0; i < n; i++ {
+			if prev < 0 {
+				prev = g.Add("t", nil, 1)
+			} else {
+				prev = g.Add("t", nil, 1, prev)
+			}
+		}
+		return g
+	}
+	plain := testing.AllocsPerRun(20, func() {
+		if _, err := build().RunErr(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withCtx := testing.AllocsPerRun(20, func() {
+		if _, err := build().RunCtxErr(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if withCtx > plain {
+		t.Fatalf("RunCtxErr allocates %.1f/op vs RunErr %.1f/op; the context check must add 0", withCtx, plain)
 	}
 }
 

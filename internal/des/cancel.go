@@ -1,0 +1,91 @@
+package des
+
+import (
+	"context"
+	"fmt"
+)
+
+// CanceledError reports that a run stopped at a cancellation checkpoint
+// before draining its work: the caller's context was cancelled (or its
+// deadline expired) mid-simulation. The engine checks the context at
+// event-pop granularity and the task graph at task-pop granularity, so the
+// abort is prompt — at most one event/task executes after cancellation —
+// and deterministic with respect to virtual time: At records how far the
+// simulated clock got.
+//
+// CanceledError unwraps to the context error, so callers can test
+// errors.Is(err, context.DeadlineExceeded) as well as errors.As into the
+// typed form.
+type CanceledError struct {
+	At        Time  // virtual time reached when cancellation was observed
+	Executed  int   // events fired / tasks completed before the stop
+	Remaining int   // events / tasks left unexecuted
+	Cause     error // context.Canceled or context.DeadlineExceeded
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("des: run canceled at %v (%d executed, %d remaining): %v",
+		e.At, e.Executed, e.Remaining, e.Cause)
+}
+
+// Unwrap exposes the context error for errors.Is chains.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// RunCtx executes events in timestamp order until none remain or ctx is
+// cancelled, whichever comes first. The context is checked before every
+// event pop, so a cancelled run stops without firing another callback and
+// returns a *CanceledError recording the virtual time reached. Events
+// still pending at cancellation stay in the heap: the engine remains
+// usable (a later Run drains them), which keeps cancelled engines safe to
+// recycle.
+//
+// The checkpoint is a non-blocking channel receive — no allocation, no
+// syscall — so RunCtx preserves the engine's zero-alloc steady state
+// (pinned by the alloc gate in alloc_test.go). A context that can never be
+// cancelled (Done() == nil, e.g. context.Background) degrades to the plain
+// Run loop with no per-event cost at all.
+func (e *Engine) RunCtx(ctx context.Context) (Time, error) {
+	done := ctx.Done()
+	if done == nil {
+		return e.Run(), nil
+	}
+	for len(e.events) > 0 {
+		select {
+		case <-done:
+			return e.now, &CanceledError{
+				At:        e.now,
+				Executed:  e.fired,
+				Remaining: len(e.events),
+				Cause:     context.Cause(ctx),
+			}
+		default:
+		}
+		e.step()
+	}
+	return e.now, nil
+}
+
+// RunCtxErr executes the graph like RunErr, additionally aborting with a
+// *CanceledError when ctx is cancelled mid-run. The cancellation
+// checkpoint sits at task-pop granularity: it is checked each time the
+// scheduler would grant the next ready task, so at most the task already
+// holding its resource completes after cancellation. A graph aborted by
+// cancellation counts as ran — build a fresh graph to retry.
+func (g *Graph) RunCtxErr(ctx context.Context) (Time, error) {
+	return g.runErr(ctx)
+}
+
+// RunCtx is RunCtxErr for callers that treat faults as fatal: resource
+// refusals still panic (as Run does), but cancellation returns the typed
+// error. It exists so cancellation-aware callers are not forced onto the
+// fault-handling path.
+func (g *Graph) RunCtx(ctx context.Context) (Time, error) {
+	m, err := g.runErr(ctx)
+	if err != nil {
+		if _, canceled := err.(*CanceledError); canceled {
+			return m, err
+		}
+		panic(err.Error())
+	}
+	return m, nil
+}

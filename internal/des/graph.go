@@ -1,6 +1,9 @@
 package des
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Task is a unit of work in a dependency graph. A task becomes ready when all
 // of its dependencies have ended; it then occupies its Resource (if any) for
@@ -234,12 +237,21 @@ func (g *Graph) Run() Time {
 // the refused task; callers repair the schedule and retry on a fresh graph.
 // Dependency cycles still panic — they are construction bugs, not faults.
 // RunErr may be called once per graph.
-func (g *Graph) RunErr() (Time, error) {
+func (g *Graph) RunErr() (Time, error) { return g.runErr(nil) }
+
+// runErr is the shared run loop behind RunErr and RunCtxErr. A nil ctx
+// (or one whose Done channel is nil) skips the cancellation checkpoint
+// entirely, so the uncancellable path pays nothing.
+func (g *Graph) runErr(ctx context.Context) (Time, error) {
 	if g.ran {
 		panic("des: graph ran twice")
 	}
 	g.ran = true
 	g.buildAdjacency()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 
 	ready := make([]int32, 0, len(g.tasks)) // prealloc: every task enters the heap at most once
 	for i := range g.tasks {
@@ -255,6 +267,20 @@ func (g *Graph) RunErr() (Time, error) {
 	executed := 0
 	maxReadyDepth := len(ready)
 	for len(ready) > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				mTasksExecuted.Add(int64(executed))
+				mReadyDepthMax.SetMax(float64(maxReadyDepth))
+				return makespan, &CanceledError{
+					At:        makespan,
+					Executed:  executed,
+					Remaining: len(g.tasks) - executed,
+					Cause:     context.Cause(ctx),
+				}
+			default:
+			}
+		}
 		if len(ready) > maxReadyDepth {
 			maxReadyDepth = len(ready)
 		}

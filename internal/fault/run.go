@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,6 +43,14 @@ func (r *RunReport) Rerouted() int {
 //
 // The graph's health state is restored before returning.
 func RunCollective(cfg collective.Config, plan *Plan) (*collective.Result, *RunReport, error) {
+	return RunCollectiveCtx(context.Background(), cfg, plan)
+}
+
+// RunCollectiveCtx is RunCollective under a cancellation context. A
+// cancellation surfaces as a wrapped *des.CanceledError: it is not a
+// *des.FaultError, so the relaunch loop returns it directly instead of
+// attempting a repair.
+func RunCollectiveCtx(ctx context.Context, cfg collective.Config, plan *Plan) (*collective.Result, *RunReport, error) {
 	g := cfg.Graph
 	if err := plan.Validate(g); err != nil {
 		return nil, nil, err
@@ -82,7 +91,7 @@ func RunCollective(cfg collective.Config, plan *Plan) (*collective.Result, *RunR
 		mLaunchAttempts.Inc()
 		res := g.Resources()
 		plan.ApplyToResources(g, res)
-		result, _, err := cur.ExecuteOn(res)
+		result, _, err := cur.ExecuteOnCtx(ctx, res)
 		if err == nil {
 			return result, report, nil
 		}

@@ -1,0 +1,220 @@
+// Package loadgen drives a ccube-serve instance with closed-loop load:
+// each worker issues one request, waits for the response, and immediately
+// issues the next. It reports throughput and latency percentiles, keeping
+// deliberate 429 shedding separate from real failures so a saturated-but-
+// correct server scores zero failures.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccube/internal/report"
+)
+
+// Target is one request the generator cycles through.
+type Target struct {
+	Name string // label for reporting
+	Path string // e.g. /v1/simulate
+	Body string // JSON request body
+}
+
+// Config drives one run.
+type Config struct {
+	// BaseURL is the server root, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Targets are issued round-robin per worker. At least one is required.
+	Targets []Target
+	// Concurrency is the closed-loop worker count (default 4).
+	Concurrency int
+	// Requests is the total request budget (default 100; ignored when
+	// Duration is set).
+	Requests int
+	// Duration, when positive, runs for a wall-clock window instead of a
+	// fixed request count.
+	Duration time.Duration
+	// Timeout caps each request (default 30s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject an httptest client).
+	Client *http.Client
+}
+
+// Report summarizes one run.
+type Report struct {
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"` // 429: deliberate load shedding
+	Failed     int     `json:"failed"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"throughput_rps"` // successful responses/sec
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	// ByStatus counts responses per HTTP status code.
+	ByStatus map[int]int `json:"by_status"`
+}
+
+// Run executes the configured load against the server.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: empty base URL")
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	workers := cfg.Concurrency
+	if workers <= 0 {
+		workers = 4
+	}
+	budget := cfg.Requests
+	if budget <= 0 {
+		budget = 100
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+		budget = int(^uint(0) >> 1) // duration bounds the run instead
+	}
+
+	var next atomic.Int64
+	stats := make([]workerStats, workers)
+
+	began := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			st.byStatus = make(map[int]int)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				seq := next.Add(1)
+				if seq > int64(budget) {
+					return
+				}
+				tgt := cfg.Targets[int(seq-1)%len(cfg.Targets)]
+				status, err := issue(ctx, client, cfg.BaseURL, tgt, timeout, st)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					st.failed++
+					continue
+				}
+				st.byStatus[status]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	rep := &Report{Seconds: elapsed.Seconds(), ByStatus: make(map[int]int)}
+	var all []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		rep.Failed += st.failed
+		for code, n := range st.byStatus {
+			rep.ByStatus[code] += n
+			rep.Requests += n
+			switch {
+			case code == http.StatusOK:
+				rep.OK += n
+			case code == http.StatusTooManyRequests:
+				rep.Shed += n
+			default:
+				rep.Failed += n
+			}
+		}
+		all = append(all, st.latencies...)
+	}
+	for i := range stats {
+		rep.Requests += stats[i].failed
+	}
+	if rep.Seconds > 0 {
+		rep.Throughput = float64(rep.OK) / rep.Seconds
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	rep.P50MS = percentileMS(all, 0.50)
+	rep.P95MS = percentileMS(all, 0.95)
+	rep.P99MS = percentileMS(all, 0.99)
+	if len(all) > 0 {
+		rep.MaxMS = float64(all[len(all)-1]) / float64(time.Millisecond)
+	}
+	return rep, nil
+}
+
+// workerStats accumulates per-worker results, merged after the run so the
+// hot path needs no locking.
+type workerStats struct {
+	latencies []time.Duration
+	byStatus  map[int]int
+	failed    int
+}
+
+// issue sends one request, recording the latency of successful responses.
+func issue(ctx context.Context, client *http.Client, base string, tgt Target, timeout time.Duration, st *workerStats) (int, error) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, base+tgt.Path, strings.NewReader(tgt.Body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	began := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		st.latencies = append(st.latencies, time.Since(began))
+	}
+	return resp.StatusCode, nil
+}
+
+// percentileMS returns the p-th percentile of sorted latencies in ms.
+func percentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// Table renders the report for terminal output.
+func (r *Report) Table(title string) *report.Table {
+	t := report.New(title, "metric", "value")
+	t.AddRow("requests", fmt.Sprintf("%d", r.Requests))
+	t.AddRow("ok", fmt.Sprintf("%d", r.OK))
+	t.AddRow("shed (429)", fmt.Sprintf("%d", r.Shed))
+	t.AddRow("failed", fmt.Sprintf("%d", r.Failed))
+	t.AddRow("wall time", fmt.Sprintf("%.2fs", r.Seconds))
+	t.AddRow("throughput", fmt.Sprintf("%.1f req/s", r.Throughput))
+	t.AddRow("p50 latency", fmt.Sprintf("%.2fms", r.P50MS))
+	t.AddRow("p95 latency", fmt.Sprintf("%.2fms", r.P95MS))
+	t.AddRow("p99 latency", fmt.Sprintf("%.2fms", r.P99MS))
+	t.AddRow("max latency", fmt.Sprintf("%.2fms", r.MaxMS))
+	return t
+}

@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ccube/internal/server"
+)
+
+func TestRunAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{Workers: 4}).Handler())
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Requests:    40,
+		Targets: []Target{
+			{Name: "plan", Path: "/v1/plan", Body: `{"topology":"dgx1","bytes":"1M"}`},
+			{Name: "simulate", Path: "/v1/simulate", Body: `{"topology":"dgx1","algorithm":"ccube","bytes":"1M"}`},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 40 {
+		t.Errorf("requests = %d, want 40", rep.Requests)
+	}
+	if rep.OK != 40 || rep.Failed != 0 {
+		t.Errorf("ok=%d failed=%d (by status %v)", rep.OK, rep.Failed, rep.ByStatus)
+	}
+	if rep.Throughput <= 0 {
+		t.Error("zero throughput")
+	}
+	if rep.P50MS <= 0 || rep.P99MS < rep.P50MS || rep.MaxMS < rep.P99MS {
+		t.Errorf("implausible percentiles: p50=%.3f p99=%.3f max=%.3f", rep.P50MS, rep.P99MS, rep.MaxMS)
+	}
+	tbl := rep.Table("loadgen")
+	if len(tbl.Rows) == 0 {
+		t.Error("empty report table")
+	}
+}
+
+func TestRunCountsShedding(t *testing.T) {
+	// A server that sheds every other request.
+	n := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n++
+		if n%2 == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Concurrency: 1, // serialize so the handler's counter needs no lock
+		Requests:    10,
+		Targets:     []Target{{Name: "x", Path: "/v1/plan", Body: `{}`}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed != 5 || rep.OK != 5 || rep.Failed != 0 {
+		t.Errorf("ok=%d shed=%d failed=%d, want 5/5/0", rep.OK, rep.Shed, rep.Failed)
+	}
+}
+
+func TestRunDurationMode(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Duration:    50 * time.Millisecond,
+		Targets:     []Target{{Name: "x", Path: "/", Body: `{}`}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 {
+		t.Error("duration mode completed no requests")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x"}); err == nil {
+		t.Error("no targets accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// tableJSON is the wire form of a Table. Slices are kept non-nil so empty
+// tables marshal as [] rather than null — consumers (the ccube-serve API,
+// dashboards) can index unconditionally.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes"`
+}
+
+// MarshalJSON encodes the table as a structured object:
+//
+//	{"title": ..., "columns": [...], "rows": [[...], ...], "notes": [...]}
+//
+// It carries exactly the content Render() prints, minus alignment.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	w := tableJSON{
+		Title:   t.Title,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	}
+	if w.Columns == nil {
+		w.Columns = []string{}
+	}
+	if w.Rows == nil {
+		w.Rows = [][]string{}
+	}
+	if w.Notes == nil {
+		w.Notes = []string{}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON, rejecting
+// rows whose width disagrees with the column count (the invariant AddRow
+// enforces on the write side).
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	for i, row := range w.Rows {
+		if len(row) != len(w.Columns) {
+			return fmt.Errorf("report: row %d has %d cells for %d columns", i, len(row), len(w.Columns))
+		}
+	}
+	t.Title = w.Title
+	t.Columns = w.Columns
+	t.Rows = w.Rows
+	t.Notes = w.Notes
+	return nil
+}
+
+// JSON returns the table serialized as a single JSON object line.
+func (t *Table) JSON() ([]byte, error) { return json.Marshal(t) }
+
+// WriteJSON writes the table's JSON form followed by a newline.
+func (t *Table) WriteJSON(w io.Writer) error {
+	b, err := t.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,123 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := New("Fig. X: sample", "alg", "total", "turnaround")
+	t.AddRow("ring", "1.2ms", "1.2ms")
+	t.AddRow("double-tree-overlap", "0.9ms", "0.3ms")
+	t.AddNote("bytes=16MB chunks=8")
+	return t
+}
+
+// TestTableJSONGolden pins the exact wire format: key names, key order, and
+// the absence of nulls are API surface for ccube-serve clients.
+func TestTableJSONGolden(t *testing.T) {
+	got, err := sampleTable().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"title":"Fig. X: sample",` +
+		`"columns":["alg","total","turnaround"],` +
+		`"rows":[["ring","1.2ms","1.2ms"],["double-tree-overlap","0.9ms","0.3ms"]],` +
+		`"notes":["bytes=16MB chunks=8"]}`
+	if string(got) != want {
+		t.Fatalf("JSON() =\n%s\nwant\n%s", got, want)
+	}
+}
+
+// TestTableJSONEmpty ensures empty tables serialize with [] not null.
+func TestTableJSONEmpty(t *testing.T) {
+	got, err := (&Table{}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"title":"","columns":[],"rows":[],"notes":[]}`
+	if string(got) != want {
+		t.Fatalf("JSON() = %s, want %s", got, want)
+	}
+}
+
+// TestTableJSONMatchesRender checks the structured form carries exactly the
+// content the text renderer prints: every cell, note, and the title must
+// appear in Render()'s output.
+func TestTableJSONMatchesRender(t *testing.T) {
+	tbl := sampleTable()
+	rendered := tbl.Render()
+
+	var w struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	b, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &w); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rendered, w.Title) {
+		t.Errorf("Render() missing title %q", w.Title)
+	}
+	for _, c := range w.Columns {
+		if !strings.Contains(rendered, c) {
+			t.Errorf("Render() missing column %q", c)
+		}
+	}
+	for _, row := range w.Rows {
+		for _, cell := range row {
+			if !strings.Contains(rendered, cell) {
+				t.Errorf("Render() missing cell %q", cell)
+			}
+		}
+	}
+	for _, n := range w.Notes {
+		if !strings.Contains(rendered, "note: "+n) {
+			t.Errorf("Render() missing note %q", n)
+		}
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	orig := sampleTable()
+	b, err := orig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Render() != orig.Render() {
+		t.Fatalf("round trip changed render:\n%s\nvs\n%s", back.Render(), orig.Render())
+	}
+}
+
+func TestTableUnmarshalRejectsRaggedRows(t *testing.T) {
+	var tbl Table
+	err := json.Unmarshal([]byte(`{"title":"t","columns":["a","b"],"rows":[["only-one"]],"notes":[]}`), &tbl)
+	if err == nil {
+		t.Fatal("expected error for ragged row")
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasSuffix(s, "}\n") {
+		t.Fatalf("WriteJSON output not newline-terminated: %q", s)
+	}
+	if !json.Valid([]byte(strings.TrimSuffix(s, "\n"))) {
+		t.Fatalf("WriteJSON produced invalid JSON: %q", s)
+	}
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errSaturated is returned by acquire when the pool and its admission queue
+// are both full; the caller sheds the request with 429 + Retry-After.
+var errSaturated = errors.New("server: worker pool saturated")
+
+// admission is a bounded worker pool with a bounded admission queue.
+// Workers slots limit concurrent simulations; the queue bounds how many
+// requests may wait for a slot. Anything beyond workers+queue is shed
+// immediately — load shedding at the door instead of unbounded goroutine
+// pileup.
+type admission struct {
+	slots   chan struct{} // capacity = workers
+	tickets atomic.Int64  // waiting + running
+	limit   int64         // workers + queue depth
+	workers int
+
+	// ewmaNS tracks a smoothed job duration for Retry-After estimates.
+	ewmaNS atomic.Int64
+}
+
+func newAdmission(workers, queue int) *admission {
+	a := &admission{
+		slots:   make(chan struct{}, workers),
+		limit:   int64(workers + queue),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire claims a worker slot, waiting in the admission queue if necessary.
+// Returns errSaturated when the queue is full, or the context error if the
+// caller's deadline fires while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	if a.tickets.Add(1) > a.limit {
+		a.tickets.Add(-1)
+		return errSaturated
+	}
+	select {
+	case <-a.slots:
+		return nil
+	case <-ctx.Done():
+		a.tickets.Add(-1)
+		return context.Cause(ctx)
+	}
+}
+
+// release returns the slot and folds the job's duration into the EWMA.
+func (a *admission) release(d time.Duration) {
+	a.slots <- struct{}{}
+	a.tickets.Add(-1)
+	for {
+		old := a.ewmaNS.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old - old/4 + int64(d)/4 // EWMA, alpha = 1/4
+		}
+		if a.ewmaNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// queued reports tickets currently held (waiting + running).
+func (a *admission) queued() int64 { return a.tickets.Load() }
+
+// retryAfterSeconds estimates when a shed client should retry: the smoothed
+// job duration times the backlog per worker, clamped to [1, 60].
+func (a *admission) retryAfterSeconds() int {
+	ewma := time.Duration(a.ewmaNS.Load())
+	if ewma <= 0 {
+		return 1
+	}
+	backlog := a.queued()
+	est := ewma * time.Duration(backlog) / time.Duration(a.workers)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// cachedResponse is a fully rendered success response, safe to replay
+// byte-for-byte: the simulator is deterministic in virtual time, so two
+// identical requests produce identical bodies.
+type cachedResponse struct {
+	status int
+	body   []byte
+}
+
+// respCache is an LRU over canonical request keys, mirroring the eviction
+// discipline of collective.Cache.
+type respCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type respEntry struct {
+	key  string
+	resp *cachedResponse
+}
+
+func newRespCache(capacity int) *respCache {
+	return &respCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *respCache) get(key string) (*cachedResponse, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*respEntry).resp, true
+}
+
+func (c *respCache) put(key string, resp *cachedResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*respEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&respEntry{key: key, resp: resp})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*respEntry).key)
+	}
+}
+
+func (c *respCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup collapses concurrent identical requests onto one computation
+// (singleflight): the first caller becomes the leader and runs fn; followers
+// wait for the leader's response. A follower whose own context expires stops
+// waiting and reports its own deadline — the leader keeps running for the
+// remaining waiters.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *cachedResponse
+	err  *apiError
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn under key, collapsing concurrent callers. shared reports
+// whether this caller rode on another's computation.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*cachedResponse, *apiError)) (resp *cachedResponse, err *apiError, shared bool) {
+	g.mu.Lock()
+	if call, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.resp, call.err, true
+		case <-ctx.Done():
+			return nil, ctxError(ctx), true
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	call.resp, call.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.resp, call.err, false
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// jsonBody renders a response value as a newline-terminated JSON body.
+func jsonBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// routes mounts every endpoint. Method-qualified patterns make the mux
+// answer 405 for wrong methods on its own.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
+	// The "/" catch-all below would otherwise swallow wrong-method requests
+	// into a 404; route them to an explicit 405 instead.
+	for _, p := range []string{"/v1/plan", "/v1/simulate", "/v1/train"} {
+		s.mux.HandleFunc(p, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", http.MethodPost)
+			writeAPIError(w, &apiError{status: http.StatusMethodNotAllowed,
+				kind: "method", msg: "use POST"})
+		})
+	}
+	s.mux.Handle("GET /healthz", healthzHandler(s))
+	s.mux.Handle("GET /metrics", MetricsHandler())
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeAPIError(w, &apiError{status: http.StatusNotFound, kind: "not_found",
+			msg: "unknown endpoint; see /v1/plan, /v1/simulate, /v1/train, /healthz, /metrics"})
+	})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if apiErr := decodeStrict(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	s.serveComputed(w, r, "plan", req, req.TimeoutMS, func(ctx context.Context) (any, *apiError) {
+		return s.runPlan(ctx, req)
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if apiErr := decodeStrict(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	s.serveComputed(w, r, "simulate", req, req.TimeoutMS, func(ctx context.Context) (any, *apiError) {
+		return s.runSimulate(ctx, req)
+	})
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req TrainRequest
+	if apiErr := decodeStrict(w, r, s.cfg.MaxBodyBytes, &req); apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	s.serveComputed(w, r, "train", req, req.TimeoutMS, func(ctx context.Context) (any, *apiError) {
+		return s.runTrain(ctx, req)
+	})
+}
+
+// serveComputed is the shared compute pipeline: endpoint metrics, drain
+// check, response cache, singleflight collapsing, worker-pool admission,
+// per-request deadline, and error mapping.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint string, req any, timeoutMS int, run func(ctx context.Context) (any, *apiError)) {
+	mRequests.With(endpoint).Inc()
+	if !s.jobEnter() {
+		writeAPIError(w, &apiError{status: http.StatusServiceUnavailable,
+			kind: "draining", msg: "server is draining"})
+		return
+	}
+	defer s.jobLeave()
+
+	key := canonicalKey(endpoint, req)
+	if resp, ok := s.cache.get(key); ok {
+		mCacheHits.Inc()
+		s.writeCached(w, resp, "hit")
+		return
+	}
+	mCacheMisses.Inc()
+
+	resp, apiErr, shared := s.flight.do(r.Context(), key, func() (*cachedResponse, *apiError) {
+		return s.computeLeader(r.Context(), endpoint, timeoutMS, run)
+	})
+	if shared {
+		mSingleflight.Inc()
+	}
+	if apiErr != nil {
+		if apiErr.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
+		}
+		writeAPIError(w, apiErr)
+		return
+	}
+	if resp.status == http.StatusOK {
+		s.cache.put(key, resp)
+	}
+	s.writeCached(w, resp, "miss")
+}
+
+// computeLeader is the singleflight leader path: admission, deadline, run.
+func (s *Server) computeLeader(reqCtx context.Context, endpoint string, timeoutMS int, run func(ctx context.Context) (any, *apiError)) (*cachedResponse, *apiError) {
+	if err := s.adm.acquire(reqCtx); err != nil {
+		if err == errSaturated {
+			mShed.Inc()
+			return nil, &apiError{status: http.StatusTooManyRequests, kind: "saturated",
+				msg: "worker pool and admission queue are full; retry later"}
+		}
+		return nil, ctxError(reqCtx)
+	}
+	began := time.Now()
+	defer func() { s.adm.release(time.Since(began)) }()
+
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(reqCtx, timeout)
+	defer cancel()
+
+	if testHookJobStart != nil {
+		testHookJobStart(ctx, endpoint)
+	}
+	v, apiErr := run(ctx)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	body, err := jsonBody(v)
+	if err != nil {
+		return nil, &apiError{status: http.StatusInternalServerError, kind: "internal",
+			msg: "response encoding failed"}
+	}
+	return &cachedResponse{status: http.StatusOK, body: body}, nil
+}
+
+func (s *Server) writeCached(w http.ResponseWriter, resp *cachedResponse, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// healthzHandler reports liveness; with a server attached it also reports
+// drain state (503 while draining) and pool occupancy. OpsHandler mounts it
+// with s == nil for CLIs, where it is a plain liveness probe.
+func healthzHandler(s *Server) http.Handler {
+	began := time.Now()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		type health struct {
+			Status        string  `json:"status"`
+			UptimeSeconds float64 `json:"uptime_seconds"`
+			InFlight      int64   `json:"in_flight,omitempty"`
+			Queued        int64   `json:"queued,omitempty"`
+			Workers       int     `json:"workers,omitempty"`
+			QueueDepth    int     `json:"queue_depth,omitempty"`
+		}
+		h := health{Status: "ok", UptimeSeconds: time.Since(began).Seconds()}
+		status := http.StatusOK
+		if s != nil {
+			h.UptimeSeconds = time.Since(s.start).Seconds()
+			h.InFlight = s.inflight.Load()
+			h.Queued = s.adm.queued()
+			h.Workers = s.cfg.Workers
+			h.QueueDepth = s.cfg.QueueDepth
+			if s.Draining() {
+				h.Status = "draining"
+				status = http.StatusServiceUnavailable
+			}
+		}
+		writeJSON(w, status, h)
+	})
+}

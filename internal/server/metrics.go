@@ -1,0 +1,29 @@
+package server
+
+import "ccube/internal/metrics"
+
+// Server metrics, on the shared default registry (disabled until a caller —
+// ccube-serve, or a -metrics-addr CLI — enables it).
+var (
+	mRequests = metrics.Default.CounterVec("ccube_serve_requests_total",
+		"API requests received, by endpoint.", "endpoint")
+	mResponses = metrics.Default.CounterVec("ccube_serve_responses_total",
+		"API responses sent, by HTTP status code.", "code")
+	mInFlight = metrics.Default.Gauge("ccube_serve_in_flight",
+		"Requests currently being served.")
+	mShed = metrics.Default.Counter("ccube_serve_shed_total",
+		"Requests shed with 429 because the worker pool and queue were full.")
+	mCacheHits = metrics.Default.Counter("ccube_serve_cache_hits_total",
+		"Responses served from the response cache.")
+	mCacheMisses = metrics.Default.Counter("ccube_serve_cache_misses_total",
+		"Requests that missed the response cache.")
+	mSingleflight = metrics.Default.Counter("ccube_serve_singleflight_shared_total",
+		"Requests collapsed onto another identical in-flight computation.")
+	mDeadline = metrics.Default.Counter("ccube_serve_deadline_total",
+		"Simulations aborted by a request deadline.")
+	mCanceled = metrics.Default.Counter("ccube_serve_canceled_total",
+		"Simulations aborted by client disconnect.")
+	mReqSeconds = metrics.Default.Histogram("ccube_serve_request_seconds",
+		"End-to-end request latency in seconds.",
+		metrics.ExpBuckets(0.0001, 4, 10))
+)

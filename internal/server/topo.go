@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ccube/internal/des"
+	"ccube/internal/topology"
+)
+
+// buildTopology constructs a fresh graph for a topology name: dgx1,
+// dgx1-low, cluster:<gpus>, or fc:<gpus> (fully connected mesh).
+func buildTopology(name string) (*topology.Graph, error) {
+	switch {
+	case name == "dgx1":
+		return topology.DGX1(topology.DefaultDGX1Config()), nil
+	case name == "dgx1-low":
+		cfg := topology.DefaultDGX1Config()
+		cfg.LowBandwidth = true
+		return topology.DGX1(cfg), nil
+	case strings.HasPrefix(name, "cluster:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "cluster:"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad cluster size in %q", name)
+		}
+		return topology.Hierarchy(topology.DefaultHierarchyConfig(n)), nil
+	case strings.HasPrefix(name, "fc:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "fc:"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad fc size in %q", name)
+		}
+		return topology.FullyConnected(n, fcBandwidth, fcLatency), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want dgx1, dgx1-low, cluster:<n>, fc:<n>)", name)
+	}
+}
+
+// fc:<n> link parameters: one NVLink-class lane per pair.
+const (
+	fcBandwidth = 25e9 // bytes/sec
+	fcLatency   = des.Microsecond
+)
+
+// topoCache shares one graph per topology name across clean (fault-free)
+// requests. Sharing matters: the collective schedule cache is keyed on the
+// graph pointer, so a shared graph turns repeated requests into cache hits.
+// Clean execution never mutates a graph (Resources() mints fresh resources
+// per run; schedules are immutable), so concurrent sharing is safe. Faulted
+// requests must NOT share — Plan.Apply mutates channel health — and call
+// buildTopology directly for a private graph.
+type topoCache struct {
+	mu     sync.Mutex
+	graphs map[string]*topology.Graph
+}
+
+func (c *topoCache) shared(name string) (*topology.Graph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.graphs[name]; ok {
+		return g, nil
+	}
+	g, err := buildTopology(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.graphs == nil {
+		c.graphs = make(map[string]*topology.Graph)
+	}
+	c.graphs[name] = g
+	return g, nil
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func jsonUnmarshal(s string, v any) error { return json.Unmarshal([]byte(s), v) }
+
+func TestAdmissionSaturation(t *testing.T) {
+	a := newAdmission(2, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Third ticket queues (workers=2, queue=1): acquire would block, so use
+	// an expired context to prove it waits rather than sheds.
+	expired, cancel := context.WithDeadline(ctx, time.Unix(0, 0))
+	defer cancel()
+	if err := a.acquire(expired); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire: %v, want DeadlineExceeded", err)
+	}
+	// Occupy the queue slot for real, then the next ticket must shed.
+	acquired := make(chan error, 1)
+	go func() { acquired <- a.acquire(ctx) }()
+	for a.queued() < 3 {
+		runtime.Gosched()
+	}
+	if err := a.acquire(ctx); err != errSaturated {
+		t.Fatalf("overflow acquire: %v, want errSaturated", err)
+	}
+	a.release(time.Millisecond)
+	if err := <-acquired; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestAdmissionRetryAfterClamps(t *testing.T) {
+	a := newAdmission(1, 10)
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Errorf("empty pool retry-after = %d, want 1", got)
+	}
+	a.ewmaNS.Store(int64(10 * time.Minute))
+	a.tickets.Store(11)
+	if got := a.retryAfterSeconds(); got != 60 {
+		t.Errorf("huge backlog retry-after = %d, want clamp to 60", got)
+	}
+}
+
+func TestRespCacheEviction(t *testing.T) {
+	c := newRespCache(2)
+	c.put("a", &cachedResponse{status: 200, body: []byte("a")})
+	c.put("b", &cachedResponse{status: 200, body: []byte("b")})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.put("c", &cachedResponse{status: 200, body: []byte("c")}) // evicts b (a was touched)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestRespCacheDisabled(t *testing.T) {
+	c := newRespCache(0)
+	c.put("a", &cachedResponse{})
+	if _, ok := c.get("a"); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+}
+
+func TestByteSizeUnmarshal(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{`"16M"`, 16 << 20, false},
+		{`"1G"`, 1 << 30, false},
+		{`"512K"`, 512 << 10, false},
+		{`"100"`, 100, false},
+		{`1048576`, 1 << 20, false},
+		{`"bogus"`, 0, true},
+		{`"-4M"`, 0, true},
+	}
+	for _, tc := range cases {
+		var b ByteSize
+		err := b.UnmarshalJSON([]byte(tc.in))
+		if tc.err {
+			if err == nil {
+				t.Errorf("%s: expected error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.in, err)
+			continue
+		}
+		if int64(b) != tc.want {
+			t.Errorf("%s = %d, want %d", tc.in, b, tc.want)
+		}
+	}
+}
+
+func TestCanonicalKeyNormalizesSpellings(t *testing.T) {
+	var a, b SimulateRequest
+	mustUnmarshal(t, `{"topology":"dgx1","algorithm":"ring","bytes":"1M"}`, &a)
+	mustUnmarshal(t, `{"topology":"dgx1","algorithm":"ring","bytes":1048576}`, &b)
+	if canonicalKey("simulate", a) != canonicalKey("simulate", b) {
+		t.Error("canonically equal requests hash differently")
+	}
+	var c SimulateRequest
+	mustUnmarshal(t, `{"topology":"dgx1","algorithm":"ring","bytes":"2M"}`, &c)
+	if canonicalKey("simulate", a) == canonicalKey("simulate", c) {
+		t.Error("different requests collide")
+	}
+	if canonicalKey("simulate", a) == canonicalKey("plan", a) {
+		t.Error("endpoint not part of the key")
+	}
+}
+
+func mustUnmarshal(t *testing.T, s string, v any) {
+	t.Helper()
+	if err := jsonUnmarshal(s, v); err != nil {
+		t.Fatal(err)
+	}
+}

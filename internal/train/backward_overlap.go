@@ -1,6 +1,8 @@
 package train
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ccube/internal/collective"
@@ -75,6 +77,11 @@ func makeBuckets(layerBytes []int64, bucketBytes int64) []bucket {
 // RunBackwardOverlap simulates one iteration with DDP-style bucketed
 // backward overlap. The cfg.Mode field is ignored (forced to ModeDDP).
 func RunBackwardOverlap(cfg Config) (*Result, error) {
+	return RunBackwardOverlapCtx(context.Background(), cfg)
+}
+
+// RunBackwardOverlapCtx is RunBackwardOverlap under a cancellation context.
+func RunBackwardOverlapCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, err
 	}
@@ -165,7 +172,13 @@ func RunBackwardOverlap(cfg Config) (*Result, error) {
 		fwdLast[i] = prev
 	}
 
-	g.Run()
+	if _, err := g.RunCtxErr(ctx); err != nil {
+		var ce *des.CanceledError
+		if errors.As(err, &ce) {
+			return nil, fmt.Errorf("train: DDP iteration canceled: %w", err)
+		}
+		return nil, fmt.Errorf("train: DDP iteration aborted: %w", err)
+	}
 	res := &Result{Mode: ModeDDP, PerGPU: make([]des.Time, len(nodes)), ComputeTime: computeTime}
 	for i := range nodes {
 		res.PerGPU[i] = g.End(fwdLast[i])

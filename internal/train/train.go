@@ -18,6 +18,8 @@
 package train
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -243,9 +245,23 @@ func Run(cfg Config) (*Result, error) {
 	return res, err
 }
 
+// RunCtx is Run under a cancellation context: a deadline or explicit
+// cancel aborts both discrete-event runs the iteration performs (the
+// standalone collective and the full pipeline graph) at their next
+// checkpoint, surfacing a wrapped *des.CanceledError.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	res, _, err := RunTracedCtx(ctx, cfg)
+	return res, err
+}
+
 // RunTraced is Run, additionally returning the executed task graph for
 // timeline export (internal/trace).
 func RunTraced(cfg Config) (*Result, *des.Graph, error) {
+	return RunTracedCtx(context.Background(), cfg)
+}
+
+// RunTracedCtx is RunTraced under a cancellation context.
+func RunTracedCtx(ctx context.Context, cfg Config) (*Result, *des.Graph, error) {
 	wallStart := time.Now()
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
@@ -284,7 +300,7 @@ func RunTraced(cfg Config) (*Result, *des.Graph, error) {
 	}
 
 	// Standalone communication time and turnaround for the decomposition.
-	commRes, err := sched.Execute()
+	commRes, err := sched.ExecuteCtx(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -418,7 +434,11 @@ func RunTraced(cfg Config) (*Result, *des.Graph, error) {
 		}
 	}
 
-	if _, err := g.RunErr(); err != nil {
+	if _, err := g.RunCtxErr(ctx); err != nil {
+		var ce *des.CanceledError
+		if errors.As(err, &ce) {
+			return nil, nil, fmt.Errorf("train: iteration canceled: %w", err)
+		}
 		return nil, nil, fmt.Errorf("train: iteration aborted by mid-run fault: %w", err)
 	}
 
