@@ -28,6 +28,7 @@ import (
 	"ccube/internal/bench"
 	"ccube/internal/collective"
 	"ccube/internal/experiments"
+	"ccube/internal/lint"
 	"ccube/internal/loadgen"
 	"ccube/internal/metrics"
 	"ccube/internal/report"
@@ -52,12 +53,24 @@ type benchReport struct {
 	CacheHitRate   float64                  `json:"schedule_cache_hit_rate"`
 	Fig13Ref       *fig13Ref                `json:"fig13_reference,omitempty"`
 	ServerSmoke    *loadgen.Report          `json:"server_smoke,omitempty"`
+	Lint           *lintTiming              `json:"lint,omitempty"`
 	Metrics        []metrics.FamilySnapshot `json:"metrics,omitempty"`
 }
 
 type expTiming struct {
 	ID      string  `json:"id"`
 	Seconds float64 `json:"seconds"`
+}
+
+// lintTiming tracks analyzer cost over time: a cold full-module ccube-lint
+// run (parse + type-check + all analyzers), so BENCH_ccube.json shows when
+// a new rule or a package growth spurt pushes lint past its 5 s budget.
+type lintTiming struct {
+	Seconds     float64 `json:"seconds"`
+	Diagnostics int     `json:"diagnostics"`
+	Suppressed  int     `json:"suppressed"`
+	Packages    int     `json:"packages"`
+	Files       int     `json:"files"`
 }
 
 type fig13Ref struct {
@@ -130,6 +143,7 @@ func run() int {
 		defer ln.Close()
 		// Reuses the server package's ops endpoints; no second handler
 		// implementation.
+		//lint:ignore goroutine-leak process-lifetime ops server; the deferred ln.Close unblocks Serve at exit
 		go http.Serve(ln, server.OpsHandler())
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", ln.Addr())
 	}
@@ -286,6 +300,16 @@ func run() int {
 		fmt.Printf("[server smoke: %d requests, %.0f req/s, p99 %.2fms, %d failed]\n\n",
 			smoke.Requests, smoke.Throughput, smoke.P99MS, smoke.Failed)
 
+		if lr, err := lintRun(); err != nil {
+			// Not reachable from this cwd (no go.mod): skip the measurement
+			// rather than fail the figures.
+			fmt.Fprintf(os.Stderr, "lint timing skipped: %v\n", err)
+		} else {
+			rep.Lint = lr
+			fmt.Printf("[lint: %d pkgs, %d files in %.2fs — %d diagnostics, %d suppressed]\n\n",
+				lr.Packages, lr.Files, lr.Seconds, lr.Diagnostics, lr.Suppressed)
+		}
+
 		rep.Metrics = metrics.Default.Snapshot()
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -311,6 +335,7 @@ func serverSmoke() (*loadgen.Report, error) {
 	}
 	srv := server.New(server.Config{Workers: 4})
 	hs := &http.Server{Handler: srv.Handler()}
+	//lint:ignore goroutine-leak benchmark-scoped server; the deferred hs.Close unblocks Serve
 	go hs.Serve(ln)
 	defer hs.Close()
 
@@ -331,6 +356,29 @@ func serverSmoke() (*loadgen.Report, error) {
 		return nil, fmt.Errorf("%d requests failed (by status: %v)", rep.Failed, rep.ByStatus)
 	}
 	return rep, nil
+}
+
+// lintRun times a cold full-module ccube-lint pass — one shared parse and
+// type-check, all registered analyzers — from the working directory (make
+// bench and CI invoke this from the repo root, where go.mod lives).
+func lintRun() (*lintTiming, error) {
+	start := time.Now()
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		return nil, err
+	}
+	res := lint.Run(pkgs, nil)
+	return &lintTiming{
+		Seconds:     time.Since(start).Seconds(),
+		Diagnostics: len(res.Diagnostics),
+		Suppressed:  res.Suppressed,
+		Packages:    res.NumPackages,
+		Files:       res.NumFiles,
+	}, nil
 }
 
 // verifyZoo runs the schedcheck static verifier over every algorithm on the

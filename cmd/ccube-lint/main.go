@@ -1,429 +1,88 @@
 // Command ccube-lint enforces repo-specific idioms that go vet cannot know
-// about, using only the standard library's go/ast and go/parser:
+// about. It is a thin driver over the internal/lint framework: rules live in
+// internal/lint as self-registering analyzers sharing one type-checked load
+// of each package; this command only parses flags, selects a reporter, and
+// maps outcomes to exit codes.
 //
-//	no-sleep          — simulator packages (everything under internal/) must
-//	                    not call time.Sleep: simulated time advances through
-//	                    the DES engine, and a wall-clock sleep in a kernel or
-//	                    scheduler hides ordering bugs instead of failing.
-//	lock-pairing      — a function that calls X.Lock() (or X.TryLock()) must
-//	                    also contain an X.Unlock() somewhere in its body, and
-//	                    vice versa. The check is presence-based, not
-//	                    count-based, so multi-exit functions (early unlocks
-//	                    before panics) and the p2psync semaphore pattern
-//	                    (Lock; loop { Unlock; Gosched; Lock }; Unlock) pass,
-//	                    while a leaked lock — the SpinLock deadlock this rule
-//	                    exists for — fails. Function literals are separate
-//	                    scopes: a goroutine body unlocking its parent's lock
-//	                    does not count as pairing.
-//	kernel-goroutine  — internal/gpusim models persistent GPU kernels as
-//	                    goroutines; every `go` statement there must carry a
-//	                    same-line comment containing "kernel" naming which
-//	                    kernel it models, so stray concurrency can't hide
-//	                    among them.
-//	des-hot-alloc     — the DES engine's hot functions (internal/des: event
-//	                    scheduling, the graph run loop, resource grants) must
-//	                    stay allocation-free in steady state. Every make or
-//	                    append there needs a same-line comment containing
-//	                    "amortized" or "prealloc" explaining why the growth is
-//	                    not per-operation; an unannotated allocation is either
-//	                    a regression or an undocumented exception, and both
-//	                    should fail review.
-//	server-ctx        — internal/server must launch simulations through the
-//	                    context-aware engine entry points (RunCtx,
-//	                    ExecuteCtx, SelectCtx, ...). A plain Run/Execute call
-//	                    detaches the simulation from the request deadline, so
-//	                    a client timeout could no longer cancel it.
+// The ten rules (see `ccube-lint -rules` or internal/lint's rule files):
 //
-// Usage: ccube-lint ./...  (or explicit files/directories). Test files are
-// exempt from all rules. Exit status 1 when any issue is found.
+//	no-sleep, lock-pairing, kernel-goroutine, des-hot-alloc, server-ctx,
+//	ctx-propagation, goroutine-leak, metrics-cardinality, virtual-time,
+//	unchecked-engine-err
+//
+// Inline suppressions: `//lint:ignore <rule> <reason>` on the offending
+// line or the line above. The reason is mandatory.
+//
+// Usage:
+//
+//	ccube-lint [-format text|json|sarif] [-rules] [packages...]
+//
+// Arguments accept the mixed forms of go tooling: "./...", directories, or
+// individual .go files; no arguments means the whole module. Test files are
+// exempt from all rules. Exit status 1 when any issue is found, 2 on load
+// errors.
 package main
 
 import (
+	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"go/types"
 	"io"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"ccube/internal/lint"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-type issue struct {
-	pos  token.Position
-	rule string
-	msg  string
-}
-
-func (i issue) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", i.pos.Filename, i.pos.Line, i.pos.Column, i.rule, i.msg)
-}
-
-func run(args []string, w io.Writer) int {
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-	files, err := expandArgs(args)
-	if err != nil {
-		fmt.Fprintf(w, "ccube-lint: %v\n", err)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccube-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	listRules := fs.Bool("rules", false, "list registered rules and exit")
+	dir := fs.String("C", ".", "module root to lint (directory containing go.mod)")
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	fset := token.NewFileSet()
-	var issues []issue
-	for _, path := range files {
-		fi, err := lintFile(fset, path, nil)
-		if err != nil {
-			fmt.Fprintf(w, "ccube-lint: %v\n", err)
-			return 2
+
+	if *listRules {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-22s %s\n", a.Name, a.Doc)
 		}
-		issues = append(issues, fi...)
+		return 0
 	}
-	sort.Slice(issues, func(a, b int) bool {
-		if issues[a].pos.Filename != issues[b].pos.Filename {
-			return issues[a].pos.Filename < issues[b].pos.Filename
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccube-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccube-lint: %v\n", err)
+		return 2
+	}
+	loadErrs := 0
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(stderr, "ccube-lint: type error: %v\n", te)
+			loadErrs++
 		}
-		return issues[a].pos.Line < issues[b].pos.Line
-	})
-	for _, is := range issues {
-		fmt.Fprintln(w, is)
 	}
-	if len(issues) > 0 {
-		fmt.Fprintf(w, "ccube-lint: %d issues\n", len(issues))
+	if loadErrs > 0 {
+		// Typed analyzers cannot be trusted over a tree that does not
+		// type-check; refuse rather than lint blind.
+		return 2
+	}
+
+	res := lint.Run(pkgs, nil)
+	if err := lint.Write(stdout, res, lint.Format(*format)); err != nil {
+		fmt.Fprintf(stderr, "ccube-lint: %v\n", err)
+		return 2
+	}
+	if len(res.Diagnostics) > 0 {
 		return 1
 	}
 	return 0
-}
-
-// expandArgs resolves the mixed file / directory / "dir/..." argument forms
-// into a list of non-test .go files.
-func expandArgs(args []string) ([]string, error) {
-	skipDir := map[string]bool{
-		".git": true, "testdata": true, "vendor": true,
-		".github": true, "node_modules": true,
-	}
-	var files []string
-	add := func(path string) {
-		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
-			files = append(files, path)
-		}
-	}
-	for _, arg := range args {
-		if root, ok := strings.CutSuffix(arg, "..."); ok {
-			root = filepath.Clean(strings.TrimSuffix(root, "/"))
-			if root == "" {
-				root = "."
-			}
-			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-				if err != nil {
-					return err
-				}
-				if d.IsDir() {
-					if skipDir[d.Name()] {
-						return filepath.SkipDir
-					}
-					return nil
-				}
-				add(path)
-				return nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			continue
-		}
-		fi, err := os.Stat(arg)
-		if err != nil {
-			return nil, err
-		}
-		if !fi.IsDir() {
-			add(arg)
-			continue
-		}
-		entries, err := os.ReadDir(arg)
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range entries {
-			if !e.IsDir() {
-				add(filepath.Join(arg, e.Name()))
-			}
-		}
-	}
-	sort.Strings(files)
-	return files, nil
-}
-
-// lintFile parses one file and applies every applicable rule. src may carry
-// source text directly (for tests), mirroring parser.ParseFile.
-func lintFile(fset *token.FileSet, path string, src any) ([]issue, error) {
-	file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
-	if err != nil {
-		return nil, err
-	}
-	var issues []issue
-	slash := filepath.ToSlash(path)
-	if strings.Contains(slash, "internal/") {
-		issues = append(issues, checkNoSleep(fset, file)...)
-	}
-	issues = append(issues, checkLockPairing(fset, file)...)
-	if strings.Contains(slash, "internal/gpusim/") {
-		issues = append(issues, checkKernelGoroutines(fset, file)...)
-	}
-	if strings.Contains(slash, "internal/des/") {
-		issues = append(issues, checkDesHotAlloc(fset, file)...)
-	}
-	if strings.Contains(slash, "internal/server/") {
-		issues = append(issues, checkServerCtx(fset, file)...)
-	}
-	return issues, nil
-}
-
-// engineEntryPoints are the context-free engine entry points that
-// internal/server handler code must never call: each has a *Ctx variant, and
-// calling the plain form would detach the simulation from the request's
-// deadline, so a client timeout or disconnect could no longer cancel it.
-var engineEntryPoints = map[string]string{
-	"Run":                "RunCtx",
-	"RunErr":             "RunCtxErr",
-	"RunTraced":          "RunTracedCtx",
-	"Execute":            "ExecuteCtx",
-	"ExecuteOn":          "ExecuteOnCtx",
-	"ExecuteTraced":      "ExecuteTracedCtx",
-	"RunCollective":      "RunCollectiveCtx",
-	"RunBackwardOverlap": "RunBackwardOverlapCtx",
-	"Select":             "SelectCtx",
-	"Best":               "BestCtx",
-	"Candidates":         "CandidatesCtx",
-}
-
-// checkServerCtx flags context-free engine calls in internal/server: every
-// simulation launched by a handler must run under r.Context() so request
-// deadlines and client disconnects propagate into the DES run loop.
-func checkServerCtx(fset *token.FileSet, file *ast.File) []issue {
-	var issues []issue
-	ast.Inspect(file, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		want, bad := engineEntryPoints[sel.Sel.Name]
-		if !bad {
-			return true
-		}
-		issues = append(issues, issue{
-			pos:  fset.Position(call.Pos()),
-			rule: "server-ctx",
-			msg: fmt.Sprintf("%s.%s ignores the request context; use %s so r.Context() cancels the simulation",
-				types.ExprString(sel.X), sel.Sel.Name, want),
-		})
-		return true
-	})
-	return issues
-}
-
-// checkNoSleep reports time.Sleep calls.
-func checkNoSleep(fset *token.FileSet, file *ast.File) []issue {
-	var issues []issue
-	ast.Inspect(file, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Sleep" {
-			return true
-		}
-		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
-			issues = append(issues, issue{
-				pos:  fset.Position(call.Pos()),
-				rule: "no-sleep",
-				msg:  "time.Sleep in a simulator package; advance time through the DES engine",
-			})
-		}
-		return true
-	})
-	return issues
-}
-
-// lockUse records where one receiver's lock calls appear within a scope.
-type lockUse struct {
-	lock, unlock token.Pos // first occurrence, or token.NoPos
-}
-
-// checkLockPairing verifies Lock/Unlock presence-pairing per function
-// scope. Scopes are declared function bodies and each function literal
-// body; nested literals belong to their own scope only.
-func checkLockPairing(fset *token.FileSet, file *ast.File) []issue {
-	var issues []issue
-	checkScope := func(body *ast.BlockStmt) {
-		uses := map[string]*lockUse{}
-		ast.Inspect(body, func(n ast.Node) bool {
-			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
-				return false // separate scope
-			}
-			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) != 0 {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			name := sel.Sel.Name
-			if name != "Lock" && name != "TryLock" && name != "Unlock" {
-				return true
-			}
-			key := types.ExprString(sel.X)
-			u := uses[key]
-			if u == nil {
-				u = &lockUse{}
-				uses[key] = u
-			}
-			if name == "Unlock" {
-				if u.unlock == token.NoPos {
-					u.unlock = call.Pos()
-				}
-			} else if u.lock == token.NoPos {
-				u.lock = call.Pos()
-			}
-			return true
-		})
-		keys := make([]string, 0, len(uses))
-		for k := range uses {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			u := uses[k]
-			if u.lock != token.NoPos && u.unlock == token.NoPos {
-				issues = append(issues, issue{
-					pos:  fset.Position(u.lock),
-					rule: "lock-pairing",
-					msg:  fmt.Sprintf("%s.Lock() with no %s.Unlock() in the same function", k, k),
-				})
-			}
-			if u.unlock != token.NoPos && u.lock == token.NoPos {
-				issues = append(issues, issue{
-					pos:  fset.Position(u.unlock),
-					rule: "lock-pairing",
-					msg:  fmt.Sprintf("%s.Unlock() with no %s.Lock() in the same function", k, k),
-				})
-			}
-		}
-	}
-	ast.Inspect(file, func(n ast.Node) bool {
-		switch fn := n.(type) {
-		case *ast.FuncDecl:
-			if fn.Body != nil {
-				checkScope(fn.Body)
-			}
-		case *ast.FuncLit:
-			checkScope(fn.Body)
-		}
-		return true
-	})
-	return issues
-}
-
-// desHotFuncs are the internal/des functions on (or reachable from) the
-// simulator's per-event / per-task fast path, where an allocation multiplies
-// by the event count. The zero-alloc contract is enforced dynamically by the
-// AllocsPerRun tests; this rule enforces the paper trail: any make/append in
-// these bodies must say, on its own line, why it is "amortized" (capacity
-// reused across operations) or a "prealloc" (one-time sizing).
-var desHotFuncs = map[string]bool{
-	// des.go — event engine
-	"At": true, "After": true, "Run": true, "RunUntil": true,
-	"step": true, "recycle": true, "push": true, "pop": true, "Reserve": true,
-	// graph.go — task graph run loop
-	"Add": true, "AddDeps": true, "RunErr": true, "buildAdjacency": true,
-	"dependents": true, "readyPush": true, "readyPop": true,
-	// cancel.go / graph.go — context-checkpointed run loops; the
-	// cancellation checkpoint must stay allocation-free too
-	"runErr": true, "RunCtx": true, "RunCtxErr": true,
-	// resource.go — per-grant path
-	"reserve": true, "Prealloc": true,
-}
-
-// checkDesHotAlloc flags make/append calls inside desHotFuncs bodies that
-// lack a same-line "amortized" or "prealloc" comment.
-func checkDesHotAlloc(fset *token.FileSet, file *ast.File) []issue {
-	annotated := map[int]bool{}
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			text := strings.ToLower(c.Text)
-			if strings.Contains(text, "amortized") || strings.Contains(text, "prealloc") {
-				annotated[fset.Position(c.Slash).Line] = true
-			}
-		}
-	}
-	var issues []issue
-	for _, decl := range file.Decls {
-		fn, ok := decl.(*ast.FuncDecl)
-		if !ok || fn.Body == nil || !desHotFuncs[fn.Name.Name] {
-			continue
-		}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			id, ok := call.Fun.(*ast.Ident)
-			if !ok || (id.Name != "make" && id.Name != "append") {
-				return true
-			}
-			pos := fset.Position(call.Pos())
-			if !annotated[pos.Line] {
-				issues = append(issues, issue{
-					pos:  pos,
-					rule: "des-hot-alloc",
-					msg: fmt.Sprintf(`%s in DES hot function %s without an "amortized"/"prealloc" same-line comment; the engine's steady state must not allocate`,
-						id.Name, fn.Name.Name),
-				})
-			}
-			return true
-		})
-	}
-	return issues
-}
-
-// checkKernelGoroutines requires every go statement to carry a same-line
-// comment containing "kernel".
-func checkKernelGoroutines(fset *token.FileSet, file *ast.File) []issue {
-	kernelLines := map[int]bool{}
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(strings.ToLower(c.Text), "kernel") {
-				kernelLines[fset.Position(c.Slash).Line] = true
-			}
-		}
-	}
-	var issues []issue
-	ast.Inspect(file, func(n ast.Node) bool {
-		g, ok := n.(*ast.GoStmt)
-		if !ok {
-			return true
-		}
-		pos := fset.Position(g.Pos())
-		if !kernelLines[pos.Line] {
-			issues = append(issues, issue{
-				pos:  pos,
-				rule: "kernel-goroutine",
-				msg:  `goroutine in internal/gpusim without a same-line "... kernel" comment; only kernel runners may spawn goroutines here`,
-			})
-		}
-		return true
-	})
-	return issues
 }

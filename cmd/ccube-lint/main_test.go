@@ -1,276 +1,81 @@
 package main
 
 import (
-	"go/token"
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
-func lintSource(t *testing.T, path, src string) []issue {
-	t.Helper()
-	issues, err := lintFile(token.NewFileSet(), path, src)
-	if err != nil {
-		t.Fatalf("parse %s: %v", path, err)
-	}
-	return issues
-}
+// The driver is exercised against the framework's fixture module, which
+// contains known violations, and against the real module, which must be
+// clean. Rule logic itself is tested in internal/lint.
 
-func rules(issues []issue) []string {
-	var out []string
-	for _, i := range issues {
-		out = append(out, i.rule)
-	}
-	return out
-}
+const fixtureRoot = "../../internal/lint/testdata/src"
 
-func TestNoSleepRule(t *testing.T) {
-	src := `package x
-import "time"
-func f() { time.Sleep(time.Second) }
-`
-	if got := rules(lintSource(t, "internal/des/x.go", src)); len(got) != 1 || got[0] != "no-sleep" {
-		t.Fatalf("issues = %v, want [no-sleep]", got)
+func TestDriverFindsFixtureViolations(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureRoot, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (fixture module has violations); stderr: %s", code, stderr.String())
 	}
-	// Outside internal/, sleeping is not our business.
-	if got := lintSource(t, "cmd/tool/x.go", src); len(got) != 0 {
-		t.Fatalf("cmd file flagged: %v", got)
-	}
-	// A local package named time is not the stdlib clock... but flagging a
-	// selector spelled time.Sleep is intended even then (the idiom ban is
-	// syntactic).
-	okSrc := `package x
-func f() { sleep() }
-func sleep() {}
-`
-	if got := lintSource(t, "internal/des/x.go", okSrc); len(got) != 0 {
-		t.Fatalf("clean file flagged: %v", got)
+	out := stdout.String()
+	if !strings.Contains(out, "[no-sleep]") || !strings.Contains(out, "ccube-lint:") {
+		t.Errorf("text output missing diagnostics or summary:\n%s", out)
 	}
 }
 
-func TestLockPairingRule(t *testing.T) {
-	leak := `package x
-import "sync"
-var mu sync.Mutex
-func f() { mu.Lock() }
-`
-	if got := rules(lintSource(t, "internal/q/x.go", leak)); len(got) != 1 || got[0] != "lock-pairing" {
-		t.Fatalf("leaked lock: issues = %v, want [lock-pairing]", got)
-	}
-
-	// Presence-based pairing: multiple unlocks on early-exit paths are one
-	// function's normal shape (gradqueue.Enqueue).
-	multiExit := `package x
-import "sync"
-var mu sync.Mutex
-func f(b bool) {
-	mu.Lock()
-	if b {
-		mu.Unlock()
-		panic("bad")
-	}
-	mu.Unlock()
-}
-`
-	if got := lintSource(t, "internal/q/x.go", multiExit); len(got) != 0 {
-		t.Fatalf("multi-exit unlock flagged: %v", got)
-	}
-
-	// The p2psync semaphore wait pattern is balanced by presence.
-	spin := `package x
-import "sync"
-var mu sync.Mutex
-func wait(ready func() bool) {
-	mu.Lock()
-	for !ready() {
-		mu.Unlock()
-		mu.Lock()
-	}
-	mu.Unlock()
-}
-`
-	if got := lintSource(t, "internal/q/x.go", spin); len(got) != 0 {
-		t.Fatalf("semaphore pattern flagged: %v", got)
-	}
-
-	// A goroutine unlocking its parent's lock is a separate scope: the
-	// parent leaks, the literal has a bare unlock — two findings.
-	crossScope := `package x
-import "sync"
-var mu sync.Mutex
-func f() {
-	mu.Lock()
-	go func() { mu.Unlock() }()
-}
-`
-	got := rules(lintSource(t, "internal/q/x.go", crossScope))
-	if len(got) != 2 {
-		t.Fatalf("cross-scope pairing: issues = %v, want 2 lock-pairing findings", got)
-	}
-
-	// deferred unlock pairs.
-	deferred := `package x
-import "sync"
-var mu sync.Mutex
-func f() {
-	mu.Lock()
-	defer mu.Unlock()
-}
-`
-	if got := lintSource(t, "internal/q/x.go", deferred); len(got) != 0 {
-		t.Fatalf("deferred unlock flagged: %v", got)
-	}
-
-	// TryLock counts as acquiring.
-	try := `package x
-import "sync"
-var mu sync.Mutex
-func f() {
-	if mu.TryLock() {
-	}
-}
-`
-	if got := rules(lintSource(t, "internal/q/x.go", try)); len(got) != 1 || got[0] != "lock-pairing" {
-		t.Fatalf("TryLock leak: issues = %v, want [lock-pairing]", got)
-	}
-
-	// Distinct receivers are tracked separately.
-	twoLocks := `package x
-import "sync"
-type s struct{ a, b sync.Mutex }
-func (v *s) f() {
-	v.a.Lock()
-	v.b.Lock()
-	v.b.Unlock()
-	v.a.Unlock()
-}
-`
-	if got := lintSource(t, "internal/q/x.go", twoLocks); len(got) != 0 {
-		t.Fatalf("two balanced locks flagged: %v", got)
+func TestDriverCleanSubtree(t *testing.T) {
+	// The metrics stub inside the fixture module has no violations.
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureRoot, "internal/metrics"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
 	}
 }
 
-func TestKernelGoroutineRule(t *testing.T) {
-	bare := `package gpusim
-func f() {
-	go func() {}()
-}
-`
-	if got := rules(lintSource(t, "internal/gpusim/x.go", bare)); len(got) != 1 || got[0] != "kernel-goroutine" {
-		t.Fatalf("bare goroutine: issues = %v, want [kernel-goroutine]", got)
+func TestDriverSARIF(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureRoot, "-format", "sarif", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
 	}
-	annotated := `package gpusim
-func f() {
-	go func() { // ring kernel for GPU 0
-	}()
-}
-`
-	if got := lintSource(t, "internal/gpusim/x.go", annotated); len(got) != 0 {
-		t.Fatalf("annotated goroutine flagged: %v", got)
+	var doc map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
 	}
-	// Outside gpusim the rule does not apply.
-	if got := lintSource(t, "internal/p2psync/x.go", bare); len(got) != 0 {
-		t.Fatalf("non-gpusim goroutine flagged: %v", got)
+	if doc["version"] != "2.1.0" {
+		t.Errorf("SARIF version = %v, want 2.1.0", doc["version"])
 	}
 }
 
-func TestDesHotAllocRule(t *testing.T) {
-	// An unannotated append in a hot function is a steady-state alloc risk.
-	bare := `package des
-type Engine struct{ events []int }
-func (e *Engine) push(v int) {
-	e.events = append(e.events, v)
-}
-`
-	if got := rules(lintSource(t, "internal/des/x.go", bare)); len(got) != 1 || got[0] != "des-hot-alloc" {
-		t.Fatalf("bare append in hot func: issues = %v, want [des-hot-alloc]", got)
+func TestDriverRuleListing(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rules"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
 	}
-
-	// A same-line amortized/prealloc comment is the documented exception.
-	annotated := `package des
-type Engine struct{ events []int }
-func (e *Engine) push(v int) {
-	e.events = append(e.events, v) // amortized: heap capacity is reused across runs
-}
-func (e *Engine) Reserve(n int) {
-	e.events = make([]int, 0, n) // prealloc: sizing the heap once
-}
-`
-	if got := lintSource(t, "internal/des/x.go", annotated); len(got) != 0 {
-		t.Fatalf("annotated allocations flagged: %v", got)
-	}
-
-	// Cold functions in the same package may allocate freely.
-	cold := `package des
-func (g *Graph) CriticalPath() []int {
-	path := make([]int, 0, 8)
-	return append(path, 1)
-}
-type Graph struct{}
-`
-	if got := lintSource(t, "internal/des/x.go", cold); len(got) != 0 {
-		t.Fatalf("cold-path allocation flagged: %v", got)
-	}
-
-	// Outside internal/des the rule does not apply, even for hot names.
-	if got := lintSource(t, "internal/collective/x.go", bare); len(got) != 0 {
-		t.Fatalf("non-des file flagged: %v", got)
+	for _, rule := range []string{
+		"no-sleep", "lock-pairing", "kernel-goroutine", "des-hot-alloc",
+		"server-ctx", "ctx-propagation", "goroutine-leak",
+		"metrics-cardinality", "virtual-time", "unchecked-engine-err",
+	} {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Errorf("-rules output missing %q", rule)
+		}
 	}
 }
 
-func TestServerCtxRule(t *testing.T) {
-	// A context-free engine call in a server handler detaches the
-	// simulation from the request deadline.
-	bare := `package server
-import "ccube/internal/collective"
-func compute(cfg collective.Config) error {
-	_, err := collective.Run(cfg)
-	return err
-}
-`
-	got := lintSource(t, "internal/server/run.go", bare)
-	if r := rules(got); len(r) != 1 || r[0] != "server-ctx" {
-		t.Fatalf("collective.Run in server: issues = %v, want [server-ctx]", r)
-	}
-	if !strings.Contains(got[0].msg, "RunCtx") {
-		t.Errorf("message %q does not name the Ctx variant", got[0].msg)
-	}
-
-	// Method forms are flagged too (Schedule.ExecuteOn and friends).
-	method := `package server
-func compute(s sched, res []int) {
-	s.ExecuteOn(res)
-	s.Select(nil, 0, 0, false)
-}
-type sched struct{}
-`
-	if r := rules(lintSource(t, "internal/server/run.go", method)); len(r) != 2 {
-		t.Fatalf("method calls: issues = %v, want 2 server-ctx", r)
-	}
-
-	// The Ctx variants are the sanctioned path.
-	ok := `package server
-import "ccube/internal/collective"
-import "context"
-func compute(ctx context.Context, cfg collective.Config) error {
-	_, err := collective.RunCtx(ctx, cfg)
-	return err
-}
-`
-	if r := rules(lintSource(t, "internal/server/run.go", ok)); len(r) != 0 {
-		t.Fatalf("RunCtx flagged: %v", r)
-	}
-
-	// The rule is scoped to internal/server; engines and CLIs keep their
-	// context-free entry points.
-	if r := rules(lintSource(t, "cmd/ccube-sim/main.go", bare)); len(r) != 0 {
-		t.Fatalf("non-server file flagged: %v", r)
+func TestDriverUnknownFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", fixtureRoot, "-format", "xml", "internal/metrics"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2 for unknown format", code)
 	}
 }
 
-func TestRunOnRepo(t *testing.T) {
-	// The repo itself must lint clean — this is the tree the tool ships in.
-	var out strings.Builder
-	if code := run([]string{"../../internal/...", "../../cmd/..."}, &out); code != 0 {
-		t.Fatalf("repo not lint-clean (exit %d):\n%s", code, out.String())
+func TestDriverBadModuleRoot(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "/nonexistent-module-root"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2 for missing go.mod", code)
 	}
 }

@@ -54,6 +54,7 @@ func main() {
 		defer ln.Close()
 		// Reuses the server package's ops endpoints; no second handler
 		// implementation.
+		//lint:ignore goroutine-leak process-lifetime ops server; the deferred ln.Close unblocks Serve at exit
 		go http.Serve(ln, server.OpsHandler())
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", ln.Addr())
 	}

@@ -537,6 +537,7 @@ func (s *Schedule) Program() *schedcheck.Program {
 			Src:        buf(t.src),
 			Dst:        buf(t.dst),
 			Accumulate: t.accumulate,
+			NoAlpha:    t.noAlpha,
 			Final:      t.finalNode,
 		}
 	}
@@ -556,6 +557,27 @@ func (s *Schedule) Program() *schedcheck.Program {
 // (when InOrder is claimed) the in-order proof. See internal/schedcheck.
 func (s *Schedule) Verify() error {
 	return schedcheck.Check(s.Program()).Err()
+}
+
+// VerifyDeep is Verify plus the performance proofs: no physical channel is
+// shared by unordered transfers of concurrent chunk streams (contention —
+// the paper's disjoint-channel requirement for overlapped trees), and the
+// combined dependency + channel-service-order wait-for graph is acyclic
+// (wait-for). It is a separate knob because these constrain performance,
+// not delivery: AllowSharedChannels schedules intentionally violate
+// contention — the DES serializes the sharing flows — and still deliver
+// every chunk.
+func (s *Schedule) VerifyDeep() error {
+	return schedcheck.CheckDeep(s.Program()).Err()
+}
+
+// MakespanBound returns a provable lower bound on the schedule's execution
+// time under the alpha-beta cost model: the larger of the dependency
+// critical path and the busiest channel's serialized load. Execute can
+// never beat it; the grid test asserts Execute stays within a small slack
+// factor of it, pinning the analyzer's cost model to the DES's.
+func (s *Schedule) MakespanBound() (des.Time, error) {
+	return schedcheck.MakespanBound(s.Program())
 }
 
 // Validate checks the schedule's correctness without executing it. Cheap

@@ -47,6 +47,7 @@ func (e *CanceledError) Unwrap() error { return e.Cause }
 func (e *Engine) RunCtx(ctx context.Context) (Time, error) {
 	done := ctx.Done()
 	if done == nil {
+		//lint:ignore ctx-propagation this IS RunCtx: a nil Done degrades to the uncancellable fast path by design
 		return e.Run(), nil
 	}
 	for len(e.events) > 0 {

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "ctx-propagation",
+		Doc: "context-aware engine entry points are required repo-wide, not just " +
+			"in internal/server: when a context.Context is in scope, a call to a " +
+			"module function or method that has a <name>Ctx sibling taking a " +
+			"context must use the sibling, so deadlines and cancellation reach " +
+			"the DES run loop instead of dying in the caller's frame",
+		Run: runCtxPropagation,
+	})
+}
+
+func runCtxPropagation(p *Pass) {
+	info := p.TypesInfo()
+
+	// check walks one function body with the name of the context.Context
+	// lexically in scope ("" when none). Nested literals inherit the
+	// enclosing context unless they declare their own.
+	var check func(body *ast.BlockStmt, ctx string)
+	check = func(body *ast.BlockStmt, ctx string) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncLit:
+				inner := ctxParamName(info, node.Type)
+				if inner == "" {
+					inner = ctx
+				}
+				check(node.Body, inner)
+				return false
+			case *ast.CallExpr:
+				if ctx == "" {
+					return true
+				}
+				obj := calleeObject(info, node)
+				if obj == nil || !moduleLocal(obj, p.Pkg.ModulePath) || !hasCtxVariant(obj) {
+					return true
+				}
+				callee := renderCallee(node)
+				p.ReportWithFix(node.Pos(),
+					callee+" discards the in-scope context "+ctx+"; call "+obj.Name()+"Ctx so cancellation reaches the engine",
+					&SuggestedFix{
+						Message: "propagate " + ctx,
+						NewText: callee + "Ctx(" + ctx + ", ...)",
+					})
+			}
+			return true
+		})
+	}
+
+	for _, file := range p.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			check(fn.Body, ctxParamName(info, fn.Type))
+		}
+	}
+}
+
+// renderCallee formats the call target for messages ("s.Execute", "Run").
+func renderCallee(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(fun.X) + "." + fun.Sel.Name
+	}
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "des-hot-alloc",
+		Doc: "the DES engine's hot functions (internal/des: event scheduling, the " +
+			"graph run loop, resource grants) must stay allocation-free in steady " +
+			"state; every make or append there needs a same-line comment containing " +
+			"\"amortized\" or \"prealloc\" explaining why the growth is not " +
+			"per-operation",
+		Match: func(rel string) bool { return rel == "internal/des" || strings.HasPrefix(rel, "internal/des/") },
+		Run:   runDesHotAlloc,
+	})
+}
+
+// desHotFuncs are the internal/des functions on (or reachable from) the
+// simulator's per-event / per-task fast path, where an allocation multiplies
+// by the event count. The zero-alloc contract is enforced dynamically by the
+// AllocsPerRun tests; this rule enforces the paper trail.
+var desHotFuncs = map[string]bool{
+	// des.go — event engine
+	"At": true, "After": true, "Run": true, "RunUntil": true,
+	"step": true, "recycle": true, "push": true, "pop": true, "Reserve": true,
+	// graph.go — task graph run loop
+	"Add": true, "AddDeps": true, "RunErr": true, "buildAdjacency": true,
+	"dependents": true, "readyPush": true, "readyPop": true,
+	// cancel.go / graph.go — context-checkpointed run loops; the
+	// cancellation checkpoint must stay allocation-free too
+	"runErr": true, "RunCtx": true, "RunCtxErr": true,
+	// resource.go — per-grant path
+	"reserve": true, "Prealloc": true,
+}
+
+func runDesHotAlloc(p *Pass) {
+	fset := p.Fset()
+	for _, file := range p.Files() {
+		annotated := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.ToLower(c.Text)
+				if strings.Contains(text, "amortized") || strings.Contains(text, "prealloc") {
+					annotated[fset.Position(c.Slash).Line] = true
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !desHotFuncs[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || (id.Name != "make" && id.Name != "append") {
+					return true
+				}
+				if pos := fset.Position(call.Pos()); !annotated[pos.Line] {
+					p.Reportf(call.Pos(),
+						`%s in DES hot function %s without an "amortized"/"prealloc" same-line comment; the engine's steady state must not allocate`,
+						id.Name, fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "goroutine-leak",
+		Doc: "a `go` statement needs a join path visible in the same declared " +
+			"function: a sync.WaitGroup Wait/Done, a channel send/receive/close/" +
+			"range/select, or a ctx.Done() subscription. A goroutine with no " +
+			"join evidence is fire-and-forget — it outlives its spawner, hides " +
+			"panics, and leaks under load",
+		Run: runGoroutineLeak,
+	})
+}
+
+func runGoroutineLeak(p *Pass) {
+	info := p.TypesInfo()
+	for _, file := range p.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var goStmts []*ast.GoStmt
+			joined := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.GoStmt:
+					goStmts = append(goStmts, node)
+				case *ast.SendStmt:
+					joined = true
+				case *ast.UnaryExpr:
+					if node.Op.String() == "<-" {
+						joined = true
+					}
+				case *ast.SelectStmt:
+					joined = true
+				case *ast.RangeStmt:
+					if tv, ok := info.Types[node.X]; ok && isChanType(tv.Type) {
+						joined = true
+					}
+				case *ast.CallExpr:
+					if isJoinCall(p, node) {
+						joined = true
+					}
+				}
+				return true
+			})
+			if joined {
+				continue
+			}
+			for _, g := range goStmts {
+				p.Reportf(g.Pos(),
+					"goroutine with no join path in %s: no WaitGroup Wait/Done, channel operation, or ctx.Done() in the same function",
+					fn.Name.Name)
+			}
+		}
+	}
+}
+
+// isJoinCall recognizes calls that tie a goroutine's lifetime to its
+// spawner: WaitGroup Wait/Done, close(ch), and ctx.Done().
+func isJoinCall(p *Pass, call *ast.CallExpr) bool {
+	info := p.TypesInfo()
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Wait", "Done":
+		if tv, ok := info.Types[sel.X]; ok {
+			if isWaitGroupType(tv.Type) || isContextType(tv.Type) {
+				return true
+			}
+		}
+		// Unresolved receivers: accept the conventional names so a
+		// type-check hiccup degrades to the syntactic check rather than a
+		// false positive.
+		if info.Types[sel.X].Type == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "kernel-goroutine",
+		Doc: "internal/gpusim models persistent GPU kernels as goroutines; every " +
+			"`go` statement there must carry a same-line comment containing " +
+			"\"kernel\" naming which kernel it models, so stray concurrency " +
+			"can't hide among them",
+		Match: func(rel string) bool { return rel == "internal/gpusim" || strings.HasPrefix(rel, "internal/gpusim/") },
+		Run:   runKernelGoroutine,
+	})
+}
+
+func runKernelGoroutine(p *Pass) {
+	fset := p.Fset()
+	for _, file := range p.Files() {
+		kernelLines := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(strings.ToLower(c.Text), "kernel") {
+					kernelLines[fset.Position(c.Slash).Line] = true
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !kernelLines[fset.Position(g.Pos()).Line] {
+				p.Reportf(g.Pos(), `goroutine in internal/gpusim without a same-line "... kernel" comment; only kernel runners may spawn goroutines here`)
+			}
+			return true
+		})
+	}
+}

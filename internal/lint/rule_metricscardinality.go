@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "metrics-cardinality",
+		Doc: "label values passed to CounterVec.With / GaugeVec.With must be " +
+			"compile-time constants or values of bounded provenance (a defined " +
+			"module type, a method on one, or a local derived only from those) — " +
+			"never request-derived strings, which would grow a metric family " +
+			"without bound and blow up every scrape",
+		Run: runMetricsCardinality,
+	})
+}
+
+// metricsVecPath is the package whose labeled families the rule guards.
+const metricsVecPath = "ccube/internal/metrics"
+
+// isVecWith reports whether the call is (CounterVec).With or (GaugeVec).With
+// from the metrics package.
+func isVecWith(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "With" || len(call.Args) != 1 {
+		return false
+	}
+	selection, ok := p.TypesInfo().Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != metricsVecPath {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "CounterVec" || name == "GaugeVec"
+}
+
+func runMetricsCardinality(p *Pass) {
+	info := p.TypesInfo()
+	for _, file := range p.Files() {
+		// Track the enclosing function body so local variables can be
+		// traced to their assignments.
+		var enclosing []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if node.Body != nil {
+					enclosing = append(enclosing, node.Body)
+					ast.Inspect(node.Body, visit)
+					enclosing = enclosing[:len(enclosing)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				enclosing = append(enclosing, node.Body)
+				ast.Inspect(node.Body, visit)
+				enclosing = enclosing[:len(enclosing)-1]
+				return false
+			case *ast.CallExpr:
+				if !isVecWith(p, node) {
+					return true
+				}
+				arg := node.Args[0]
+				var scope ast.Node = file
+				if len(enclosing) > 0 {
+					scope = enclosing[len(enclosing)-1]
+				}
+				if !boundedLabelExpr(p, info, scope, arg, 0) {
+					p.Reportf(arg.Pos(),
+						"metric label %s is not provably bounded: pass a constant, a defined module type (or a method on one), or a local derived only from those — request-derived strings explode series cardinality",
+						types.ExprString(arg))
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+}
+
+// boundedLabelExpr reports whether the expression's value is drawn from a
+// bounded set, by the rule's definition of bounded provenance:
+//
+//   - compile-time constants (untyped or typed);
+//   - expressions whose static type is a defined type declared in this
+//     module (bounded sets are modeled as named types — train.Mode, a
+//     server endpoint enum — so raw `string` never qualifies);
+//   - calls to methods on module-defined types (ResourceName(), String(),
+//     status() — the owning type bounds what they can produce);
+//   - strconv.Itoa / fmt-free conversions of any of the above;
+//   - a local variable assigned exactly once, from a bounded expression.
+func boundedLabelExpr(p *Pass, info *types.Info, scope ast.Node, e ast.Expr, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok {
+		if tv.Value != nil {
+			return true // constant
+		}
+		if isModuleDefinedType(tv.Type, p.Pkg.ModulePath) {
+			return true
+		}
+	}
+	switch node := e.(type) {
+	case *ast.CallExpr:
+		// Conversion: T(x) — bounded iff the operand is.
+		if tv, ok := info.Types[node.Fun]; ok && tv.IsType() && len(node.Args) == 1 {
+			return boundedLabelExpr(p, info, scope, node.Args[0], depth+1) ||
+				isModuleDefinedType(info.Types[node.Args[0]].Type, p.Pkg.ModulePath)
+		}
+		obj := calleeObject(info, node)
+		if fn, ok := obj.(*types.Func); ok {
+			// strconv.Itoa of a bounded value.
+			if fn.Pkg() != nil && fn.Pkg().Path() == "strconv" && fn.Name() == "Itoa" && len(node.Args) == 1 {
+				return boundedLabelExpr(p, info, scope, node.Args[0], depth+1)
+			}
+			// A method on a module-defined type.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if isModuleDefinedType(sig.Recv().Type(), p.Pkg.ModulePath) {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.Ident:
+		obj := info.Uses[node]
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		if isModuleDefinedType(v.Type(), p.Pkg.ModulePath) {
+			return true // named-type parameter or field: bounded by its type
+		}
+		rhs, n := soleAssignment(info, scope, v)
+		if n != 1 || rhs == nil {
+			return false
+		}
+		return boundedLabelExpr(p, info, scope, rhs, depth+1)
+	}
+	return false
+}
+
+// isModuleDefinedType reports whether t (behind pointers) is a named type
+// declared in a module package.
+func isModuleDefinedType(t types.Type, modulePath string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return moduleLocal(named.Obj(), modulePath)
+}
+
+// soleAssignment finds the unique expression assigned to v within scope.
+// Returns the RHS and the number of assignments found (0, 1, or 2 for
+// "more than one").
+func soleAssignment(info *types.Info, scope ast.Node, v *types.Var) (ast.Expr, int) {
+	var rhs ast.Expr
+	count := 0
+	record := func(e ast.Expr) {
+		count++
+		rhs = e
+	}
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if len(node.Lhs) != len(node.Rhs) {
+				// Multi-value unpacking: treat any mention of v as an
+				// untraceable assignment.
+				for _, l := range node.Lhs {
+					if id, ok := l.(*ast.Ident); ok && (info.Defs[id] == v || info.Uses[id] == v) {
+						count += 2
+					}
+				}
+				return true
+			}
+			for i, l := range node.Lhs {
+				if id, ok := l.(*ast.Ident); ok && (info.Defs[id] == v || info.Uses[id] == v) {
+					record(node.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range node.Names {
+				if info.Defs[name] == v {
+					if i < len(node.Values) {
+						record(node.Values[i])
+					} else {
+						count += 2 // declared without value, mutated later
+					}
+				}
+			}
+		}
+		return true
+	})
+	return rhs, count
+}

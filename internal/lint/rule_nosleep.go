@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "no-sleep",
+		Doc: "simulator packages (everything under internal/) must not call " +
+			"time.Sleep: simulated time advances through the DES engine, and a " +
+			"wall-clock sleep in a kernel or scheduler hides ordering bugs " +
+			"instead of failing",
+		Match: func(rel string) bool { return strings.HasPrefix(rel, "internal/") },
+		Run:   runNoSleep,
+	})
+}
+
+func runNoSleep(p *Pass) {
+	info := p.TypesInfo()
+	for _, file := range p.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			// Typed match when resolution succeeded; fall back to the
+			// syntactic `time.Sleep` shape so a type-check hiccup cannot
+			// silence the rule.
+			if obj := info.Uses[sel.Sel]; obj != nil {
+				if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+			} else if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "time" {
+				return true
+			}
+			p.Reportf(call.Pos(), "time.Sleep in a simulator package; advance time through the DES engine")
+			return true
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "server-ctx",
+		Doc: "internal/server must launch simulations through the context-aware " +
+			"engine entry points (RunCtx, ExecuteCtx, SelectCtx, ...); a plain " +
+			"Run/Execute call detaches the simulation from the request deadline, " +
+			"so a client timeout could no longer cancel it",
+		Match: func(rel string) bool { return rel == "internal/server" || strings.HasPrefix(rel, "internal/server/") },
+		Run:   runServerCtx,
+	})
+}
+
+// engineEntryPoints are the context-free engine entry points that
+// internal/server handler code must never call: each has a *Ctx variant, and
+// calling the plain form would detach the simulation from the request's
+// deadline. This name table is the fast syntactic layer; the repo-wide
+// ctx-propagation rule additionally discovers Ctx variants through the type
+// checker.
+var engineEntryPoints = map[string]string{
+	"Run":                "RunCtx",
+	"RunErr":             "RunCtxErr",
+	"RunTraced":          "RunTracedCtx",
+	"Execute":            "ExecuteCtx",
+	"ExecuteOn":          "ExecuteOnCtx",
+	"ExecuteTraced":      "ExecuteTracedCtx",
+	"RunCollective":      "RunCollectiveCtx",
+	"RunBackwardOverlap": "RunBackwardOverlapCtx",
+	"Select":             "SelectCtx",
+	"Best":               "BestCtx",
+	"Candidates":         "CandidatesCtx",
+}
+
+func runServerCtx(p *Pass) {
+	for _, file := range p.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			want, bad := engineEntryPoints[sel.Sel.Name]
+			if !bad {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			p.ReportWithFix(call.Pos(),
+				recv+"."+sel.Sel.Name+" ignores the request context; use "+want+" so r.Context() cancels the simulation",
+				&SuggestedFix{
+					Message: "propagate the request context",
+					NewText: recv + "." + want + "(r.Context(), ...)",
+				})
+			return true
+		})
+	}
+}

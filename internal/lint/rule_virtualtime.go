@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "virtual-time",
+		Doc: "simulator packages must not read the wall clock (time.Now, " +
+			"time.Since, timers): virtual time comes from the DES engine, and a " +
+			"wall-clock read in a simulator path couples results to host speed, " +
+			"breaking determinism and reproducibility",
+		Match: isSimulatorPackage,
+		Run:   runVirtualTime,
+	})
+}
+
+// hostSidePackages are the internal packages that legitimately measure host
+// wall time: the HTTP service, load generation, metrics export, experiment
+// timing, benchmarking, reporting, the parallel sweep executor, and the
+// analysis framework itself. Everything else under internal/ is simulator
+// territory where time is virtual.
+var hostSidePackages = map[string]bool{
+	"internal/server":      true,
+	"internal/loadgen":     true,
+	"internal/metrics":     true,
+	"internal/experiments": true,
+	"internal/bench":       true,
+	"internal/report":      true,
+	"internal/sweep":       true,
+	"internal/lint":        true,
+}
+
+func isSimulatorPackage(rel string) bool {
+	if !strings.HasPrefix(rel, "internal/") {
+		return false
+	}
+	top := rel
+	if i := strings.Index(rel[len("internal/"):], "/"); i >= 0 {
+		top = rel[:len("internal/")+i]
+	}
+	return !hostSidePackages[top]
+}
+
+// wallClockFuncs are the time package entry points that read or track the
+// host clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func runVirtualTime(p *Pass) {
+	info := p.TypesInfo()
+	for _, file := range p.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if obj := info.Uses[sel.Sel]; obj != nil {
+				if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+			} else if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "time" {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"time.%s reads the wall clock in a simulator package; virtual time comes from the DES engine (des.Time)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

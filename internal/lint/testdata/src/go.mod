@@ -1,0 +1,3 @@
+module ccube
+
+go 1.24

@@ -1,0 +1,79 @@
+// Package des is a lint fixture modeling the DES engine's rule surface:
+// hot-path allocation discipline (des-hot-alloc), the wall-clock ban
+// (no-sleep, virtual-time), and the context-aware run entry point the sibling
+// server fixture calls through.
+package des
+
+import (
+	"context"
+	"time"
+)
+
+// Engine is a miniature stand-in for the real event engine.
+type Engine struct {
+	buf []int
+	now int64
+}
+
+// Run drains the engine (hot path: no allocations allowed).
+func (e *Engine) Run() int {
+	e.now++
+	return len(e.buf)
+}
+
+// RunCtx is Run under a cancellation context.
+func (e *Engine) RunCtx(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	e.now++
+	return len(e.buf), nil
+}
+
+// push is on the per-event hot path; this growth is undocumented.
+func (e *Engine) push(v int) {
+	e.buf = append(e.buf, v) // want "des-hot-alloc"
+}
+
+// pop is hot too; its growth is documented, so it passes.
+func (e *Engine) pop() int {
+	if len(e.buf) == 0 {
+		e.buf = append(e.buf, 0) // amortized: grow-once backfill
+	}
+	v := e.buf[len(e.buf)-1]
+	e.buf = e.buf[:len(e.buf)-1]
+	return v
+}
+
+// recycle is hot; its growth is waved through to exercise suppression.
+func (e *Engine) recycle() {
+	e.buf = append(e.buf, 0) //lint:ignore des-hot-alloc fixture: suppressed hot-path growth
+}
+
+// Drain exists so the unexported hot-path helpers above are referenced.
+func (e *Engine) Drain(v int) int {
+	e.push(v)
+	e.recycle()
+	return e.pop()
+}
+
+// Wait blocks on the host clock: forbidden in a simulator package.
+func Wait() {
+	time.Sleep(time.Millisecond) // want "no-sleep"
+}
+
+// WaitQuiet is the suppressed twin.
+func WaitQuiet() {
+	time.Sleep(time.Millisecond) //lint:ignore no-sleep fixture: suppressed sleep
+}
+
+// Stamp reads the wall clock: forbidden in a simulator package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "virtual-time"
+}
+
+// StampQuiet is the suppressed twin.
+func StampQuiet() int64 {
+	//lint:ignore virtual-time fixture: suppressed wall-clock read
+	return time.Now().UnixNano()
+}

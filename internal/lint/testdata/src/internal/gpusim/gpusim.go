@@ -1,0 +1,33 @@
+// Package gpusim is a lint fixture for the kernel-goroutine rule: every
+// goroutine here must carry a same-line comment naming the kernel it models.
+package gpusim
+
+import "sync"
+
+// Launch spawns one annotated kernel runner and one stray goroutine.
+func Launch() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go runStage(&wg) // all-reduce kernel runner
+	go func() { // want "goroutine in internal/gpusim"
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func runStage(wg *sync.WaitGroup) {
+	wg.Done()
+}
+
+// LaunchQuiet exercises the suppression path. The directive sits on the line
+// above the go statement, because its own text names the rule and would
+// otherwise satisfy the same-line annotation check.
+func LaunchQuiet() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//lint:ignore kernel-goroutine fixture: suppressed stray goroutine
+	go func() {
+		wg.Done()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,48 @@
+// Package metrics is a lint fixture stub mirroring the real registry's
+// labeled-family surface, so the metrics-cardinality rule has CounterVec and
+// GaugeVec receivers to resolve against.
+package metrics
+
+// Counter is one labeled counter series.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Gauge is one labeled gauge series.
+type Gauge struct{ v float64 }
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct{ series map[string]*Counter }
+
+// With returns the series for the label value.
+func (v *CounterVec) With(label string) *Counter {
+	if v.series == nil {
+		v.series = map[string]*Counter{}
+	}
+	c := v.series[label]
+	if c == nil {
+		c = &Counter{}
+		v.series[label] = c
+	}
+	return c
+}
+
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct{ series map[string]*Gauge }
+
+// With returns the series for the label value.
+func (v *GaugeVec) With(label string) *Gauge {
+	if v.series == nil {
+		v.series = map[string]*Gauge{}
+	}
+	g := v.series[label]
+	if g == nil {
+		g = &Gauge{}
+		v.series[label] = g
+	}
+	return g
+}

@@ -1,0 +1,24 @@
+// Package server is a lint fixture for the server-ctx rule: handler code
+// must launch simulations through the engine's context-aware entry points.
+package server
+
+import (
+	"context"
+
+	"ccube/internal/des"
+)
+
+// Handle launches a simulation detached from the request context.
+func Handle(eng *des.Engine) int {
+	return eng.Run() // want "server-ctx"
+}
+
+// HandleCtx is the corrected shape.
+func HandleCtx(ctx context.Context, eng *des.Engine) (int, error) {
+	return eng.RunCtx(ctx)
+}
+
+// HandleQuiet is the suppressed twin.
+func HandleQuiet(eng *des.Engine) int {
+	return eng.Run() //lint:ignore server-ctx fixture: suppressed detached run
+}

@@ -1,0 +1,38 @@
+// Package sim is a lint fixture for the repo-wide typed rules:
+// ctx-propagation, goroutine-leak, lock-pairing, metrics-cardinality, and
+// unchecked-engine-err.
+package sim
+
+import "context"
+
+// Solve runs one repair pass.
+func Solve() error { return nil }
+
+// SolveCtx is Solve under a cancellation context.
+func SolveCtx(ctx context.Context) error { return ctx.Err() }
+
+// Drive has the context in scope and drops it.
+func Drive(ctx context.Context) error {
+	return Solve() // want "ctx-propagation"
+}
+
+// DriveLit shows function literals inheriting the enclosing context name.
+func DriveLit(ctx context.Context) error {
+	f := func() error {
+		return Solve() // want "ctx-propagation"
+	}
+	return f()
+}
+
+// DriveRight propagates the context.
+func DriveRight(ctx context.Context) error {
+	return SolveCtx(ctx)
+}
+
+// DriveQuiet is the suppressed twin.
+func DriveQuiet(ctx context.Context) error {
+	return Solve() //lint:ignore ctx-propagation fixture: suppressed context drop
+}
+
+// NoCtx has no context in scope, so the plain call is fine.
+func NoCtx() error { return Solve() }

@@ -1,0 +1,24 @@
+package sim
+
+import "ccube/internal/metrics"
+
+// runMode is a bounded label domain: a defined module type.
+type runMode string
+
+var mRuns = &metrics.CounterVec{}
+
+// Record tags the run counter with values of bounded provenance.
+func Record(m runMode) {
+	mRuns.With("const-label").Inc()
+	mRuns.With(string(m)).Inc()
+}
+
+// RecordUser passes a request-derived string straight into the label.
+func RecordUser(user string) {
+	mRuns.With(user).Inc() // want "metrics-cardinality"
+}
+
+// RecordUserQuiet is the suppressed twin.
+func RecordUserQuiet(user string) {
+	mRuns.With(user).Inc() //lint:ignore metrics-cardinality fixture: suppressed unbounded label
+}

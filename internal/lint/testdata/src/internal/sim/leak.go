@@ -1,0 +1,36 @@
+package sim
+
+import "sync"
+
+func work() {}
+
+// Spawn fires and forgets.
+func Spawn() {
+	go work() // want "goroutine-leak"
+}
+
+// SpawnJoined has a WaitGroup join path.
+func SpawnJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// SpawnChannel joins through a channel receive.
+func SpawnChannel() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// SpawnQuiet is the suppressed twin.
+func SpawnQuiet() {
+	go work() //lint:ignore goroutine-leak fixture: suppressed fire-and-forget
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "sync"
+
+var mu sync.Mutex
+var state int
+
+// Bump leaks the lock.
+func Bump() {
+	mu.Lock() // want "lock-pairing"
+	state++
+}
+
+// BumpPaired is the classic correct shape.
+func BumpPaired() {
+	mu.Lock()
+	defer mu.Unlock()
+	state++
+}
+
+// Registrar mimics testing.T's Cleanup registration surface.
+type Registrar struct{ funcs []func() }
+
+// Cleanup registers f to run when the scope ends.
+func (r *Registrar) Cleanup(f func()) { r.funcs = append(r.funcs, f) }
+
+// HoldUntilCleanup locks now and registers the unlock as a cleanup: the
+// literal pairs with this function (the t.Cleanup false-positive regression).
+func HoldUntilCleanup(r *Registrar) {
+	mu.Lock()
+	r.Cleanup(func() {
+		mu.Unlock()
+	})
+}
+
+// OnceRelease pairs through sync.OnceFunc the same way.
+func OnceRelease() func() {
+	mu.Lock()
+	return sync.OnceFunc(func() {
+		mu.Unlock()
+	})
+}
+
+// StrayUnlock returns a literal that was never registered as a cleanup: it
+// is its own scope, so its unpaired Unlock still fires.
+func StrayUnlock() func() {
+	return func() {
+		mu.Unlock() // want "lock-pairing"
+	}
+}
+
+// BumpQuiet is the suppressed twin.
+func BumpQuiet() {
+	mu.Lock() //lint:ignore lock-pairing fixture: suppressed leaked lock
+	state++
+}

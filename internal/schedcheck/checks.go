@@ -296,9 +296,9 @@ type bufKey struct {
 type accessKind int
 
 const (
-	accRead accessKind = iota
-	accCopy            // overwrite (broadcast, ring AG receive)
-	accAccum           // commuting reduction update
+	accRead  accessKind = iota
+	accCopy             // overwrite (broadcast, ring AG receive)
+	accAccum            // commuting reduction update
 )
 
 type access struct {

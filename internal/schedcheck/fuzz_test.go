@@ -10,20 +10,24 @@ import (
 )
 
 // FuzzSchedCheck corrupts valid schedules and asserts the verifier notices.
-// Four corruption kinds mirror the mistakes a scheduler change could make:
+// Six corruption kinds mirror the mistakes a scheduler change could make:
 // dropping a dependency edge (overlap race), retargeting a transfer onto a
 // channel that does not start at its source (phantom link), swapping the
-// chunk indices of two transfers (mis-routed data), and killing a channel
+// chunk indices of two transfers (mis-routed data), killing a channel
 // the schedule rides (dead link — the verifier must flag the unrepaired
-// schedule, and the repaired one must verify clean). Each corruption is
-// guarded so the assertion only fires when the mutation is provably
-// observable — e.g. a dropped edge that another dependency path still
-// covers must instead keep the program clean.
+// schedule, and the repaired one must verify clean), collapsing two
+// parallel channels so concurrent streams share a link (contention), and
+// adding a forward dependency on a shared channel (wait-for deadlock). The
+// last two corrupt performance, not delivery, so the shallow classes must
+// stay silent and only CheckDeep may object. Each corruption is guarded so
+// the assertion only fires when the mutation is provably observable — e.g.
+// a dropped edge that another dependency path still covers must instead
+// keep the program clean.
 // Run `go test -fuzz=FuzzSchedCheck ./internal/schedcheck` to explore
 // beyond the seeds; `go test` replays the seed corpus as regression tests.
 func FuzzSchedCheck(f *testing.F) {
 	for algo := uint8(0); algo < 6; algo++ {
-		for kind := uint8(0); kind < 4; kind++ {
+		for kind := uint8(0); kind < 6; kind++ {
 			f.Add(algo, kind, uint16(0), uint16(7))
 			f.Add(algo, kind, uint16(13), uint16(101))
 		}
@@ -40,10 +44,10 @@ func FuzzSchedCheck(f *testing.F) {
 			t.Fatal(err)
 		}
 		p := s.Program()
-		if r := schedcheck.Check(p); !r.OK() {
+		if r := schedcheck.CheckDeep(p); !r.OK() {
 			t.Fatalf("pristine schedule rejected: %s", r.Err())
 		}
-		switch kind % 4 {
+		switch kind % 6 {
 		case 0:
 			fuzzDropDep(t, p, pick, pick2)
 		case 1:
@@ -52,6 +56,10 @@ func FuzzSchedCheck(f *testing.F) {
 			fuzzSwapChunks(t, p, pick, pick2)
 		case 3:
 			fuzzRepair(t, g, s, p, pick)
+		case 4:
+			fuzzContention(t, p, pick)
+		case 5:
+			fuzzWaitFor(t, p, pick)
 		}
 	})
 }
@@ -190,6 +198,91 @@ func fuzzRepair(t *testing.T, g *topology.Graph, s *collective.Schedule, p *sche
 	}
 	if r := schedcheck.Check(repaired.Program()); !r.OK() {
 		t.Fatalf("repaired schedule failed verification: %s", r.Err())
+	}
+}
+
+// fuzzContention moves a transfer onto a parallel channel (same endpoints)
+// already carrying an unordered transfer of another chunk stream. Every
+// shallow class still passes — the link is real and the data untouched — but
+// the schedule's cross-stream overlap now serializes on one physical link,
+// which only the deep contention pass can see.
+func fuzzContention(t *testing.T, p *schedcheck.Program, pick uint16) {
+	streams := p.Streams
+	if streams < 2 {
+		t.Skip() // single-stream schedules claim no channel-level overlap
+	}
+	type pair struct{ a, b int }
+	var candidates []pair
+	for i := range p.Ops {
+		oi := &p.Ops[i]
+		if oi.Marker() {
+			continue
+		}
+		for j := i + 1; j < len(p.Ops); j++ {
+			oj := &p.Ops[j]
+			if oj.Marker() || oi.Channel == oj.Channel ||
+				oi.Chunk%streams == oj.Chunk%streams {
+				continue
+			}
+			ci, cj := p.Graph.Channel(oi.Channel), p.Graph.Channel(oj.Channel)
+			if ci.From != cj.From || ci.To != cj.To {
+				continue
+			}
+			if stillReaches(p, i, j) || stillReaches(p, j, i) {
+				continue
+			}
+			candidates = append(candidates, pair{i, j})
+		}
+	}
+	if len(candidates) == 0 {
+		t.Skip()
+	}
+	e := candidates[int(pick)%len(candidates)]
+	p.Ops[e.a].Channel = p.Ops[e.b].Channel
+	if r := schedcheck.Check(p); !r.OK() {
+		t.Fatalf("parallel-channel collapse must be invisible to shallow checks, got: %s", r.Err())
+	}
+	if r := schedcheck.CheckDeep(p); !hasClass(r, schedcheck.ClassContention) {
+		t.Fatalf("ops %d and %d of concurrent streams share channel %d unordered, not flagged: %s",
+			e.a, e.b, p.Ops[e.b].Channel, r.Summary())
+	}
+}
+
+// fuzzWaitFor makes an earlier-scheduled transfer depend on a later one on
+// the same channel. The dependency DAG stays acyclic (the guard rejects
+// pairs already ordered forward), so every shallow class passes — but under
+// in-order channel service the pair deadlocks, which only the deep wait-for
+// pass proves.
+func fuzzWaitFor(t *testing.T, p *schedcheck.Program, pick uint16) {
+	type pair struct{ a, b int }
+	var candidates []pair
+	for i := range p.Ops {
+		oi := &p.Ops[i]
+		if oi.Marker() {
+			continue
+		}
+		for j := i + 1; j < len(p.Ops); j++ {
+			oj := &p.Ops[j]
+			if oj.Marker() || oi.Channel != oj.Channel {
+				continue
+			}
+			if stillReaches(p, i, j) {
+				continue // dep j->i would close a dependency cycle
+			}
+			candidates = append(candidates, pair{i, j})
+		}
+	}
+	if len(candidates) == 0 {
+		t.Skip()
+	}
+	e := candidates[int(pick)%len(candidates)]
+	p.Ops[e.a].Deps = append(p.Ops[e.a].Deps, e.b)
+	if r := schedcheck.Check(p); !r.OK() {
+		t.Fatalf("forward dependency must be invisible to shallow checks, got: %s", r.Err())
+	}
+	if r := schedcheck.CheckDeep(p); !hasClass(r, schedcheck.ClassWaitFor) {
+		t.Fatalf("op %d waits for later op %d on channel %d, deadlock not flagged: %s",
+			e.a, e.b, p.Ops[e.a].Channel, r.Summary())
 	}
 }
 

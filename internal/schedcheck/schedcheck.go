@@ -79,6 +79,12 @@ type Op struct {
 	Src, Dst   Buf
 	Accumulate bool // dst += src (reduction) vs dst = src (copy/forward)
 
+	// NoAlpha drops the channel's fixed latency from the op's cost in the
+	// performance passes (contention, makespan bound), mirroring the
+	// schedule's block-continuation transfers that pay only the bandwidth
+	// term. It does not affect the correctness classes.
+	NoAlpha bool
+
 	// Final >= 0 records that completion of this op makes chunk Chunk
 	// fully reduced and available at that node.
 	Final topology.NodeID
@@ -122,6 +128,11 @@ const (
 	ClassLink
 	ClassConservation
 	ClassOrder
+	// ClassContention and ClassWaitFor are the performance proofs (deep.go):
+	// cross-stream channel sharing and wait-for deadlock under in-order
+	// channel service. They run only under CheckDeep.
+	ClassContention
+	ClassWaitFor
 )
 
 func (c Class) String() string {
@@ -136,6 +147,10 @@ func (c Class) String() string {
 		return "conservation"
 	case ClassOrder:
 		return "order"
+	case ClassContention:
+		return "contention"
+	case ClassWaitFor:
+		return "wait-for"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -210,10 +225,19 @@ func (r *Report) Err() error {
 	return fmt.Errorf("%s", b.String())
 }
 
-// Check verifies all applicable classes over the program. If structural
+// Check verifies the correctness classes over the program. If structural
 // checks fail, the deeper classes are skipped — their analyses assume a
 // well-formed acyclic program.
-func Check(p *Program) *Report {
+func Check(p *Program) *Report { return check(p, false) }
+
+// CheckDeep is Check plus the performance proofs of deep.go: channel
+// contention (no link oversubscribed past the dependency critical path) and
+// wait-for deadlock freedom under in-order channel service. They are
+// separate because they constrain performance, not delivery: a schedule can
+// violate them and still be correct, just slower than its structure claims.
+func CheckDeep(p *Program) *Report { return check(p, true) }
+
+func check(p *Program, deep bool) *Report {
 	ck := newChecker(p)
 	ck.structure()
 	ck.r.Checked = append(ck.r.Checked, ClassStructure)
@@ -230,6 +254,12 @@ func Check(p *Program) *Report {
 	if p.InOrder {
 		ck.order()
 		ck.r.Checked = append(ck.r.Checked, ClassOrder)
+	}
+	if deep {
+		ck.contention()
+		ck.r.Checked = append(ck.r.Checked, ClassContention)
+		ck.waitFor()
+		ck.r.Checked = append(ck.r.Checked, ClassWaitFor)
 	}
 	return ck.r
 }

@@ -81,11 +81,17 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// endpoint identifies one of the fixed API endpoints. Metric labels derive
+// from this defined type rather than raw strings so the ccube_serve_*
+// series cardinality is bounded by the route table, never by request
+// content (enforced by the metrics-cardinality lint rule).
+type endpoint string
+
 // serveComputed is the shared compute pipeline: endpoint metrics, drain
 // check, response cache, singleflight collapsing, worker-pool admission,
 // per-request deadline, and error mapping.
-func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint string, req any, timeoutMS int, run func(ctx context.Context) (any, *apiError)) {
-	mRequests.With(endpoint).Inc()
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, ep endpoint, req any, timeoutMS int, run func(ctx context.Context) (any, *apiError)) {
+	mRequests.With(string(ep)).Inc()
 	if !s.jobEnter() {
 		writeAPIError(w, &apiError{status: http.StatusServiceUnavailable,
 			kind: "draining", msg: "server is draining"})
@@ -93,7 +99,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint 
 	}
 	defer s.jobLeave()
 
-	key := canonicalKey(endpoint, req)
+	key := canonicalKey(string(ep), req)
 	if resp, ok := s.cache.get(key); ok {
 		mCacheHits.Inc()
 		s.writeCached(w, resp, "hit")
@@ -102,7 +108,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint 
 	mCacheMisses.Inc()
 
 	resp, apiErr, shared := s.flight.do(r.Context(), key, func() (*cachedResponse, *apiError) {
-		return s.computeLeader(r.Context(), endpoint, timeoutMS, run)
+		return s.computeLeader(r.Context(), ep, timeoutMS, run)
 	})
 	if shared {
 		mSingleflight.Inc()
@@ -121,7 +127,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint 
 }
 
 // computeLeader is the singleflight leader path: admission, deadline, run.
-func (s *Server) computeLeader(reqCtx context.Context, endpoint string, timeoutMS int, run func(ctx context.Context) (any, *apiError)) (*cachedResponse, *apiError) {
+func (s *Server) computeLeader(reqCtx context.Context, ep endpoint, timeoutMS int, run func(ctx context.Context) (any, *apiError)) (*cachedResponse, *apiError) {
 	if err := s.adm.acquire(reqCtx); err != nil {
 		if err == errSaturated {
 			mShed.Inc()
@@ -144,7 +150,7 @@ func (s *Server) computeLeader(reqCtx context.Context, endpoint string, timeoutM
 	defer cancel()
 
 	if testHookJobStart != nil {
-		testHookJobStart(ctx, endpoint)
+		testHookJobStart(ctx, string(ep))
 	}
 	v, apiErr := run(ctx)
 	if apiErr != nil {

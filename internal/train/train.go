@@ -262,6 +262,7 @@ func RunTraced(cfg Config) (*Result, *des.Graph, error) {
 
 // RunTracedCtx is RunTraced under a cancellation context.
 func RunTracedCtx(ctx context.Context, cfg Config) (*Result, *des.Graph, error) {
+	//lint:ignore virtual-time host-side instrumentation only: wallStart feeds the metrics exporter, never the DES clock
 	wallStart := time.Now()
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
@@ -483,6 +484,7 @@ func RunTracedCtx(ctx context.Context, cfg Config) (*Result, *des.Graph, error) 
 	}
 	res.Normalized = float64(computeTime) / float64(res.IterTime)
 	if metrics.Default.Enabled() {
+		//lint:ignore virtual-time host-side instrumentation only: exported wall time, never fed into simulated results
 		publishIteration(res, bwdEnd, time.Since(wallStart))
 	}
 
