@@ -13,18 +13,20 @@ test:
 # Race detector over the packages that actually spawn goroutines: the
 # p2psync primitives, the gpusim kernel runners, and the gradient queue —
 # plus the fault-matrix suite, which drives repairs end to end, the sweep
-# executor with its parallel-vs-serial determinism tests, and the HTTP
-# service layer with its load generator.
+# executor with its parallel-vs-serial determinism tests, the HTTP service
+# layer with its load generator, and the on-disk schedule store (shared by
+# concurrent caches and processes).
 race:
-	$(GO) test -race ./internal/p2psync/... ./internal/gpusim/... ./internal/gradqueue/... ./internal/fault/... ./internal/sweep/... ./internal/server/... ./internal/loadgen/...
+	$(GO) test -race ./internal/p2psync/... ./internal/gpusim/... ./internal/gradqueue/... ./internal/fault/... ./internal/sweep/... ./internal/server/... ./internal/loadgen/... ./internal/collective/...
 	$(GO) test -race -run ParallelMatchesSerial ./internal/experiments/
 
 # Engine micro-benchmarks (with the alloc gate) plus the experiment-level
 # timing report: writes BENCH_ccube.json with ns/op, allocs/op, schedule-cache
-# hit rates, and the fig13 cached+parallel vs serial+uncached reference.
+# hit rates, the fig13 cached+parallel vs serial+uncached reference, and the
+# schedule-store cold vs warm fig13 timings with the corruption probe.
 bench:
 	$(GO) test -run ZeroAlloc -bench . -benchmem ./internal/des/
-	$(GO) run ./cmd/ccube-bench -fig 13 -benchjson BENCH_ccube.json
+	rm -rf /tmp/ccube-bench-store && $(GO) run ./cmd/ccube-bench -fig 13 -benchjson BENCH_ccube.json -store /tmp/ccube-bench-store
 
 vet:
 	$(GO) vet ./...

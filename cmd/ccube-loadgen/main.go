@@ -46,6 +46,7 @@ func main() {
 	c := flag.Int("c", 4, "closed-loop concurrency")
 	duration := flag.Duration("duration", 0, "run for a wall-clock window instead of -n requests")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	warmup := flag.Int("warmup", 0, "issue (but exclude from the report) this many requests before measuring")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		Requests:    *n,
 		Duration:    *duration,
 		Timeout:     *timeout,
+		Warmup:      *warmup,
 	})
 	if err != nil {
 		fail("%v", err)

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"ccube/internal/collective"
+	"ccube/internal/collective/store"
 	"ccube/internal/fault"
 	"ccube/internal/metrics"
 	"ccube/internal/report"
@@ -49,6 +50,7 @@ func main() {
 	faultSpec := flag.String("fault", "", `inject faults and repair around them, e.g. "kill:2-3", "degrade:0-1x4,slow:0x1.5", "kill:ch17@50000" (@T = virtual ns)`)
 	showMetrics := flag.Bool("metrics", false, "collect runtime metrics and print a Prometheus text dump after the run")
 	metricsJSON := flag.String("metrics-json", "", "collect runtime metrics and write a JSON snapshot to this file")
+	storeDir := flag.String("store", "", "on-disk schedule store directory (repeat runs reuse compiled schedules; verified on load)")
 	flag.Parse()
 
 	if *showMetrics || *metricsJSON != "" {
@@ -78,12 +80,26 @@ func main() {
 		Chunks:              *chunks,
 		AllowSharedChannels: *shared,
 	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fail("schedule store: %v", err)
+		}
+		collective.DefaultCache.SetStore(st)
+	}
 	if *faultSpec != "" {
 		runFaulted(g, cfg, *algo, *topo, *faultSpec, *topChannels)
 		dumpMetrics(*showMetrics, *metricsJSON)
 		return
 	}
-	sched, err := collective.Build(cfg)
+	var sched *collective.Schedule
+	if *storeDir != "" {
+		// The cached path verifies on every miss (and re-verifies store
+		// loads), so a warm run here skips construction, not the proof.
+		sched, err = collective.BuildCached(cfg)
+	} else {
+		sched, err = collective.Build(cfg)
+	}
 	if err != nil {
 		fail("%v", err)
 	}

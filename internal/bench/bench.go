@@ -8,7 +8,9 @@ package bench
 import (
 	"testing"
 
+	"ccube/internal/collective"
 	"ccube/internal/des"
+	"ccube/internal/topology"
 )
 
 // Result is one micro-benchmark outcome in BENCH_ccube.json form.
@@ -87,6 +89,28 @@ func Engine() []Result {
 					}
 				}
 				g.Run()
+			}
+		}),
+		run("ScheduleCacheHit", func(b *testing.B) {
+			// Warm-path lookup: the key must build and compare without
+			// heap traffic, or the per-request fast path in ccube-serve
+			// allocates on every plan/simulate call. Uses a private cache
+			// so the shared DefaultCache counters stay untouched.
+			c := collective.NewCache()
+			cfg := collective.Config{
+				Graph:     topology.DGX1(topology.DefaultDGX1Config()),
+				Algorithm: collective.AlgDoubleTreeOverlap,
+				Bytes:     16 << 20,
+			}
+			if _, err := c.Build(cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Build(cfg); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}),
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"ccube/internal/collective/store"
 	"ccube/internal/topology"
 )
 
@@ -54,6 +55,18 @@ type Cache struct {
 	misses    uint64
 	evictions uint64
 	disabled  bool
+
+	// disk is the optional second cache level (SetStore): a content-
+	// addressed on-disk store consulted on memory misses and written through
+	// on builds, so a fresh process starts warm. Entries loaded from it are
+	// re-verified by the full static checker before use (verify-on-load in
+	// loadFromStore) — the miss-verify invariant holds per process, not per
+	// store directory.
+	disk *store.Store
+
+	// incremental counts misses served by patching a same-shape cached
+	// sibling (incremental.go) instead of a full build.
+	incremental uint64
 }
 
 type lruEntry struct {
@@ -129,6 +142,18 @@ func (c *Cache) key(cfg Config) cacheKey {
 // on a miss. The returned schedule is shared and must be treated as
 // immutable (every execution path already does); use Schedule.Clone before
 // rewriting transfers.
+//
+// A miss resolves through up to three levels, cheapest first:
+//
+//  1. disk store (if attached): decode + verify-on-load an entry written by
+//     a previous process — skips construction, re-runs the proof.
+//  2. incremental patch: a cached sibling differing only in message size is
+//     cloned and its transfer byte counts rescaled — skips construction and
+//     the byte-independent parts of the proof (see incremental.go).
+//  3. full build + full verification.
+//
+// Levels 2 and 3 write the result through to the disk store, so the next
+// process starts at level 1.
 func (c *Cache) Build(cfg Config) (*Schedule, error) {
 	if !cacheable(cfg) {
 		return Build(cfg)
@@ -147,34 +172,58 @@ func (c *Cache) Build(cfg Config) (*Schedule, error) {
 		mCacheHits.Inc()
 		return el.Value.(*lruEntry).s, nil
 	}
+	disk := c.disk
+	sib := c.shapeSiblingLocked(k)
 	c.mu.Unlock()
 
-	// Build and verify outside the lock: construction can be expensive, and
-	// independent cells of a parallel sweep miss on different keys. A
-	// concurrent duplicate build of the same key is benign — both results
-	// are identical, and the second store wins.
-	s, err := Build(cfg)
-	if err != nil {
-		return nil, err
+	// Resolve the miss outside the lock: construction and verification can
+	// be expensive, and independent cells of a parallel sweep miss on
+	// different keys. A concurrent duplicate resolution of the same key is
+	// benign — all results are identical, and the second insert wins.
+	var s *Schedule
+	var fromDisk, patched bool
+	if disk != nil {
+		s, fromDisk = c.loadFromStore(disk, k)
 	}
-	if err := s.Validate(); err != nil {
-		return nil, err
+	if s == nil && sib != nil {
+		s, patched = patchFromSibling(sib, cfg)
 	}
-	s.stamp()
+	if s == nil {
+		var err error
+		s, err = Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		s.stamp()
+	}
+	if disk != nil && !fromDisk {
+		// Write-through. A failed write (full disk, permissions) costs only
+		// warmth, never correctness — ignore it.
+		_ = disk.Put(storeKey(k), encodeSchedule(s))
+	}
 
 	c.mu.Lock()
 	c.misses++
-	evicted := c.store(k, s)
+	if patched {
+		c.incremental++
+	}
+	evicted := c.insertLocked(k, s)
 	c.mu.Unlock()
 	mCacheMisses.Inc()
+	if patched {
+		mCacheIncremental.Inc()
+	}
 	mCacheEvictions.Add(int64(evicted))
 	return s, nil
 }
 
-// store inserts (or refreshes) an entry as most-recently-used and evicts
+// insertLocked inserts (or refreshes) an entry as most-recently-used and evicts
 // from the LRU end while over capacity, returning how many entries were
 // dropped. Caller holds c.mu.
-func (c *Cache) store(k cacheKey, s *Schedule) (evicted int) {
+func (c *Cache) insertLocked(k cacheKey, s *Schedule) (evicted int) {
 	if el, ok := c.entries[k]; ok {
 		// A concurrent duplicate build of the same key landed first; keep
 		// the newer result (both are identical) and just refresh recency.
@@ -209,6 +258,31 @@ func (c *Cache) Evictions() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.evictions
+}
+
+// IncrementalBuilds reports how many misses were served by patching a
+// same-shape cached sibling instead of a full build, since construction (or
+// the last Clear).
+func (c *Cache) IncrementalBuilds() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.incremental
+}
+
+// SetStore attaches (or, with nil, detaches) an on-disk schedule store as
+// the cache's second level. Safe to call while the cache is in use; in-
+// flight misses resolve against whichever store they captured.
+func (c *Cache) SetStore(st *store.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.disk = st
+}
+
+// Store returns the attached on-disk store, or nil.
+func (c *Cache) Store() *store.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disk
 }
 
 // Capacity returns the current entry bound (<= 0 means unbounded).
@@ -253,11 +327,13 @@ func (c *Cache) SetEnabled(on bool) {
 }
 
 // Clear drops every cached schedule and resets the statistics. Benchmarks
-// use it to measure cold-cache builds.
+// use it to measure cold-cache builds. The attached disk store (if any) is
+// left untouched — its entries and counters belong to the store, which has
+// its own Clear and ResetStats.
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[cacheKey]*list.Element)
 	c.lru.Init()
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.hits, c.misses, c.evictions, c.incremental = 0, 0, 0, 0
 }

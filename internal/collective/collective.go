@@ -139,6 +139,85 @@ func (c *Config) chunkCount() int {
 	return k
 }
 
+// resolveRingOrders returns the ring embeddings Build will use for cfg:
+// explicit overrides first, then the DGX-1 double Hamiltonian cycles, then a
+// single identity ring. Factored out so the incremental rebuild path
+// (incremental.go) derives the same partition shape Build would.
+func resolveRingOrders(cfg Config, nodes []topology.NodeID) [][]int {
+	orders := cfg.RingOrders
+	if orders == nil && cfg.RingOrder != nil {
+		orders = [][]int{cfg.RingOrder}
+	}
+	if orders == nil {
+		if isDGX1(cfg.Graph, nodes) {
+			orders = DGX1RingOrders()
+		} else {
+			identity := make([]int, len(nodes))
+			for i := range identity {
+				identity[i] = i
+			}
+			orders = [][]int{identity}
+		}
+	}
+	return orders
+}
+
+// resolveTrees returns the logical trees Build will use for cfg.
+func resolveTrees(cfg Config, nodes []topology.NodeID) []Tree {
+	if cfg.Trees != nil {
+		return cfg.Trees
+	}
+	var t1, t2 Tree
+	if isDGX1(cfg.Graph, nodes) {
+		t1, t2 = DGX1Trees()
+	} else {
+		t1, t2 = DoubleTrees(len(nodes))
+	}
+	switch cfg.Algorithm {
+	case AlgTree, AlgTreeOverlap:
+		return []Tree{t1}
+	default:
+		return []Tree{t1, t2}
+	}
+}
+
+// partition computes the chunk partition Build would use for cfg, without
+// building anything. It is the single source of truth for partition shape:
+// Build consumes it directly, and the incremental rebuild path uses it to
+// decide whether a cached sibling schedule has the same shape (equal chunk
+// count) and can be patched instead of rebuilt.
+func (c *Config) partition(nodes []topology.NodeID) (chunk.Partition, error) {
+	switch c.Algorithm {
+	case AlgRing:
+		orders := resolveRingOrders(*c, nodes)
+		need := len(nodes) * len(orders)
+		if c.Bytes < int64(need) {
+			return chunk.Partition{}, fmt.Errorf("collective: %d bytes cannot form the %d chunks a %d-ring schedule needs", c.Bytes, need, len(orders))
+		}
+		return chunk.Split(c.Bytes, need), nil
+
+	case AlgHalvingDoubling:
+		if c.Bytes < int64(len(nodes)) {
+			return chunk.Partition{}, fmt.Errorf("collective: %d bytes cannot form the %d chunks halving-doubling needs", c.Bytes, len(nodes))
+		}
+		return chunk.Split(c.Bytes, len(nodes)), nil
+
+	case AlgTree, AlgTreeOverlap, AlgDoubleTree, AlgDoubleTreeOverlap:
+		trees := resolveTrees(*c, nodes)
+		k := c.chunkCount()
+		if k < len(trees) {
+			k = len(trees)
+		}
+		// The chunk count is advisory for trees (KOpt heuristic), so an
+		// explicit clamp is correct; buildTreeSchedule re-validates that the
+		// actual count can feed every tree.
+		return chunk.SplitAtMost(c.Bytes, k), nil
+
+	default:
+		return chunk.Partition{}, fmt.Errorf("collective: unknown algorithm %v", c.Algorithm)
+	}
+}
+
 // Build constructs the transfer schedule for the configured operation.
 func Build(cfg Config) (*Schedule, error) {
 	if cfg.Graph == nil {
@@ -152,65 +231,21 @@ func Build(cfg Config) (*Schedule, error) {
 		return nil, fmt.Errorf("collective: %d participants", len(nodes))
 	}
 
+	part, err := cfg.partition(nodes)
+	if err != nil {
+		return nil, err
+	}
+
 	switch cfg.Algorithm {
 	case AlgRing:
-		orders := cfg.RingOrders
-		if orders == nil && cfg.RingOrder != nil {
-			orders = [][]int{cfg.RingOrder}
-		}
-		if orders == nil {
-			if isDGX1(cfg.Graph, nodes) {
-				orders = DGX1RingOrders()
-			} else {
-				identity := make([]int, len(nodes))
-				for i := range identity {
-					identity[i] = i
-				}
-				orders = [][]int{identity}
-			}
-		}
-		need := len(nodes) * len(orders)
-		if cfg.Bytes < int64(need) {
-			return nil, fmt.Errorf("collective: %d bytes cannot form the %d chunks a %d-ring schedule needs", cfg.Bytes, need, len(orders))
-		}
-		part := chunk.Split(cfg.Bytes, need)
-		return buildRingSchedule(cfg.Graph, nodes, part, orders)
+		return buildRingSchedule(cfg.Graph, nodes, part, resolveRingOrders(cfg, nodes))
 
 	case AlgHalvingDoubling:
-		if cfg.Bytes < int64(len(nodes)) {
-			return nil, fmt.Errorf("collective: %d bytes cannot form the %d chunks halving-doubling needs", cfg.Bytes, len(nodes))
-		}
-		return buildHalvingDoublingSchedule(cfg.Graph, nodes, chunk.Split(cfg.Bytes, len(nodes)))
+		return buildHalvingDoublingSchedule(cfg.Graph, nodes, part)
 
-	case AlgTree, AlgTreeOverlap, AlgDoubleTree, AlgDoubleTreeOverlap:
-		trees := cfg.Trees
-		if trees == nil {
-			var t1, t2 Tree
-			if isDGX1(cfg.Graph, nodes) {
-				t1, t2 = DGX1Trees()
-			} else {
-				t1, t2 = DoubleTrees(len(nodes))
-			}
-			switch cfg.Algorithm {
-			case AlgTree, AlgTreeOverlap:
-				trees = []Tree{t1}
-			default:
-				trees = []Tree{t1, t2}
-			}
-		}
+	default: // partition() already rejected unknown algorithms
 		overlap := cfg.Algorithm == AlgTreeOverlap || cfg.Algorithm == AlgDoubleTreeOverlap
-		k := cfg.chunkCount()
-		if k < len(trees) {
-			k = len(trees)
-		}
-		// The chunk count is advisory for trees (KOpt heuristic), so an
-		// explicit clamp is correct; buildTreeSchedule re-validates that the
-		// actual count can feed every tree.
-		part := chunk.SplitAtMost(cfg.Bytes, k)
-		return buildTreeSchedule(cfg.Graph, nodes, part, trees, overlap, cfg.AllowSharedChannels)
-
-	default:
-		return nil, fmt.Errorf("collective: unknown algorithm %v", cfg.Algorithm)
+		return buildTreeSchedule(cfg.Graph, nodes, part, resolveTrees(cfg, nodes), overlap, cfg.AllowSharedChannels)
 	}
 }
 

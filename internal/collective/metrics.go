@@ -17,6 +17,8 @@ var (
 		"schedule cache lookups that built and verified a schedule")
 	mCacheEvictions = metrics.Default.Counter("collective_cache_evictions_total",
 		"schedules dropped by the cache's LRU capacity bound")
+	mCacheIncremental = metrics.Default.Counter("collective_cache_incremental_total",
+		"cache misses served by incrementally patching a same-shape cached schedule instead of a full rebuild")
 	mExecutions = metrics.Default.Counter("collective_executions_total",
 		"timed schedule executions")
 	mBytesMoved = metrics.Default.Counter("collective_bytes_moved_total",

@@ -585,6 +585,18 @@ func (s *Schedule) MakespanBound() (des.Time, error) {
 // if they pass, the full static verifier in internal/schedcheck proves
 // hazard freedom, link validity, conservation, and the in-order claim.
 func (s *Schedule) Validate() error {
+	if err := s.validateStructure(); err != nil {
+		return err
+	}
+	return s.Verify()
+}
+
+// validateStructure runs Validate's cheap structural pass alone: index
+// ranges, positive transfer sizes, dependency validity, acyclicity. It is
+// the fast path shared by Validate, by incremental rebuilds (which patch a
+// verified sibling and re-check only structure — the byte-independent
+// proofs carry over), and by verify-on-load.
+func (s *Schedule) validateStructure() error {
 	k := s.Partition.NumChunks()
 	for _, t := range s.transfers {
 		if t.chunk < 0 || t.chunk >= k {
@@ -607,5 +619,19 @@ func (s *Schedule) Validate() error {
 	if _, err := s.topoOrder(); err != nil {
 		return err
 	}
-	return s.Verify()
+	return nil
+}
+
+// ValidateLoaded is the verify-on-load entry point for schedules
+// reconstructed from untrusted bytes (the on-disk schedule store). It runs
+// the same structural pass as Validate and then the verifier's loaded-input
+// checks (schedcheck.CheckLoaded): the disk entry may have been proven
+// correct by whatever process wrote it, but this process has proven
+// nothing, so the full proof is redone before the schedule is stamped,
+// cached, or executed.
+func (s *Schedule) ValidateLoaded() error {
+	if err := s.validateStructure(); err != nil {
+		return err
+	}
+	return schedcheck.CheckLoaded(s.Program()).Err()
 }

@@ -1,0 +1,321 @@
+// Package store persists compiled collective schedules on disk so that new
+// processes — ccube-serve restarts, successive ccube-bench invocations, CI
+// sweeps — start warm instead of rebuilding every schedule from scratch.
+//
+// The store is content-addressed: an entry's key is the collective cache key
+// minus the graph pointer — topology fingerprint, algorithm, message bytes,
+// chunk count, sharing flag, and the participant/ring-order overrides — so
+// two processes that construct content-identical topologies resolve to the
+// same entry, and any topology mutation (a killed or degraded channel mints
+// a new fingerprint) misses instead of resurrecting a schedule built for a
+// different fabric.
+//
+// The store holds opaque payloads; (de)serialization of schedules lives in
+// internal/collective, which layers the store under collective.Cache as a
+// write-through second level (memory → disk → build). That split keeps the
+// import direction simple (collective → store) and the trust boundary
+// explicit: the store authenticates bytes (magic, version, key echo,
+// checksum), while the caller must re-prove the *meaning* of those bytes —
+// a schedule loaded from disk is re-verified by schedcheck before it is
+// ever executed, because disk contents were never proven in this process.
+//
+// Corruption is never fatal: a truncated file, a flipped bit, a foreign
+// version, or a payload that later fails decode/verification all count as a
+// miss, increment the corrupt counter, and delete the entry so the slot is
+// rebuilt cleanly. Writes go through a temp file plus atomic rename, so
+// concurrent writers (or a reader racing a writer) see either the old or
+// the new complete entry, never a torn one.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"ccube/internal/metrics"
+)
+
+// Store-level instruments. Registered once at package init; hot-path updates
+// are atomic and allocation-free (the internal/metrics contract).
+var (
+	mStoreHits = metrics.Default.Counter("collective_store_hits_total",
+		"schedule store lookups that returned a usable entry")
+	mStoreMisses = metrics.Default.Counter("collective_store_misses_total",
+		"schedule store lookups that found no usable entry")
+	mStoreCorrupt = metrics.Default.Counter("collective_store_corrupt_total",
+		"schedule store entries dropped as unreadable or unverifiable (truncation, checksum, decode, or verify-on-load failure)")
+	mStoreWrites = metrics.Default.Counter("collective_store_writes_total",
+		"schedule store entries written")
+)
+
+// Entry file layout (little-endian):
+//
+//	magic   [4]byte  "CCS1"
+//	version uint16   wire-format version
+//	keyLen  uint32   length of the key echo
+//	key     []byte   the full key string, echoed to disarm filename collisions
+//	payLen  uint64   payload length
+//	sum     uint64   FNV-1a of the payload
+//	payload []byte
+const (
+	magic   = "CCS1"
+	version = 1
+
+	// entryExt names entry files; everything else in the directory is
+	// ignored (temp files, stray editor droppings).
+	entryExt = ".ccs"
+
+	headerLen = 4 + 2 + 4 // magic + version + keyLen
+)
+
+// Stats is a snapshot of the store's traffic counters. A corrupt entry
+// always also counts as a miss: the caller had to rebuild.
+type Stats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Corrupt uint64 `json:"corrupt"`
+	Writes  uint64 `json:"writes"`
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when there was no traffic.
+func (s Stats) HitRate() float64 {
+	if lookups := s.Hits + s.Misses; lookups > 0 {
+		return float64(s.Hits) / float64(lookups)
+	}
+	return 0
+}
+
+// Store is one on-disk schedule store rooted at a directory. All methods are
+// safe for concurrent use from multiple goroutines, and multiple processes
+// may share one directory: writes are atomic renames, reads see complete
+// entries, and a lost race simply rewrites identical content.
+type Store struct {
+	dir string
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	corrupt atomic.Uint64
+	writes  atomic.Uint64
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// EntryPath returns the file path that holds (or would hold) the entry for
+// key. The name is a hash of the key — content addressing — with the full
+// key echoed inside the file, so a hash collision reads as a miss rather
+// than returning another key's schedule.
+func (s *Store) EntryPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:16])+entryExt)
+}
+
+// Get returns the stored payload for key. A missing entry counts as a miss.
+// An unreadable one — truncated, checksum mismatch, foreign version, key
+// echo mismatch — is deleted and counts as corrupt plus a miss. A returned
+// payload counts as a hit; if the caller then fails to decode or re-verify
+// it, it must call Invalidate(key), which reclassifies that hit as corrupt.
+func (s *Store) Get(key string) ([]byte, bool) {
+	path := s.EntryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			// Unreadable for a reason other than absence (permissions,
+			// IO error): treat as corrupt but leave the file — deleting
+			// might not work either, and the next lookup re-reports.
+			s.corrupt.Add(1)
+			mStoreCorrupt.Inc()
+		}
+		s.misses.Add(1)
+		mStoreMisses.Inc()
+		return nil, false
+	}
+	payload, ok := decodeEntry(data, key)
+	if !ok {
+		s.dropCorrupt(path)
+		return nil, false
+	}
+	s.hits.Add(1)
+	mStoreHits.Inc()
+	return payload, true
+}
+
+// Invalidate deletes the entry for key and reclassifies the hit its Get
+// reported as corrupt + miss. Callers use it when a payload that passed the
+// store's integrity checks proves unusable downstream — it fails to decode,
+// or the reconstructed schedule fails verify-on-load.
+func (s *Store) Invalidate(key string) {
+	// The Get that handed out this payload counted a hit; take it back.
+	for {
+		h := s.hits.Load()
+		if h == 0 || s.hits.CompareAndSwap(h, h-1) {
+			break
+		}
+	}
+	s.dropCorrupt(s.EntryPath(key))
+}
+
+// dropCorrupt deletes an unusable entry and counts it as corrupt + miss.
+func (s *Store) dropCorrupt(path string) {
+	_ = os.Remove(path)
+	s.corrupt.Add(1)
+	s.misses.Add(1)
+	mStoreCorrupt.Inc()
+	mStoreMisses.Inc()
+}
+
+// Put writes the payload for key. The write is atomic (temp file + rename):
+// readers and concurrent writers of the same key see either the previous
+// complete entry or this one. Failures leave the previous entry intact.
+func (s *Store) Put(key string, payload []byte) error {
+	rec := encodeEntry(key, payload)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(rec); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.EntryPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.writes.Add(1)
+	mStoreWrites.Inc()
+	return nil
+}
+
+// Len counts the entries currently on disk.
+func (s *Store) Len() int {
+	n := 0
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), entryExt) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the traffic counters since Open (or the last
+// ResetStats).
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Corrupt: s.corrupt.Load(),
+		Writes:  s.writes.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters (not the entries). Benchmarks use
+// it to open a fresh measurement window between a cold and a warm run.
+func (s *Store) ResetStats() {
+	s.hits.Store(0)
+	s.misses.Store(0)
+	s.corrupt.Store(0)
+	s.writes.Store(0)
+}
+
+// Clear removes every entry (used by tests and bench scratch dirs).
+func (s *Store) Clear() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), entryExt) {
+			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checksum is FNV-1a over the payload, matching the topology fingerprint's
+// hash family: cheap, dependency-free, deterministic across processes.
+func checksum(payload []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range payload {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// encodeEntry renders the full on-disk record for (key, payload).
+func encodeEntry(key string, payload []byte) []byte {
+	rec := make([]byte, 0, headerLen+len(key)+16+len(payload))
+	rec = append(rec, magic...)
+	rec = binary.LittleEndian.AppendUint16(rec, version)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(key)))
+	rec = append(rec, key...)
+	rec = binary.LittleEndian.AppendUint64(rec, uint64(len(payload)))
+	rec = binary.LittleEndian.AppendUint64(rec, checksum(payload))
+	rec = append(rec, payload...)
+	return rec
+}
+
+// decodeEntry authenticates a record against the requested key and returns
+// its payload. Any inconsistency — short file, wrong magic or version, key
+// mismatch (filename hash collision), length mismatch, checksum mismatch —
+// reports !ok; the caller treats the entry as corrupt.
+func decodeEntry(data []byte, key string) ([]byte, bool) {
+	if len(data) < headerLen {
+		return nil, false
+	}
+	if string(data[:4]) != magic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint16(data[4:6]) != version {
+		return nil, false
+	}
+	keyLen := int(binary.LittleEndian.Uint32(data[6:10]))
+	rest := data[headerLen:]
+	if keyLen < 0 || keyLen > len(rest) {
+		return nil, false
+	}
+	if string(rest[:keyLen]) != key {
+		return nil, false
+	}
+	rest = rest[keyLen:]
+	if len(rest) < 16 {
+		return nil, false
+	}
+	payLen := binary.LittleEndian.Uint64(rest[:8])
+	sum := binary.LittleEndian.Uint64(rest[8:16])
+	payload := rest[16:]
+	if uint64(len(payload)) != payLen {
+		return nil, false
+	}
+	if checksum(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}

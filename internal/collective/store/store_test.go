@@ -1,0 +1,272 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t)
+	payload := []byte("schedule bytes \x00\x01\x02")
+	if err := s.Put("k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok {
+		t.Fatal("Get missed a freshly Put entry")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round-trip mismatch: got %q want %q", got, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Corrupt != 0 || st.Writes != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 0 miss / 0 corrupt / 1 write", st)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if rate := st.HitRate(); rate != 1 {
+		t.Fatalf("hit rate = %v, want 1", rate)
+	}
+}
+
+func TestGetMissOnAbsentKey(t *testing.T) {
+	s := openT(t)
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("hit on an empty store")
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want a plain miss", st)
+	}
+}
+
+func TestOverwriteReplacesEntry(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok || string(got) != "new" {
+		t.Fatalf("Get after overwrite = %q, %v; want \"new\", true", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", s.Len())
+	}
+}
+
+// corruptionCase mutates an entry file and asserts the store treats the
+// result as corrupt: miss, corrupt counted, file deleted, no panic.
+func corruptionCase(t *testing.T, name string, mutate func(path string) error) {
+	t.Run(name, func(t *testing.T) {
+		s := openT(t)
+		if err := s.Put("k", []byte("some schedule payload")); err != nil {
+			t.Fatal(err)
+		}
+		path := s.EntryPath("k")
+		if err := mutate(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get("k"); ok {
+			t.Fatal("Get returned a corrupted entry")
+		}
+		st := s.Stats()
+		if st.Corrupt != 1 || st.Misses != 1 || st.Hits != 0 {
+			t.Fatalf("stats = %+v, want 1 corrupt + 1 miss", st)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("corrupt entry not deleted (stat err = %v)", err)
+		}
+		// The slot is clean: a rewrite works.
+		if err := s.Put("k", []byte("rebuilt")); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get("k"); !ok || string(got) != "rebuilt" {
+			t.Fatalf("rewrite after corruption failed: %q, %v", got, ok)
+		}
+	})
+}
+
+func TestCorruptionHandling(t *testing.T) {
+	corruptionCase(t, "truncated", func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, data[:len(data)/2], 0o644)
+	})
+	corruptionCase(t, "bit-flipped-payload", func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[len(data)-1] ^= 0x40 // payload tail: checksum mismatch
+		return os.WriteFile(path, data, 0o644)
+	})
+	corruptionCase(t, "bit-flipped-checksum", func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// checksum field sits 8 bytes before the payload; flip inside it.
+		data[len(data)-len("some schedule payload")-1] ^= 0x01
+		return os.WriteFile(path, data, 0o644)
+	})
+	corruptionCase(t, "wrong-magic", func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		copy(data, "XXXX")
+		return os.WriteFile(path, data, 0o644)
+	})
+	corruptionCase(t, "foreign-version", func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[4], data[5] = 0xff, 0xff
+		return os.WriteFile(path, data, 0o644)
+	})
+	corruptionCase(t, "empty-file", func(path string) error {
+		return os.WriteFile(path, nil, 0o644)
+	})
+	corruptionCase(t, "key-echo-mismatch", func(path string) error {
+		// Simulate a filename hash collision: another key's (valid) record
+		// lands at this key's path.
+		other, err := Open(filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		if err := other.Put("other-key", []byte("other payload")); err != nil {
+			return err
+		}
+		return os.Rename(other.EntryPath("other-key"), path)
+	})
+}
+
+func TestInvalidateReclassifiesHit(t *testing.T) {
+	s := openT(t)
+	if err := s.Put("k", []byte("decodes-fine-but-means-nothing")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("expected a store-level hit")
+	}
+	// Caller discovers the payload is unusable (decode or verify failure).
+	s.Invalidate("k")
+	st := s.Stats()
+	if st.Hits != 0 || st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("stats after Invalidate = %+v, want hit reclassified to corrupt + miss", st)
+	}
+	if _, err := os.Stat(s.EntryPath("k")); !os.IsNotExist(err) {
+		t.Fatal("Invalidate left the entry on disk")
+	}
+}
+
+func TestResetStatsAndClear(t *testing.T) {
+	s := openT(t)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("p")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Get("k0")
+	s.Get("absent")
+	s.ResetStats()
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("stats after ResetStats = %+v, want zeroes", st)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("ResetStats touched entries: Len = %d, want 3", s.Len())
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", s.Len())
+	}
+}
+
+func TestEntryPathStableAndDistinct(t *testing.T) {
+	s := openT(t)
+	if s.EntryPath("a") != s.EntryPath("a") {
+		t.Fatal("EntryPath not deterministic")
+	}
+	if s.EntryPath("a") == s.EntryPath("b") {
+		t.Fatal("distinct keys share an entry path")
+	}
+	if filepath.Dir(s.EntryPath("a")) != s.Dir() {
+		t.Fatal("entry path outside the store dir")
+	}
+}
+
+// TestConcurrentAccess hammers one directory from many goroutines through
+// two independent Store handles (two "processes"), mixing writes, reads and
+// invalidations of overlapping keys. Run under -race; correctness bar: no
+// panic, and every completed Get returns either a miss or a complete,
+// checksum-valid payload written for that key.
+func TestConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 8
+	payloadFor := func(k, gen int) []byte {
+		return bytes.Repeat([]byte{byte(k), byte(gen)}, 128)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := a
+			if w%2 == 1 {
+				s = b
+			}
+			for i := 0; i < 50; i++ {
+				k := (w + i) % keys
+				key := fmt.Sprintf("key-%d", k)
+				switch i % 3 {
+				case 0:
+					if err := s.Put(key, payloadFor(k, i)); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				case 1:
+					if payload, ok := s.Get(key); ok {
+						if len(payload) != 256 || payload[0] != byte(k) {
+							t.Errorf("torn or foreign payload for %s: %d bytes, lead %d", key, len(payload), payload[0])
+							return
+						}
+					}
+				default:
+					s.Invalidate(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

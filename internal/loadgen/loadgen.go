@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -42,11 +43,18 @@ type Config struct {
 	Duration time.Duration
 	// Timeout caps each request (default 30s).
 	Timeout time.Duration
+	// Warmup issues — but excludes from the report — this many requests
+	// before the measured window opens. Cold-start costs (first-touch
+	// schedule builds, connection setup) otherwise land in the tail
+	// percentiles and misreport steady-state latency; ccube-bench's smoke
+	// run saw a p99 more than 10× its p95 from exactly this.
+	Warmup int
 	// Client overrides the HTTP client (tests inject an httptest client).
 	Client *http.Client
 }
 
-// Report summarizes one run.
+// Report summarizes one run. Warmup requests are not counted anywhere —
+// WarmupExcluded records how many were issued outside the measured window.
 type Report struct {
 	Requests   int     `json:"requests"`
 	OK         int     `json:"ok"`
@@ -60,6 +68,9 @@ type Report struct {
 	MaxMS      float64 `json:"max_ms"`
 	// ByStatus counts responses per HTTP status code.
 	ByStatus map[int]int `json:"by_status"`
+	// WarmupExcluded is the number of warmup requests issued before the
+	// measured window (excluded from every other field).
+	WarmupExcluded int `json:"warmup_excluded,omitempty"`
 }
 
 // Run executes the configured load against the server.
@@ -87,6 +98,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		client = &http.Client{}
 	}
 
+	// Warmup phase: the same closed-loop workers issue the first cfg.Warmup
+	// requests and throw the results away. It runs before the Duration
+	// window opens, so a timed run measures only warm traffic.
+	if cfg.Warmup > 0 {
+		discard := make([]workerStats, workers)
+		runPhase(ctx, cfg, client, timeout, workers, cfg.Warmup, discard)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("loadgen: canceled during warmup: %w", err)
+		}
+	}
+
 	if cfg.Duration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
@@ -94,42 +116,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		budget = int(^uint(0) >> 1) // duration bounds the run instead
 	}
 
-	var next atomic.Int64
 	stats := make([]workerStats, workers)
-
 	began := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			st := &stats[w]
-			st.byStatus = make(map[int]int)
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				seq := next.Add(1)
-				if seq > int64(budget) {
-					return
-				}
-				tgt := cfg.Targets[int(seq-1)%len(cfg.Targets)]
-				status, err := issue(ctx, client, cfg.BaseURL, tgt, timeout, st)
-				if err != nil {
-					if ctx.Err() != nil {
-						return
-					}
-					st.failed++
-					continue
-				}
-				st.byStatus[status]++
-			}
-		}(w)
-	}
-	wg.Wait()
+	runPhase(ctx, cfg, client, timeout, workers, budget, stats)
 	elapsed := time.Since(began)
 
-	rep := &Report{Seconds: elapsed.Seconds(), ByStatus: make(map[int]int)}
+	rep := &Report{
+		Seconds:        elapsed.Seconds(),
+		ByStatus:       make(map[int]int),
+		WarmupExcluded: cfg.Warmup,
+	}
 	var all []time.Duration
 	for i := range stats {
 		st := &stats[i]
@@ -164,6 +160,42 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// runPhase drives one closed-loop phase: workers pull sequence numbers from
+// a shared counter until budget is exhausted or ctx ends, accumulating into
+// per-worker stats.
+func runPhase(ctx context.Context, cfg Config, client *http.Client, timeout time.Duration, workers, budget int, stats []workerStats) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			st.byStatus = make(map[int]int)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				seq := next.Add(1)
+				if seq > int64(budget) {
+					return
+				}
+				tgt := cfg.Targets[int(seq-1)%len(cfg.Targets)]
+				status, err := issue(ctx, client, cfg.BaseURL, tgt, timeout, st)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					st.failed++
+					continue
+				}
+				st.byStatus[status]++
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // workerStats accumulates per-worker results, merged after the run so the
 // hot path needs no locking.
 type workerStats struct {
@@ -194,19 +226,35 @@ func issue(ctx context.Context, client *http.Client, base string, tgt Target, ti
 	return resp.StatusCode, nil
 }
 
-// percentileMS returns the p-th percentile of sorted latencies in ms.
+// percentileMS returns the p-th percentile of sorted latencies in ms, using
+// the nearest-rank definition: the smallest value with at least p·n samples
+// at or below it, i.e. rank ⌈p·n⌉ (1-based). The previous floor-on-index
+// form (int(p·(n−1))) biased tails low at small sample counts: for the p99
+// of 120 samples it indexed element 117 where nearest-rank requires rank
+// ⌈0.99·120⌉ = 119, i.e. element 118 — under-reporting tail latency by a
+// full sample step.
 func percentileMS(sorted []time.Duration, p float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(p * float64(len(sorted)-1))
-	return float64(sorted[idx]) / float64(time.Millisecond)
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return float64(sorted[rank-1]) / float64(time.Millisecond)
 }
 
 // Table renders the report for terminal output.
 func (r *Report) Table(title string) *report.Table {
 	t := report.New(title, "metric", "value")
 	t.AddRow("requests", fmt.Sprintf("%d", r.Requests))
+	if r.WarmupExcluded > 0 {
+		t.AddRow("warmup (excluded)", fmt.Sprintf("%d", r.WarmupExcluded))
+	}
 	t.AddRow("ok", fmt.Sprintf("%d", r.OK))
 	t.AddRow("shed (429)", fmt.Sprintf("%d", r.Shed))
 	t.AddRow("failed", fmt.Sprintf("%d", r.Failed))

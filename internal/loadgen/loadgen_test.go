@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -96,5 +97,75 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), Config{BaseURL: "http://x"}); err == nil {
 		t.Error("no targets accepted")
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank definition against known
+// inputs. The regression it guards: floor indexing (int(p*(n-1))) read the
+// p99 of 120 samples from index 117 instead of the nearest-rank element at
+// index 118 (rank ceil(0.99*120) = 119), biasing reported tails low.
+func TestPercentileNearestRank(t *testing.T) {
+	// sorted[i] = (i+1) ms, so value in ms == 1-based rank.
+	mk := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return s
+	}
+	cases := []struct {
+		n    int
+		p    float64
+		want float64 // ms == expected 1-based rank
+	}{
+		{120, 0.99, 119}, // the motivating case: floor indexing read 118
+		{120, 0.95, 114},
+		{120, 0.50, 60},
+		{100, 0.99, 99},
+		{100, 0.95, 95},
+		{10, 0.99, 10},
+		{1, 0.99, 1},
+		{1, 0.50, 1},
+		{4, 0.50, 2},
+		{5, 0.50, 3},
+	}
+	for _, c := range cases {
+		if got := percentileMS(mk(c.n), c.p); got != c.want {
+			t.Errorf("percentileMS(n=%d, p=%v) = %v ms, want rank %v", c.n, c.p, got, c.want)
+		}
+	}
+	if got := percentileMS(nil, 0.99); got != 0 {
+		t.Errorf("percentileMS(empty) = %v, want 0", got)
+	}
+}
+
+// TestWarmupExcluded proves warmup requests are issued against the server
+// but excluded from every reported number.
+func TestWarmupExcluded(t *testing.T) {
+	var total atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		total.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Concurrency: 2,
+		Requests:    30,
+		Warmup:      12,
+		Targets:     []Target{{Name: "x", Path: "/", Body: `{}`}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := total.Load(); got != 42 {
+		t.Errorf("server saw %d requests, want 30 measured + 12 warmup = 42", got)
+	}
+	if rep.Requests != 30 || rep.OK != 30 {
+		t.Errorf("report counts requests=%d ok=%d, want 30/30 (warmup excluded)", rep.Requests, rep.OK)
+	}
+	if rep.WarmupExcluded != 12 {
+		t.Errorf("WarmupExcluded = %d, want 12", rep.WarmupExcluded)
 	}
 }

@@ -76,12 +76,23 @@ func (a *admission) release(d time.Duration) {
 // queued reports tickets currently held (waiting + running).
 func (a *admission) queued() int64 { return a.tickets.Load() }
 
+// coldJobCost seeds the Retry-After estimate before the first completion
+// lands. A saturated server that has never finished a job has no EWMA; the
+// old behavior fell through to the 1-second floor, telling a flash crowd at
+// boot to come straight back and re-stampede a pool that still hasn't
+// drained. A quarter second per queued job is deliberately conservative —
+// simulations on the CI box run 1–100 ms — so the cold estimate scales with
+// the backlog and errs toward spreading the retries out; the real EWMA
+// takes over at the first release.
+const coldJobCost = 250 * time.Millisecond
+
 // retryAfterSeconds estimates when a shed client should retry: the smoothed
-// job duration times the backlog per worker, clamped to [1, 60].
+// job duration times the backlog per worker, clamped to [1, 60]. Before the
+// first job completes, coldJobCost stands in for the EWMA.
 func (a *admission) retryAfterSeconds() int {
 	ewma := time.Duration(a.ewmaNS.Load())
 	if ewma <= 0 {
-		return 1
+		ewma = coldJobCost
 	}
 	backlog := a.queued()
 	est := ewma * time.Duration(backlog) / time.Duration(a.workers)

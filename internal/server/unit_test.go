@@ -54,6 +54,31 @@ func TestAdmissionRetryAfterClamps(t *testing.T) {
 	}
 }
 
+// TestAdmissionRetryAfterColdSeed pins the flash-crowd-at-boot fix: a
+// saturated server that has not yet completed a single job (EWMA unseeded)
+// must scale its Retry-After with the backlog via the conservative
+// coldJobCost seed instead of falling through to the 1-second floor, which
+// invited the whole crowd to come straight back.
+func TestAdmissionRetryAfterColdSeed(t *testing.T) {
+	a := newAdmission(2, 20)
+	a.tickets.Store(22) // saturated: every slot and queue position held
+	want := int((coldJobCost*22/2 + time.Second - 1) / time.Second) // 3s
+	if got := a.retryAfterSeconds(); got != want {
+		t.Errorf("cold saturated retry-after = %d, want %d (coldJobCost seed x backlog/workers)", got, want)
+	}
+	if got := a.retryAfterSeconds(); got <= 1 {
+		t.Errorf("cold saturated retry-after = %d, want > 1 (must not re-invite the stampede)", got)
+	}
+
+	// The first completion replaces the seed with the measured duration.
+	<-a.slots // claim a slot so release can return it
+	a.release(10 * time.Millisecond)
+	a.tickets.Store(22)
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Errorf("post-completion retry-after = %d, want 1 (fast measured jobs, floor)", got)
+	}
+}
+
 func TestRespCacheEviction(t *testing.T) {
 	c := newRespCache(2)
 	c.put("a", &cachedResponse{status: 200, body: []byte("a")})

@@ -1,6 +1,9 @@
 package topology
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // fnv64 constants (FNV-1a), inlined so fingerprinting allocates nothing.
 const (
@@ -37,6 +40,18 @@ func mixString(h uint64, s string) uint64 {
 // The hash is FNV-1a over a canonical field order; it is deterministic
 // across processes and allocation-free, cheap enough to recompute on every
 // cache lookup and schedule instantiation.
+//
+// Cross-process stability is a compatibility contract, not an accident: the
+// fingerprint is half of the on-disk schedule store's content address
+// (internal/collective/store), so two processes — or two CI runs sharing a
+// store directory — must derive the same value for content-identical
+// topologies. That pins the exact serialization: nodes in id order
+// contributing (kind, name), then channels in id order contributing (from,
+// to, bandwidth bits, latency, tag, down flag, degrade-factor bits), each
+// length-prefixed string mixed byte-wise. Changing any of this — field
+// order, a new hashed field, float canonicalization — silently invalidates
+// every existing store entry (they just miss; nothing breaks), and must be
+// deliberate. TestFingerprintGolden pins the current value.
 func (g *Graph) Fingerprint() uint64 {
 	h := uint64(fnvOffset)
 	h = mix64(h, uint64(len(g.nodes)))
@@ -62,3 +77,7 @@ func (g *Graph) Fingerprint() uint64 {
 	}
 	return h
 }
+
+// FormatFingerprint renders a fingerprint in the canonical zero-padded hex
+// form used by store keys, staleness errors, and logs.
+func FormatFingerprint(fp uint64) string { return fmt.Sprintf("%016x", fp) }

@@ -53,6 +53,42 @@ func TestFingerprintTracksHealthState(t *testing.T) {
 	}
 }
 
+// TestFingerprintGolden pins the fingerprint's exact serialization. The
+// fingerprint is half of the on-disk schedule store's content address, so it
+// must be identical across processes and repo versions for content-identical
+// topologies; any change to the canonical field order or hashed fields moves
+// this value and silently invalidates every existing store directory. If
+// this test fails because of a deliberate format change, update the pinned
+// values AND bump the schedule codec version in internal/collective so old
+// entries miss cleanly.
+func TestFingerprintGolden(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("g0", GPU)
+	b := g.AddNode("g1", GPU)
+	g.AddBidi(a, b, 25e9, 1_300, "nvlink")
+
+	const wantHealthy = "524c57aff5f0285e"
+	if got := FormatFingerprint(g.Fingerprint()); got != wantHealthy {
+		t.Fatalf("fingerprint of pinned 2-GPU graph = %s, want %s (serialization changed?)", got, wantHealthy)
+	}
+
+	g.KillChannel(0)
+	const wantKilled = "317d473cf3e5ca2f"
+	if got := FormatFingerprint(g.Fingerprint()); got != wantKilled {
+		t.Fatalf("fingerprint with channel 0 down = %s, want %s", got, wantKilled)
+	}
+	g.RestoreChannel(0)
+	if got := FormatFingerprint(g.Fingerprint()); got != wantHealthy {
+		t.Fatalf("fingerprint after restore = %s, want %s", got, wantHealthy)
+	}
+}
+
+func TestFormatFingerprint(t *testing.T) {
+	if got := FormatFingerprint(0x1a); got != "000000000000001a" {
+		t.Fatalf("FormatFingerprint(0x1a) = %q, want zero-padded 16-digit hex", got)
+	}
+}
+
 func TestFingerprintAllocationFree(t *testing.T) {
 	g := DGX1(DefaultDGX1Config())
 	if allocs := testing.AllocsPerRun(20, func() { g.Fingerprint() }); allocs > 0 {
