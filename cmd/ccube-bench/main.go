@@ -53,6 +53,7 @@ type benchReport struct {
 	CacheEvictions uint64                   `json:"schedule_cache_evictions"`
 	CacheHitRate   float64                  `json:"schedule_cache_hit_rate"`
 	Fig13Ref       *fig13Ref                `json:"fig13_reference,omitempty"`
+	Baseline       *baselineReport          `json:"baseline,omitempty"`
 	Store          *storeReport             `json:"schedule_store,omitempty"`
 	ServerSmoke    *loadgen.Report          `json:"server_smoke,omitempty"`
 	Lint           *lintTiming              `json:"lint,omitempty"`
@@ -83,6 +84,72 @@ type storeReport struct {
 type expTiming struct {
 	ID      string  `json:"id"`
 	Seconds float64 `json:"seconds"`
+}
+
+// baselineReport records the regression gate: the committed BENCH_ccube.json
+// is read before being overwritten and the headline engine bench must not be
+// slower than it by more than the tolerance. Allocation budgets are exact
+// (bench.CheckBudgets); wall time gets the tolerance because shared CI
+// machines are noisy.
+type baselineReport struct {
+	Path            string  `json:"path"`
+	Bench           string  `json:"bench"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	CurrentNsPerOp  float64 `json:"current_ns_per_op"`
+	// Delta is (current-baseline)/baseline; negative means faster.
+	Delta     float64 `json:"delta"`
+	Tolerance float64 `json:"tolerance"`
+}
+
+// baselineBench is the headline timing gate: the engine schedule/run loop is
+// the inner loop of every figure, so it is the one bench whose wall time is
+// held against the committed baseline.
+const baselineBench = "EngineScheduleRun1024"
+
+// checkBaseline compares the freshly measured engine results against the
+// previously committed report at path. A missing or pre-gate baseline file
+// is not an error (first run); a regression beyond tol is.
+func checkBaseline(path string, results []bench.Result, tol float64) (*baselineReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var prev struct {
+		Engine []bench.Result `json:"engine"`
+	}
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	var base, cur *bench.Result
+	for i := range prev.Engine {
+		if prev.Engine[i].Name == baselineBench {
+			base = &prev.Engine[i]
+		}
+	}
+	for i := range results {
+		if results[i].Name == baselineBench {
+			cur = &results[i]
+		}
+	}
+	if base == nil || cur == nil || base.NsPerOp <= 0 {
+		return nil, nil
+	}
+	br := &baselineReport{
+		Path:            path,
+		Bench:           baselineBench,
+		BaselineNsPerOp: base.NsPerOp,
+		CurrentNsPerOp:  cur.NsPerOp,
+		Delta:           (cur.NsPerOp - base.NsPerOp) / base.NsPerOp,
+		Tolerance:       tol,
+	}
+	if br.Delta > tol {
+		return br, fmt.Errorf("%s regressed %.1f%% vs %s (%.0f -> %.0f ns/op, tolerance %.0f%%)",
+			baselineBench, br.Delta*100, path, base.NsPerOp, cur.NsPerOp, tol*100)
+	}
+	return br, nil
 }
 
 // lintTiming tracks analyzer cost over time: a cold full-module ccube-lint
@@ -151,6 +218,10 @@ func run() int {
 		"worker count for the grid sweeps (1 = serial reference path)")
 	benchJSON := flag.String("benchjson", "",
 		"write machine-readable benchmark results (engine allocs, wall times) to this JSON file")
+	baseline := flag.String("baseline", "",
+		"baseline BENCH JSON for the regression gate (default: the -benchjson path, read before overwrite); 'none' disables")
+	baselineTol := flag.Float64("baseline-tolerance", 0.10,
+		"fail if the headline engine bench is slower than the baseline by more than this fraction")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve GET /metrics and /healthz on this address while running (e.g. :9090)")
@@ -261,9 +332,24 @@ func run() int {
 		}
 		fmt.Println()
 		if over := bench.CheckBudgets(rep.Engine); len(over) > 0 {
-			fmt.Fprintf(os.Stderr, "alloc budget exceeded (steady state must be %d allocs/op): %s\n",
-				bench.SteadyStateBudget, strings.Join(over, ", "))
+			fmt.Fprintf(os.Stderr, "alloc budget exceeded: %s\n", strings.Join(over, ", "))
 			return 1
+		}
+		if *baseline != "none" {
+			basePath := *baseline
+			if basePath == "" {
+				basePath = *benchJSON
+			}
+			br, err := checkBaseline(basePath, rep.Engine, *baselineTol)
+			rep.Baseline = br
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if br != nil {
+				fmt.Printf("[baseline %s: %s %.0f -> %.0f ns/op (%+.1f%%, tolerance %.0f%%)]\n\n",
+					br.Path, br.Bench, br.BaselineNsPerOp, br.CurrentNsPerOp, br.Delta*100, br.Tolerance*100)
+			}
 		}
 	}
 
@@ -344,8 +430,9 @@ func run() int {
 			return 1
 		}
 		rep.ServerSmoke = smoke
-		fmt.Printf("[server smoke: %d requests, %.0f req/s, p99 %.2fms, %d failed]\n\n",
-			smoke.Requests, smoke.Throughput, smoke.P99MS, smoke.Failed)
+		fmt.Printf("[server smoke: %d requests, %.0f req/s, p99 %.2fms, p99.9 %.2fms, %d failed, %d gc cycles (%.3fms pause, %.2fMB allocated)]\n\n",
+			smoke.Requests, smoke.Throughput, smoke.P99MS, smoke.P999MS,
+			smoke.Failed, smoke.GCCycles, smoke.GCPauseMS, smoke.TotalAllocMB)
 
 		if lr, err := lintRun(); err != nil {
 			// Not reachable from this cwd (no go.mod): skip the measurement
@@ -471,7 +558,11 @@ func serverSmoke() (*loadgen.Report, error) {
 	rep, err := loadgen.Run(context.Background(), loadgen.Config{
 		BaseURL:     "http://" + ln.Addr().String(),
 		Concurrency: 4,
-		Requests:    120,
+		// 1000 measured requests: the smallest count where nearest-rank p99.9
+		// (rank ⌈0.999·n⌉) is distinct from the max, so the recorded tail is
+		// an actual percentile and the GC deltas cover a steady window rather
+		// than a burst. The warm response cache keeps this cheap.
+		Requests: 1000,
 		// Let every target build its schedule and fill the response cache
 		// before measuring, so the percentiles reflect steady-state service
 		// latency rather than first-request compilation.

@@ -1,5 +1,6 @@
 // Command ccube-loadgen drives a running ccube-serve with closed-loop load
-// and reports throughput and latency percentiles.
+// and reports throughput, latency percentiles through the p99.9 tail, and
+// the GC/heap cost of the measured window (runtime.MemStats deltas).
 //
 // Usage:
 //

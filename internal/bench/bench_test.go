@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ccube/internal/des"
+)
+
+// TestBudgetsCoverKnownBenches keeps the budget table honest: every override
+// must name a real benchmark, so a rename can't silently un-gate a bench
+// (anything unnamed falls back to the zero-alloc default).
+func TestBudgetsCoverKnownBenches(t *testing.T) {
+	names := map[string]bool{}
+	for _, bm := range benchmarks() {
+		names[bm.name] = true
+	}
+	for name := range Budgets {
+		if !names[name] {
+			t.Errorf("Budgets entry %q does not match any benchmark", name)
+		}
+	}
+}
+
+// TestEncoderBenchFixturesAllocFree pins the exact bodies the ServeEncode*
+// benches time: once the buffer is warm, encoding a full plan or simulate
+// response must not allocate.
+func TestEncoderBenchFixturesAllocFree(t *testing.T) {
+	plan := PlanFixture()
+	sim := SimulateFixture()
+	buf := sim.AppendJSON(plan.AppendJSON(nil))
+	if allocs := testing.AllocsPerRun(50, func() {
+		buf = plan.AppendJSON(buf[:0])
+	}); allocs != 0 {
+		t.Errorf("plan encode: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		buf = sim.AppendJSON(buf[:0])
+	}); allocs != 0 {
+		t.Errorf("simulate encode: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEncoderBenchFixturesGolden re-checks the fixtures against encoding/json
+// so the benchmarks can never time an encoder that has drifted off the wire
+// format (the server package pins real responses; this pins the synthetic
+// ones the benches use).
+func TestEncoderBenchFixturesGolden(t *testing.T) {
+	for _, v := range []interface {
+		AppendJSON([]byte) []byte
+	}{PlanFixture(), SimulateFixture()} {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.AppendJSON(nil); string(got) != string(want) {
+			t.Errorf("fixture encoder diverges:\n got %s\nwant %s", got, want)
+		}
+	}
+}
+
+// TestGraphPipelineReuseWithinBudget pins the reworked GraphPipeline8x256
+// shape: re-populating a Reset graph costs at most the budgeted handful of
+// variadic dep slices, never the ~109 allocs/op of building the graph,
+// resources, and adjacency from scratch each op.
+func TestGraphPipelineReuseWithinBudget(t *testing.T) {
+	const d, k = 8, 256
+	g := des.NewGraph()
+	g.Reserve(d * k)
+	g.ReserveEdges((d - 1) * k)
+	links := make([]*des.Resource, d)
+	for l := range links {
+		links[l] = des.NewResource("link")
+		links[l].Prealloc(k)
+	}
+	prev := make([]int, k)
+	op := func() {
+		g.Reset()
+		for _, r := range links {
+			r.Reset()
+		}
+		for l := 0; l < d; l++ {
+			for c := 0; c < k; c++ {
+				if l == 0 {
+					prev[c] = g.Add("hop", links[l], 100)
+				} else {
+					prev[c] = g.Add("hop", links[l], 100, prev[c])
+				}
+			}
+		}
+		g.Run()
+	}
+	op() // warm the backing arrays
+	budget := Budgets["GraphPipeline8x256"]
+	if allocs := testing.AllocsPerRun(5, op); int64(allocs) > budget {
+		t.Errorf("graph reuse op: %v allocs/op, budget %d", allocs, budget)
+	}
+	// The result must still be the full pipeline: 2048 tasks, correct makespan
+	// (8 serial hops of 100 on the critical path, 256 chains sharing each link
+	// serially: last chain ends at (256+7)*100).
+	if g.NumTasks() != d*k {
+		t.Fatalf("NumTasks = %d, want %d", g.NumTasks(), d*k)
+	}
+	if want := des.Time((k + d - 1) * 100); g.Makespan() != want {
+		t.Errorf("makespan = %v, want %v", g.Makespan(), want)
+	}
+}
+
+// TestEngineBatchDrainShape runs one op of the batch-drain bench and checks
+// the engine actually fires every event (the bench would otherwise happily
+// time a no-op).
+func TestEngineBatchDrainShape(t *testing.T) {
+	e := des.NewEngine()
+	const n = 1024
+	e.Reserve(n)
+	fired := 0
+	fn := func() { fired++ }
+	base := e.Now()
+	for j := 0; j < n; j++ {
+		e.At(base+des.Time(j%4), fn)
+	}
+	e.Run()
+	if fired != n {
+		t.Errorf("fired %d events, want %d", fired, n)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after Run", e.Pending())
+	}
+}

@@ -216,13 +216,21 @@ func (s *Schedule) Instantiate(g *des.Graph, res []*des.Resource, startDep int) 
 	}
 	g.Reserve(len(s.transfers))
 	// Size each channel's interval log up front: busy-slice growth inside
-	// the run loop was a measurable allocation source across a sweep.
+	// the run loop was a measurable allocation source across a sweep. The
+	// edge count is counted in the same pass so the graph's flat edge list
+	// and CSR payload are sized once too.
 	chCount := make([]int, len(res))
+	edges := 0
 	for _, t := range s.transfers {
 		if !t.isMarker() {
 			chCount[t.channel]++
 		}
+		edges += len(t.deps)
+		if startDep >= 0 && len(t.deps) == 0 {
+			edges++
+		}
 	}
+	g.ReserveEdges(edges)
 	for i, n := range chCount {
 		if n > 0 {
 			res[i].Prealloc(n)

@@ -33,11 +33,12 @@ func (e *CanceledError) Unwrap() error { return e.Cause }
 
 // RunCtx executes events in timestamp order until none remain or ctx is
 // cancelled, whichever comes first. The context is checked before every
-// event pop, so a cancelled run stops without firing another callback and
-// returns a *CanceledError recording the virtual time reached. Events
-// still pending at cancellation stay in the heap: the engine remains
-// usable (a later Run drains them), which keeps cancelled engines safe to
-// recycle.
+// event — including the events inside a drained equal-timestamp batch — so
+// a cancelled run stops without firing another callback and returns a
+// *CanceledError recording the virtual time reached. Events still pending
+// at cancellation stay in the heap (a mid-batch abort pushes the unfired
+// remainder back), so the engine remains usable: a later Run drains them,
+// which keeps cancelled engines safe to recycle.
 //
 // The checkpoint is a non-blocking channel receive — no allocation, no
 // syscall — so RunCtx preserves the engine's zero-alloc steady state
@@ -51,17 +52,12 @@ func (e *Engine) RunCtx(ctx context.Context) (Time, error) {
 		return e.Run(), nil
 	}
 	for len(e.events) > 0 {
-		select {
-		case <-done:
-			return e.now, &CanceledError{
-				At:        e.now,
-				Executed:  e.fired,
-				Remaining: len(e.events),
-				Cause:     context.Cause(ctx),
-			}
-		default:
+		// fireBatch checks done before its first element, so the pre-pop
+		// checkpoint the serial loop had is preserved.
+		e.popRun()
+		if _, err := e.fireBatch(ctx, done); err != nil {
+			return e.now, err
 		}
-		e.step()
 	}
 	return e.now, nil
 }

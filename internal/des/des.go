@@ -18,6 +18,7 @@
 package des
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -110,6 +111,20 @@ type Engine struct {
 	pool   []*event // recycled records, reused by At/After
 	seq    uint64
 	fired  int
+
+	// Batch-drain scratch, reused across runs (see popRun). The collective
+	// schedules this engine executes are bulk-synchronous: many events share
+	// a timestamp, and draining the whole run with one round of sift-downs
+	// amortizes the heap fix-ups the serial pop pays per event.
+	batch []seqEntry // current run of equal-timestamp events, fired in seq order
+	holes []int32    // BFS worklist = heap slots vacated by the drain, ascending
+}
+
+// seqEntry pairs a drained event with its seq so the batch sort compares a
+// contiguous scratch array instead of chasing event pointers.
+type seqEntry struct {
+	seq uint64
+	ev  *event
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -131,6 +146,12 @@ func (e *Engine) Reserve(n int) {
 	}
 	for len(e.pool)+len(e.events) < n {
 		e.pool = append(e.pool, &event{}) // prealloc: filling the reserved pool
+	}
+	if cap(e.batch) < n {
+		e.batch = make([]seqEntry, 0, n) // prealloc: sizing the drain batch once
+	}
+	if cap(e.holes) < n {
+		e.holes = make([]int32, 0, n) // prealloc: sizing the drain hole list once
 	}
 }
 
@@ -177,9 +198,15 @@ func (e *Engine) After(d Time, fn func()) Event {
 
 // Run executes events in timestamp order until none remain. It returns the
 // final virtual time.
+//
+// Internally events are drained in runs of equal timestamps (popRun) and
+// fired in seq order, which is bit-identical to popping them one at a time:
+// (at, seq) is a total order, and callbacks scheduled mid-run receive higher
+// seq values, so they land in a later batch of the same timestamp.
 func (e *Engine) Run() Time {
 	for len(e.events) > 0 {
-		e.step()
+		e.popRun()
+		e.fireBatch(nil, nil)
 	}
 	return e.now
 }
@@ -188,7 +215,8 @@ func (e *Engine) Run() Time {
 // clock to the deadline. Events beyond the deadline stay pending.
 func (e *Engine) RunUntil(deadline Time) Time {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
-		e.step()
+		e.popRun()
+		e.fireBatch(nil, nil)
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -196,6 +224,10 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
+// step pops and executes a single event. It is the per-event reference
+// implementation the batched drain is property-tested against
+// (TestBatchedDrainMatchesSerial); production runs go through
+// popRun/fireBatch instead.
 func (e *Engine) step() {
 	ev := e.pop()
 	if ev.canceled {
@@ -219,6 +251,12 @@ func (e *Engine) step() {
 // pool does not retain closures.
 func (e *Engine) recycle(ev *event) {
 	mPoolRecycled.Inc()
+	e.recycleQuiet(ev)
+}
+
+// recycleQuiet is recycle without the per-event metric update; fireBatch
+// recycles a whole run and publishes one batched counter add instead.
+func (e *Engine) recycleQuiet(ev *event) {
 	ev.gen++
 	ev.fn = nil
 	ev.canceled = false
@@ -256,9 +294,15 @@ func (e *Engine) pop() *event {
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = nil
-	h = h[:n]
-	e.events = h
-	i := 0
+	e.events = h[:n]
+	e.siftDown(0)
+	return root
+}
+
+// siftDown restores the heap property in the subtree rooted at slot i.
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
@@ -269,10 +313,193 @@ func (e *Engine) pop() *event {
 			min = r
 		}
 		if min == i {
-			break
+			return
 		}
 		h[i], h[min] = h[min], h[i]
 		i = min
 	}
-	return root
+}
+
+// popRun drains every event sharing the earliest timestamp into e.batch, in
+// seq order, using one round of sift-downs for the whole run.
+//
+// Correctness: t = h[0].at is the heap minimum, so any node with at == t has
+// a parent with at == t — the equal-time events form a connected subtree
+// containing the root. The BFS below walks exactly that subtree; because a
+// heap level occupies a contiguous, strictly increasing index range and the
+// queue appends children of ascending parents in ascending order, the visit
+// order — and therefore e.holes, the slots the run vacates — is ascending by
+// construction, no sort needed. The drained events are sorted by seq on a
+// contiguous (seq, ev) scratch array and fired in that order, the same total
+// order (at, seq) the serial engine pops in. The holes are then refilled
+// from the heap tail, deepest hole first: processing hole indices in
+// descending order keeps every fill source at or beyond the shrinking tail
+// boundary (a hole index can never exceed the current tail, and equal means
+// the hole is the tail itself). Non-hole positions still satisfy the heap
+// property among themselves, so sifting the filled slots down in descending
+// index order — children before parents, Floyd's bottom-up heapify argument
+// — restores a valid heap while touching only the affected paths.
+func (e *Engine) popRun() {
+	h := e.events
+	n := len(h)
+	t := h[0].at
+	e.batch = e.batch[:0]
+	// Single-event fast path: neither child of the root shares its
+	// timestamp, so the run is just the root and the drain degenerates to
+	// the classic pop.
+	if (n < 2 || h[1].at != t) && (n < 3 || h[2].at != t) {
+		ev := e.pop()
+		e.batch = append(e.batch, seqEntry{ev.seq, ev}) // amortized: batch capacity is reused across runs
+		return
+	}
+	holes := append(e.holes[:0], 0) // amortized: hole-list capacity is reused across runs
+	for qi := 0; qi < len(holes); qi++ {
+		i := int(holes[qi])
+		ev := h[i]
+		e.batch = append(e.batch, seqEntry{ev.seq, ev}) // amortized: batch capacity is reused across runs
+		if l := 2*i + 1; l < n && h[l].at == t {
+			holes = append(holes, int32(l)) // amortized: hole-list capacity is reused across runs
+		}
+		if r := 2*i + 2; r < n && h[r].at == t {
+			holes = append(holes, int32(r)) // amortized: hole-list capacity is reused across runs
+		}
+	}
+	e.holes = holes
+	// Refill the vacated slots from the heap tail and restore the heap with
+	// one bottom-up round of sift-downs.
+	for j := len(holes) - 1; j >= 0; j-- {
+		i := int(holes[j])
+		n--
+		if i != n {
+			h[i] = h[n]
+		}
+		h[n] = nil
+	}
+	e.events = h[:n]
+	for j := len(holes) - 1; j >= 0; j-- {
+		if i := int(holes[j]); i < n {
+			e.siftDown(i)
+		}
+	}
+	sortBySeq(e.batch)
+}
+
+// sortBySeq orders one drained run ascending by seq: an already-sorted scan
+// first (bulk-synchronous schedules enqueue same-time events in seq order,
+// and the BFS drain largely preserves it), insertion sort for short runs,
+// in-place heapsort above that — O(k log k) worst case with no allocation
+// and no indirect comparison calls.
+func sortBySeq(a []seqEntry) {
+	n := len(a)
+	sorted := true
+	for i := 1; i < n; i++ {
+		if a[i-1].seq > a[i].seq {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	if n < 16 {
+		for i := 1; i < n; i++ {
+			x := a[i]
+			j := i - 1
+			for j >= 0 && a[j].seq > x.seq {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = x
+		}
+		return
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftEntryDown(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftEntryDown(a, 0, end)
+	}
+}
+
+// siftEntryDown restores the max-heap-by-seq property at slot i of a[:n].
+func siftEntryDown(a []seqEntry, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		max := l
+		if r := l + 1; r < n && a[r].seq > a[l].seq {
+			max = r
+		}
+		if a[max].seq <= a[i].seq {
+			return
+		}
+		a[i], a[max] = a[max], a[i]
+		i = max
+	}
+}
+
+// fireBatch executes the drained run in seq order. Cancelled events are
+// dropped at fire position — exactly where the serial pop would have dropped
+// them, so a callback cancelling a later event in the same batch still
+// suppresses it. When done is non-nil the context is checked before every
+// event (fired or dropped), matching the serial RunCtx checkpoint; on
+// cancellation the unfired remainder is pushed back into the heap so the
+// engine stays reusable and Remaining counts every still-pending event.
+// Metrics are published as one batched add per counter; the totals match the
+// serial engine's per-event increments.
+func (e *Engine) fireBatch(ctx context.Context, done <-chan struct{}) (Time, error) {
+	fired, cancelled := 0, 0
+	for i, ent := range e.batch {
+		ev := ent.ev
+		if done != nil {
+			select {
+			case <-done:
+				for _, rest := range e.batch[i:] {
+					e.push(rest.ev)
+				}
+				e.batch = e.batch[:0]
+				e.flushBatchMetrics(fired, cancelled)
+				return e.now, &CanceledError{
+					At:        e.now,
+					Executed:  e.fired,
+					Remaining: len(e.events),
+					Cause:     context.Cause(ctx),
+				}
+			default:
+			}
+		}
+		if ev.canceled {
+			cancelled++
+			e.recycleQuiet(ev)
+			continue
+		}
+		if ev.at < e.now {
+			panic("des: event heap time went backwards")
+		}
+		e.now = ev.at
+		e.fired++
+		fired++
+		fn := ev.fn
+		e.recycleQuiet(ev)
+		fn()
+	}
+	e.batch = e.batch[:0]
+	e.flushBatchMetrics(fired, cancelled)
+	return e.now, nil
+}
+
+// flushBatchMetrics publishes one batch's counter deltas.
+func (e *Engine) flushBatchMetrics(fired, cancelled int) {
+	if fired > 0 {
+		mEventsFired.Add(int64(fired))
+	}
+	if cancelled > 0 {
+		mEventsCancelled.Add(int64(cancelled))
+	}
+	if fired+cancelled > 0 {
+		mPoolRecycled.Add(int64(fired + cancelled))
+	}
 }

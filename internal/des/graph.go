@@ -46,6 +46,7 @@ type Graph struct {
 	// per-pred insertion order for deterministic scheduling.
 	depOff []int32
 	depAdj []int32
+	ready  []int32 // ready-heap scratch, reused across Reset/run cycles
 	ran    bool
 }
 
@@ -66,7 +67,14 @@ func (g *Graph) dependents(id int32) []int32 {
 // start offset to its end offset, which is exactly the convention
 // dependents() reads.
 func (g *Graph) buildAdjacency() {
-	g.depOff = make([]int32, len(g.tasks)) // prealloc: exact CSR offset table
+	if cap(g.depOff) >= len(g.tasks) {
+		g.depOff = g.depOff[:len(g.tasks)]
+		for i := range g.depOff {
+			g.depOff[i] = 0
+		}
+	} else {
+		g.depOff = make([]int32, len(g.tasks)) // prealloc: exact CSR offset table
+	}
 	for _, e := range g.edges {
 		g.depOff[e.pred]++
 	}
@@ -76,7 +84,11 @@ func (g *Graph) buildAdjacency() {
 		g.depOff[i] = sum // start offset of task i
 		sum += c
 	}
-	g.depAdj = make([]int32, len(g.edges)) // prealloc: exact CSR payload
+	if cap(g.depAdj) >= len(g.edges) {
+		g.depAdj = g.depAdj[:len(g.edges)]
+	} else {
+		g.depAdj = make([]int32, len(g.edges)) // prealloc: exact CSR payload
+	}
 	for _, e := range g.edges {
 		g.depAdj[g.depOff[e.pred]] = e.succ
 		g.depOff[e.pred]++
@@ -87,13 +99,46 @@ func (g *Graph) buildAdjacency() {
 func NewGraph() *Graph { return &Graph{} }
 
 // Reserve preallocates capacity for n tasks, so the following Adds don't
-// grow the slice. Schedule instantiation knows its task count up front.
+// grow the slice — and sizes the run-time scratch (CSR offset table, ready
+// heap) that scales with the task count, so a reserved graph runs without
+// growing those either. Schedule instantiation knows its task count up front.
 func (g *Graph) Reserve(n int) {
 	if cap(g.tasks)-len(g.tasks) < n {
 		grown := make([]Task, len(g.tasks), len(g.tasks)+n) // prealloc: sizing the task store once
 		copy(grown, g.tasks)
 		g.tasks = grown
 	}
+	if cap(g.depOff) < cap(g.tasks) {
+		g.depOff = make([]int32, 0, cap(g.tasks)) // prealloc: sizing the CSR offset table once
+	}
+	if cap(g.ready) < cap(g.tasks) {
+		g.ready = make([]int32, 0, cap(g.tasks)) // prealloc: sizing the ready heap once
+	}
+}
+
+// ReserveEdges preallocates capacity for n additional dependency edges (the
+// flat edge list plus the CSR payload compiled at run time), so edge-heavy
+// schedules declare and compile dependencies without growing either array.
+func (g *Graph) ReserveEdges(n int) {
+	if cap(g.edges)-len(g.edges) < n {
+		grown := make([]depEdge, len(g.edges), len(g.edges)+n) // prealloc: sizing the edge list once
+		copy(grown, g.edges)
+		g.edges = grown
+	}
+	if cap(g.depAdj) < len(g.edges)+n {
+		g.depAdj = make([]int32, 0, len(g.edges)+n) // prealloc: sizing the CSR payload once
+	}
+}
+
+// Reset returns the graph to the empty, never-ran state while keeping every
+// backing allocation — task store, edge list, CSR arrays, ready-heap scratch
+// — so a caller rebuilding a same-shape graph reuses the warm capacity
+// instead of reallocating it. Resources are not touched; reset them
+// separately if they are reused too.
+func (g *Graph) Reset() {
+	g.tasks = g.tasks[:0]
+	g.edges = g.edges[:0]
+	g.ran = false
 }
 
 // NumTasks reports how many tasks have been added.
@@ -253,7 +298,11 @@ func (g *Graph) runErr(ctx context.Context) (Time, error) {
 		done = ctx.Done()
 	}
 
-	ready := make([]int32, 0, len(g.tasks)) // prealloc: every task enters the heap at most once
+	ready := g.ready[:0]
+	if cap(ready) < len(g.tasks) {
+		ready = make([]int32, 0, len(g.tasks)) // prealloc: every task enters the heap at most once
+	}
+	g.ready = ready // retain the backing array for the next Reset/run cycle
 	for i := range g.tasks {
 		t := &g.tasks[i]
 		if t.deps == 0 {

@@ -235,6 +235,9 @@ func AllReduce(inputs [][]float32, cfg Config) (*Result, error) {
 	for g := range res.Buffers {
 		res.Buffers[g] = append([]float32(nil), inputs[g]...)
 	}
+	for g := range res.ArrivalOrder {
+		res.ArrivalOrder[g] = make([]int, 0, k) // prealloc: every chunk arrives exactly once per GPU
+	}
 	slice := func(g, c int) []float32 {
 		lo := part.Offsets[c]
 		return res.Buffers[g][lo : lo+part.Sizes[c]]
@@ -263,6 +266,9 @@ func AllReduce(inputs [][]float32, cfg Config) (*Result, error) {
 			queues[g] = gradqueue.New(k, table)
 		}
 		res.DequeueOrder = make([][]int, p)
+		for g := range res.DequeueOrder {
+			res.DequeueOrder[g] = make([]int, 0, len(cfg.LayerElems)) // prealloc: each layer dequeues exactly once
+		}
 	}
 
 	enqueue := func(g, c int) {

@@ -41,6 +41,9 @@ func AllReduceHalvingDoubling(inputs [][]float32, mailboxDepth int) (*Result, er
 	for g := range res.Buffers {
 		res.Buffers[g] = append([]float32(nil), inputs[g]...)
 	}
+	for g := range res.ArrivalOrder {
+		res.ArrivalOrder[g] = make([]int, 0, p) // prealloc: at most one arrival per recursive-doubling round chunk
+	}
 	slice := func(g, c int) []float32 {
 		lo := part.Offsets[c]
 		return res.Buffers[g][lo : lo+part.Sizes[c]]

@@ -71,6 +71,9 @@ func AllReduceHierarchical(inputs [][]float32, cfg HierConfig) (*Result, error) 
 	for g := range res.Buffers {
 		res.Buffers[g] = append([]float32(nil), inputs[g]...)
 	}
+	for g := range res.ArrivalOrder {
+		res.ArrivalOrder[g] = make([]int, 0, k) // prealloc: every chunk arrives exactly once per GPU
+	}
 	slice := func(g, c int) []float32 {
 		lo := part.Offsets[c]
 		return res.Buffers[g][lo : lo+part.Sizes[c]]
@@ -98,6 +101,9 @@ func AllReduceHierarchical(inputs [][]float32, cfg HierConfig) (*Result, error) 
 			queues[g] = gradqueue.New(k, table)
 		}
 		res.DequeueOrder = make([][]int, len(inputs))
+		for g := range res.DequeueOrder {
+			res.DequeueOrder[g] = make([]int, 0, len(cfg.LayerElems)) // prealloc: each layer dequeues exactly once
+		}
 	}
 
 	var arrivalMu sync.Mutex

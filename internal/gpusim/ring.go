@@ -40,6 +40,9 @@ func AllReduceRing(inputs [][]float32, mailboxDepth int) (*Result, error) {
 	for g := range res.Buffers {
 		res.Buffers[g] = append([]float32(nil), inputs[g]...)
 	}
+	for g := range res.ArrivalOrder {
+		res.ArrivalOrder[g] = make([]int, 0, p) // prealloc: at most one arrival per ring chunk
+	}
 	slice := func(g, c int) []float32 {
 		lo := part.Offsets[c]
 		return res.Buffers[g][lo : lo+part.Sizes[c]]

@@ -1,0 +1,136 @@
+// Package jsonenc provides allocation-free append-style JSON encoding
+// primitives whose output is byte-identical to encoding/json's Marshal with
+// its default options (HTML escaping on). The serve hot path renders its
+// response bodies with these instead of reflection-driven json.Marshal, so a
+// cache miss encodes into a pooled buffer with zero per-request heap
+// traffic; golden tests in this package and in internal/server pin the
+// byte-for-byte equivalence.
+//
+// The primitives append the JSON value only — object/array punctuation is
+// the caller's to write — and assume finite floats: encoding/json rejects
+// NaN and infinities with an error, which an append API cannot return, so
+// callers must not pass them (the simulator's response fields are finite by
+// construction).
+package jsonenc
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// AppendString appends s as a JSON string literal, matching encoding/json's
+// escaping exactly: ", \ and control characters are escaped (\b \f \n \r \t
+// short forms, \u00xx otherwise), <, > and & escape to < > &
+// (HTML mode, the Marshal default), invalid UTF-8 bytes become �, and
+// U+2028/U+2029 escape for JavaScript embedding.
+func AppendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if safeSet[c] {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				// Control characters below 0x20 plus the HTML-sensitive
+				// <, > and &.
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == ' ' || r == ' ' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// safeSet reports ASCII bytes that need no escaping in HTML-escaping mode.
+var safeSet = func() (t [utf8.RuneSelf]bool) {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		t[c] = true
+	}
+	t['"'], t['\\'], t['<'], t['>'], t['&'] = false, false, false, false, false
+	return
+}()
+
+// AppendInt appends i in base 10.
+func AppendInt(b []byte, i int64) []byte { return strconv.AppendInt(b, i, 10) }
+
+// AppendBool appends true or false.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+// AppendFloat appends f (which must be finite) exactly as encoding/json
+// renders a float64: shortest representation, 'f' form unless the magnitude
+// calls for 'e' form, whose exponent drops a leading zero (1e-07 -> 1e-7).
+func AppendFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Trim "e-0d" to "e-d" the way encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// AppendStrings appends ss as a JSON array of strings; a nil slice appends
+// null, matching encoding/json.
+func AppendStrings(b []byte, ss []string) []byte {
+	if ss == nil {
+		return append(b, "null"...)
+	}
+	b = append(b, '[')
+	for i, s := range ss {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = AppendString(b, s)
+	}
+	return append(b, ']')
+}

@@ -1,0 +1,104 @@
+package jsonenc
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func mustMarshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json.Marshal(%v): %v", v, err)
+	}
+	return string(b)
+}
+
+func TestAppendStringMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		"",
+		"plain ascii",
+		`quotes " and \ backslash`,
+		"controls \b\f\n\r\t \x00\x01\x1f\x7f",
+		"html <tag> & entity",
+		"gpu0->gpu1 (nvlink)", // the channel-name shape the server emits
+		"unicode ¢ € 漢字 🚀",
+		"line sep   and para sep  ",
+		"invalid utf8 \xff\xfe mid\xc3string",
+		"truncated rune \xe2\x82",
+		"mixed: <a href=\"x\">& \xffé</a>\n",
+	}
+	// Deterministic pseudo-random byte strings: exercise every byte value in
+	// varied contexts without depending on a seeded RNG.
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 200; i++ {
+		n := int(state % 40)
+		buf := make([]byte, n)
+		for j := range buf {
+			state = state*6364136223846793005 + 1442695040888963407
+			buf[j] = byte(state >> 33)
+		}
+		cases = append(cases, string(buf))
+	}
+	for _, s := range cases {
+		want := mustMarshal(t, s)
+		got := string(AppendString(nil, s))
+		if got != want {
+			t.Errorf("AppendString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendFloatMatchesEncodingJSON(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 3.14159265358979, 1e20, 1e21, 2.5e22,
+		1e-6, 5e-7, 1e-7, 3e-8, 9.999999e-7, 1.0000001e-6, -1e-9, -1e22,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 0.1, 100.25, 123456789.123456789,
+		1e21 - 65537, // largest 'f'-form neighborhood
+	}
+	state := uint64(12345)
+	for i := 0; i < 500; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		f := math.Float64frombits(state)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		cases = append(cases, f)
+	}
+	for _, f := range cases {
+		want := mustMarshal(t, f)
+		got := string(AppendFloat(nil, f))
+		if got != want {
+			t.Errorf("AppendFloat(%v) = %s, want %s", f, got, want)
+		}
+	}
+}
+
+func TestAppendIntBoolStrings(t *testing.T) {
+	for _, n := range []int64{0, 1, -1, 42, -9223372036854775808, 9223372036854775807} {
+		if got, want := string(AppendInt(nil, n)), mustMarshal(t, n); got != want {
+			t.Errorf("AppendInt(%d) = %s, want %s", n, got, want)
+		}
+	}
+	for _, v := range []bool{true, false} {
+		if got, want := string(AppendBool(nil, v)), mustMarshal(t, v); got != want {
+			t.Errorf("AppendBool(%v) = %s, want %s", v, got, want)
+		}
+	}
+	for _, ss := range [][]string{nil, {}, {""}, {"a"}, {"a", "b<c>", "d "}} {
+		if got, want := string(AppendStrings(nil, ss)), mustMarshal(t, ss); got != want {
+			t.Errorf("AppendStrings(%q) = %s, want %s", ss, got, want)
+		}
+	}
+}
+
+func TestAppendStringZeroAlloc(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendString(buf[:0], "gpu0->gpu1 (nvlink) <shared> & more")
+	})
+	if allocs != 0 {
+		t.Errorf("AppendString into sized buffer: %v allocs/op, want 0", allocs)
+	}
+}

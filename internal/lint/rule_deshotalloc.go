@@ -9,12 +9,16 @@ func init() {
 	Register(&Analyzer{
 		Name: "des-hot-alloc",
 		Doc: "the DES engine's hot functions (internal/des: event scheduling, the " +
-			"graph run loop, resource grants) must stay allocation-free in steady " +
-			"state; every make or append there needs a same-line comment containing " +
-			"\"amortized\" or \"prealloc\" explaining why the growth is not " +
-			"per-operation",
-		Match: func(rel string) bool { return rel == "internal/des" || strings.HasPrefix(rel, "internal/des/") },
-		Run:   runDesHotAlloc,
+			"batched drain, the graph run loop, resource grants) and the serve " +
+			"JSON fast path (internal/server: pooled buffers, key hashing) must " +
+			"stay allocation-free in steady state; every make or append there " +
+			"needs a same-line comment containing \"amortized\" or \"prealloc\" " +
+			"explaining why the growth is not per-operation",
+		Match: func(rel string) bool {
+			return rel == "internal/des" || strings.HasPrefix(rel, "internal/des/") ||
+				rel == "internal/server" || strings.HasPrefix(rel, "internal/server/")
+		},
+		Run: runDesHotAlloc,
 	})
 }
 
@@ -25,15 +29,23 @@ func init() {
 var desHotFuncs = map[string]bool{
 	// des.go — event engine
 	"At": true, "After": true, "Run": true, "RunUntil": true,
-	"step": true, "recycle": true, "push": true, "pop": true, "Reserve": true,
+	"step": true, "recycle": true, "recycleQuiet": true, "push": true,
+	"pop": true, "siftDown": true, "Reserve": true,
+	// des.go — batched equal-timestamp drain
+	"popRun": true, "fireBatch": true, "sortBySeq": true,
+	"siftEntryDown": true, "flushBatchMetrics": true,
 	// graph.go — task graph run loop
 	"Add": true, "AddDeps": true, "RunErr": true, "buildAdjacency": true,
 	"dependents": true, "readyPush": true, "readyPop": true,
+	"Reset": true, "ReserveEdges": true,
 	// cancel.go / graph.go — context-checkpointed run loops; the
 	// cancellation checkpoint must stay allocation-free too
 	"runErr": true, "RunCtx": true, "RunCtxErr": true,
 	// resource.go — per-grant path
 	"reserve": true, "Prealloc": true,
+	// internal/server — JSON fast path buffer pool and key hashing
+	"getBuf": true, "putBuf": true, "encodeBody": true,
+	"canonicalKey": true, "writeAPIError": true,
 }
 
 func runDesHotAlloc(p *Pass) {

@@ -50,10 +50,25 @@ func (e *Engine) recycle() {
 	e.buf = append(e.buf, 0) //lint:ignore des-hot-alloc fixture: suppressed hot-path growth
 }
 
+// popRun models the batched drain: documented scratch reuse passes.
+func (e *Engine) popRun(n int) {
+	e.buf = e.buf[:0]
+	for i := 0; i < n; i++ {
+		e.buf = append(e.buf, i) // amortized: batch scratch reused across runs
+	}
+}
+
+// fireBatch is on the batched hot path; this growth is undocumented.
+func (e *Engine) fireBatch() {
+	e.buf = append(e.buf, 0) // want "des-hot-alloc"
+}
+
 // Drain exists so the unexported hot-path helpers above are referenced.
 func (e *Engine) Drain(v int) int {
 	e.push(v)
 	e.recycle()
+	e.popRun(2)
+	e.fireBatch()
 	return e.pop()
 }
 

@@ -22,3 +22,19 @@ func HandleCtx(ctx context.Context, eng *des.Engine) (int, error) {
 func HandleQuiet(eng *des.Engine) int {
 	return eng.Run() //lint:ignore server-ctx fixture: suppressed detached run
 }
+
+// getBuf models the JSON fast path's pool feeder: an undocumented make in a
+// server hot function is flagged by des-hot-alloc too.
+func getBuf() []byte {
+	return make([]byte, 0, 64) // want "des-hot-alloc"
+}
+
+// encodeBody appends into a pooled buffer; documented growth passes.
+func encodeBody(b []byte) []byte {
+	return append(b, '{', '}') // amortized: pooled response buffer reused across requests
+}
+
+// Encode references the helpers so they are live.
+func Encode() []byte {
+	return encodeBody(getBuf())
+}

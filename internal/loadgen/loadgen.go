@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -65,7 +66,16 @@ type Report struct {
 	P50MS      float64 `json:"p50_ms"`
 	P95MS      float64 `json:"p95_ms"`
 	P99MS      float64 `json:"p99_ms"`
+	P999MS     float64 `json:"p999_ms"`
 	MaxMS      float64 `json:"max_ms"`
+	// GC/heap footprint of the measured window (runtime.MemStats deltas).
+	// In ccube-bench's smoke run the server shares the process, so these
+	// record what serving the window cost the allocator: the JSON fast path
+	// and pooled response buffers show up here as near-zero alloc deltas.
+	GCCycles         uint32  `json:"gc_cycles"`
+	GCPauseMS        float64 `json:"gc_pause_ms"`
+	HeapAllocDeltaMB float64 `json:"heap_alloc_delta_mb"`
+	TotalAllocMB     float64 `json:"total_alloc_mb"`
 	// ByStatus counts responses per HTTP status code.
 	ByStatus map[int]int `json:"by_status"`
 	// WarmupExcluded is the number of warmup requests issued before the
@@ -117,9 +127,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	stats := make([]workerStats, workers)
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	began := time.Now()
 	runPhase(ctx, cfg, client, timeout, workers, budget, stats)
 	elapsed := time.Since(began)
+	runtime.ReadMemStats(&memAfter)
 
 	rep := &Report{
 		Seconds:        elapsed.Seconds(),
@@ -154,9 +167,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rep.P50MS = percentileMS(all, 0.50)
 	rep.P95MS = percentileMS(all, 0.95)
 	rep.P99MS = percentileMS(all, 0.99)
+	rep.P999MS = percentileMS(all, 0.999)
 	if len(all) > 0 {
 		rep.MaxMS = float64(all[len(all)-1]) / float64(time.Millisecond)
 	}
+	rep.GCCycles = memAfter.NumGC - memBefore.NumGC
+	rep.GCPauseMS = float64(memAfter.PauseTotalNs-memBefore.PauseTotalNs) / float64(time.Millisecond)
+	const mb = 1 << 20
+	// Live heap can shrink across the window (a GC ran), so the delta is signed.
+	rep.HeapAllocDeltaMB = (float64(memAfter.HeapAlloc) - float64(memBefore.HeapAlloc)) / mb
+	rep.TotalAllocMB = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / mb
 	return rep, nil
 }
 
@@ -197,18 +217,23 @@ func runPhase(ctx context.Context, cfg Config, client *http.Client, timeout time
 }
 
 // workerStats accumulates per-worker results, merged after the run so the
-// hot path needs no locking.
+// hot path needs no locking. The embedded body reader is reset per request
+// instead of allocating a fresh strings.Reader for every one — a closed-loop
+// worker never has two requests in flight, so reuse is safe (the transport
+// fully consumes the body before Do returns).
 type workerStats struct {
 	latencies []time.Duration
 	byStatus  map[int]int
 	failed    int
+	body      strings.Reader
 }
 
 // issue sends one request, recording the latency of successful responses.
 func issue(ctx context.Context, client *http.Client, base string, tgt Target, timeout time.Duration, st *workerStats) (int, error) {
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodPost, base+tgt.Path, strings.NewReader(tgt.Body))
+	st.body.Reset(tgt.Body)
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, base+tgt.Path, &st.body)
 	if err != nil {
 		return 0, err
 	}
@@ -263,6 +288,11 @@ func (r *Report) Table(title string) *report.Table {
 	t.AddRow("p50 latency", fmt.Sprintf("%.2fms", r.P50MS))
 	t.AddRow("p95 latency", fmt.Sprintf("%.2fms", r.P95MS))
 	t.AddRow("p99 latency", fmt.Sprintf("%.2fms", r.P99MS))
+	t.AddRow("p99.9 latency", fmt.Sprintf("%.2fms", r.P999MS))
 	t.AddRow("max latency", fmt.Sprintf("%.2fms", r.MaxMS))
+	t.AddRow("gc cycles", fmt.Sprintf("%d", r.GCCycles))
+	t.AddRow("gc pause", fmt.Sprintf("%.3fms", r.GCPauseMS))
+	t.AddRow("heap delta", fmt.Sprintf("%+.2fMB", r.HeapAllocDeltaMB))
+	t.AddRow("allocated", fmt.Sprintf("%.2fMB", r.TotalAllocMB))
 	return t
 }

@@ -1,0 +1,40 @@
+package report
+
+import "ccube/internal/jsonenc"
+
+// AppendJSON appends the table's JSON object to b, byte-identical to what
+// MarshalJSON produces (including the nil→[] coercion of columns/rows/notes)
+// but without reflection or intermediate allocations. The serve hot path
+// embeds tables in response bodies through this.
+func (t *Table) AppendJSON(b []byte) []byte {
+	b = append(b, `{"title":`...)
+	b = jsonenc.AppendString(b, t.Title)
+	b = append(b, `,"columns":`...)
+	b = appendStringsCoerced(b, t.Columns)
+	b = append(b, `,"rows":`...)
+	if t.Rows == nil {
+		b = append(b, '[', ']')
+	} else {
+		b = append(b, '[')
+		for i, row := range t.Rows {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			// Inner rows are not coerced by MarshalJSON: a nil row (possible
+			// only on a zero-column table) marshals as null.
+			b = jsonenc.AppendStrings(b, row)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"notes":`...)
+	b = appendStringsCoerced(b, t.Notes)
+	return append(b, '}')
+}
+
+// appendStringsCoerced matches tableJSON's nil→[] coercion.
+func appendStringsCoerced(b []byte, ss []string) []byte {
+	if ss == nil {
+		return append(b, '[', ']')
+	}
+	return jsonenc.AppendStrings(b, ss)
+}

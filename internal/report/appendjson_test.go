@@ -1,0 +1,48 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestAppendJSONMatchesMarshal pins AppendJSON byte-for-byte against
+// MarshalJSON across the coercion edge cases (nil vs empty slices) and
+// content that exercises every escaping branch the server emits.
+func TestAppendJSONMatchesMarshal(t *testing.T) {
+	full := New("AllReduce: ccube on dgx1, 16.0MB", "metric", "value")
+	full.AddRow("channel", "gpu0->gpu1 (nvlink)")
+	full.AddRow("note", `has "quotes" & <html>`)
+	full.AddNote("latency %s", "1.234ms")
+	full.AddNote("unicode 漢字 \x01")
+
+	cases := []*Table{
+		full,
+		New("empty table"),
+		{}, // all-nil fields: coerced to []
+		{Title: "nil row", Rows: [][]string{nil, {}}, Columns: nil},
+		{Title: "notes only", Notes: []string{"a", ""}},
+	}
+	for _, tbl := range cases {
+		want, err := json.Marshal(tbl)
+		if err != nil {
+			t.Fatalf("MarshalJSON(%q): %v", tbl.Title, err)
+		}
+		got := tbl.AppendJSON(nil)
+		if string(got) != string(want) {
+			t.Errorf("AppendJSON(%q) =\n%s\nwant\n%s", tbl.Title, got, want)
+		}
+	}
+}
+
+func TestAppendJSONZeroAlloc(t *testing.T) {
+	tbl := New("Plan: dgx1", "rank", "algorithm")
+	tbl.AddRow("1", "ccube")
+	tbl.AddRow("2", "ring")
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = tbl.AppendJSON(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("AppendJSON into sized buffer: %v allocs/op, want 0", allocs)
+	}
+}

@@ -2,7 +2,6 @@ package server
 
 import (
 	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -233,13 +232,28 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, maxBytes int64, v any)
 
 // canonicalKey hashes the parsed (hence normalized) request for the response
 // cache and singleflight collapsing: two textually different bodies that
-// parse to the same request share one computation.
-func canonicalKey(endpoint string, req any) string {
-	b, err := json.Marshal(req)
-	if err != nil {
-		// Request types are plain data; marshal cannot fail in practice.
-		return endpoint + ":unhashable"
+// parse to the same request share one computation. The known request types
+// render through their append encoders into a pooled buffer and the digest
+// lands in a comparable struct, so computing a key allocates nothing.
+func canonicalKey(ep endpoint, req any) reqKey {
+	buf := getBuf()
+	b := (*buf)[:0]
+	switch r := req.(type) {
+	case PlanRequest:
+		b = r.appendJSON(b)
+	case SimulateRequest:
+		b = r.appendJSON(b)
+	case TrainRequest:
+		b = r.appendJSON(b)
+	default:
+		if m, err := json.Marshal(req); err == nil {
+			b = append(b, m...) // amortized: pooled key buffer reused across requests
+		}
+		// Unmarshalable requests hash as the empty body: request types are
+		// plain data, so this cannot happen outside of tests.
 	}
 	sum := sha256.Sum256(b)
-	return endpoint + ":" + hex.EncodeToString(sum[:])
+	*buf = b // retain growth for the next Get
+	putBuf(buf)
+	return reqKey{ep: ep, sum: sum}
 }

@@ -4,14 +4,54 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // cachedResponse is a fully rendered success response, safe to replay
 // byte-for-byte: the simulator is deterministic in virtual time, so two
 // identical requests produce identical bodies.
+//
+// When buf is non-nil the body lives in a pooled buffer and refs counts the
+// holders: the owning flight call, the LRU cache entry, and every handler
+// currently writing the body each hold one reference. The last release
+// returns the buffer to bufPool. A response encoded outside the pool
+// (json.Marshal fallback) has buf == nil and acquire/release are no-ops —
+// the garbage collector owns it.
 type cachedResponse struct {
 	status int
 	body   []byte
+	buf    *[]byte
+	refs   atomic.Int32
+}
+
+// acquire takes a reference. The caller must already be guaranteed the
+// response is live (it holds a reference itself, or holds the lock of a
+// structure that does).
+func (r *cachedResponse) acquire() {
+	if r != nil && r.buf != nil {
+		r.refs.Add(1)
+	}
+}
+
+// release drops a reference, recycling the buffer on the last one. The body
+// must not be touched after release.
+func (r *cachedResponse) release() {
+	if r == nil || r.buf == nil {
+		return
+	}
+	if r.refs.Add(-1) == 0 {
+		putBuf(r.buf)
+		r.buf = nil
+		r.body = nil
+	}
+}
+
+// reqKey is the response-cache / singleflight key: the endpoint plus the
+// SHA-256 of the canonical (parsed, re-encoded) request. A comparable value
+// type, so map lookups on the hot path allocate nothing.
+type reqKey struct {
+	ep  endpoint
+	sum [32]byte
 }
 
 // respCache is an LRU over canonical request keys, mirroring the eviction
@@ -20,19 +60,21 @@ type respCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recent
-	items map[string]*list.Element
+	items map[reqKey]*list.Element
 }
 
 type respEntry struct {
-	key  string
+	key  reqKey
 	resp *cachedResponse
 }
 
 func newRespCache(capacity int) *respCache {
-	return &respCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+	return &respCache{cap: capacity, ll: list.New(), items: make(map[reqKey]*list.Element)}
 }
 
-func (c *respCache) get(key string) (*cachedResponse, bool) {
+// get returns the cached response with a reference the caller must release
+// after writing the body.
+func (c *respCache) get(key reqKey) (*cachedResponse, bool) {
 	if c.cap <= 0 {
 		return nil, false
 	}
@@ -43,17 +85,24 @@ func (c *respCache) get(key string) (*cachedResponse, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*respEntry).resp, true
+	resp := el.Value.(*respEntry).resp
+	resp.acquire() // under c.mu: the entry's own reference keeps resp live
+	return resp, true
 }
 
-func (c *respCache) put(key string, resp *cachedResponse) {
+// put stores resp, taking a cache-owned reference; replaced and evicted
+// entries release theirs.
+func (c *respCache) put(key reqKey, resp *cachedResponse) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	resp.acquire() // the entry's reference (caller still holds its own)
 	if el, ok := c.items[key]; ok {
-		el.Value.(*respEntry).resp = resp
+		ent := el.Value.(*respEntry)
+		ent.resp.release()
+		ent.resp = resp
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -62,6 +111,7 @@ func (c *respCache) put(key string, resp *cachedResponse) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*respEntry).key)
+		oldest.Value.(*respEntry).resp.release()
 	}
 }
 
@@ -78,33 +128,55 @@ func (c *respCache) len() int {
 // remaining waiters.
 type flightGroup struct {
 	mu    sync.Mutex
-	calls map[string]*flightCall
+	calls map[reqKey]*flightCall
 }
 
+// flightCall tracks one in-flight computation. participants counts the
+// leader plus every registered follower; the last one to exit releases the
+// call's creator reference on resp (the refs=1 encodeBody stored). The
+// leader holds a participant slot for the whole computation, so an
+// abandoning follower can never be the one to drop the count to zero before
+// resp is set.
 type flightCall struct {
-	done chan struct{}
-	resp *cachedResponse
-	err  *apiError
+	done         chan struct{}
+	resp         *cachedResponse
+	err          *apiError
+	participants atomic.Int32
+}
+
+// exit drops this caller's participant slot. Callers that consume resp must
+// acquire their own reference before exiting.
+func (c *flightCall) exit() {
+	if c.participants.Add(-1) == 0 {
+		c.resp.release()
+	}
 }
 
 func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+	return &flightGroup{calls: make(map[reqKey]*flightCall)}
 }
 
 // do runs fn under key, collapsing concurrent callers. shared reports
-// whether this caller rode on another's computation.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (*cachedResponse, *apiError)) (resp *cachedResponse, err *apiError, shared bool) {
+// whether this caller rode on another's computation. A returned non-nil resp
+// carries a reference owned by the caller, who must release it after use.
+func (g *flightGroup) do(ctx context.Context, key reqKey, fn func() (*cachedResponse, *apiError)) (resp *cachedResponse, err *apiError, shared bool) {
 	g.mu.Lock()
 	if call, ok := g.calls[key]; ok {
+		call.participants.Add(1) // registered under g.mu, so the call is live
 		g.mu.Unlock()
 		select {
 		case <-call.done:
-			return call.resp, call.err, true
+			resp, err = call.resp, call.err
+			resp.acquire() // before exit(): our slot keeps the creator ref alive
+			call.exit()
+			return resp, err, true
 		case <-ctx.Done():
+			call.exit()
 			return nil, ctxError(ctx), true
 		}
 	}
 	call := &flightCall{done: make(chan struct{})}
+	call.participants.Store(1) // the leader's slot
 	g.calls[key] = call
 	g.mu.Unlock()
 
@@ -114,5 +186,8 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*cachedResp
 	delete(g.calls, key)
 	g.mu.Unlock()
 	close(call.done)
-	return call.resp, call.err, false
+	resp, err = call.resp, call.err
+	resp.acquire()
+	call.exit()
+	return resp, err, false
 }

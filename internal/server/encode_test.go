@@ -1,0 +1,284 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"ccube/internal/report"
+)
+
+// mustJSON is the reference encoding the hand-rolled encoders must match
+// byte-for-byte.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	return string(b)
+}
+
+// realResponses runs the actual engines so the golden comparison covers real
+// tables, "->" channel names, and float utilizations — not just synthetic
+// values.
+func realResponses(t *testing.T) (*PlanResponse, *SimulateResponse, *SimulateResponse) {
+	t.Helper()
+	s := New(Config{})
+	ctx := context.Background()
+	pv, apiErr := s.runPlan(ctx, PlanRequest{Topology: "dgx1", Bytes: 1 << 20})
+	if apiErr != nil {
+		t.Fatalf("runPlan: %v", apiErr)
+	}
+	sv, apiErr := s.runSimulate(ctx, SimulateRequest{Topology: "dgx1", Algorithm: "ccube", Bytes: 16 << 20})
+	if apiErr != nil {
+		t.Fatalf("runSimulate: %v", apiErr)
+	}
+	fv, apiErr := s.runSimulate(ctx, SimulateRequest{Topology: "dgx1", Algorithm: "ccube", Bytes: 16 << 20, Fault: "kill:2-3"})
+	if apiErr != nil {
+		t.Fatalf("runSimulate fault: %v", apiErr)
+	}
+	return pv.(*PlanResponse), sv.(*SimulateResponse), fv.(*SimulateResponse)
+}
+
+func TestResponseEncodersGoldenRealRuns(t *testing.T) {
+	plan, sim, faulted := realResponses(t)
+	if got, want := string(plan.AppendJSON(nil)), mustJSON(t, plan); got != want {
+		t.Errorf("plan encoder diverges:\n got %s\nwant %s", got, want)
+	}
+	if got, want := string(sim.AppendJSON(nil)), mustJSON(t, sim); got != want {
+		t.Errorf("simulate encoder diverges:\n got %s\nwant %s", got, want)
+	}
+	if faulted.Repair == nil {
+		t.Fatal("faulted run has no repair summary")
+	}
+	if got, want := string(faulted.AppendJSON(nil)), mustJSON(t, faulted); got != want {
+		t.Errorf("faulted simulate encoder diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestResponseEncodersGoldenEdgeCases(t *testing.T) {
+	plans := []*PlanResponse{
+		{}, // zero value: nil candidates -> null, nil table -> null
+		{Topology: `dgx<1> "quoted" & 漢字`, Bytes: -1, Candidates: []PlanCandidate{}},
+		{Objective: "latency", Candidates: []PlanCandidate{{Algorithm: "a->b", InOrder: true}},
+			Table: report.New("t")},
+	}
+	for i, p := range plans {
+		if got, want := string(p.AppendJSON(nil)), mustJSON(t, p); got != want {
+			t.Errorf("plan case %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	sims := []*SimulateResponse{
+		{}, // nil channels -> null, nil repair omitted, nil table -> null
+		{Channels: []ChannelUse{}, BandwidthGBps: 1e-7},
+		{Channels: []ChannelUse{{Channel: "gpu0->gpu1 (nvlink)", Utilization: 0.3333333333333333}},
+			Repair: &RepairSummary{}},
+		{Repair: &RepairSummary{Attempts: 2, Rerouted: 3,
+			MidRunDeaths: []string{"ch4"}, Routes: []string{"a->b->c"}}},
+		{Repair: &RepairSummary{MidRunDeaths: []string{}, Routes: []string{}}}, // empty slices omitted
+		{BandwidthGBps: 2.5e22, Table: report.New("x", "m", "v")},
+	}
+	for i, sr := range sims {
+		if got, want := string(sr.AppendJSON(nil)), mustJSON(t, sr); got != want {
+			t.Errorf("simulate case %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestRequestEncodersGolden(t *testing.T) {
+	cases := []any{
+		PlanRequest{},
+		PlanRequest{Topology: "dgx1", Bytes: 1 << 20, Objective: "turnaround",
+			RequireInOrder: true, AllowShared: true, TimeoutMS: 500},
+		SimulateRequest{},
+		SimulateRequest{Topology: "fc:16", Algorithm: "halving-doubling", Bytes: 1,
+			Chunks: 8, AllowShared: true, Fault: `kill:2-3 "x"<&>`, TopChannels: 4, TimeoutMS: 9},
+		TrainRequest{},
+		TrainRequest{Topology: "dgx1", Model: "bert-base", Batch: 32, Mode: "CC",
+			Chunks: 16, AllowShared: true, TimeoutMS: 100},
+	}
+	for i, c := range cases {
+		var got string
+		switch r := c.(type) {
+		case PlanRequest:
+			got = string(r.appendJSON(nil))
+		case SimulateRequest:
+			got = string(r.appendJSON(nil))
+		case TrainRequest:
+			got = string(r.appendJSON(nil))
+		}
+		if want := mustJSON(t, c); got != want {
+			t.Errorf("request case %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestErrorBodyEncoderGolden(t *testing.T) {
+	cases := []*apiError{
+		errBadRequest("bad size %q", "1<<20"),
+		{status: 499, kind: "canceled", msg: `client "went" away & <quit>`},
+		{status: http.StatusServiceUnavailable, kind: "draining", msg: ""},
+	}
+	for _, e := range cases {
+		want := mustJSON(t, ErrorBody{Error: ErrorInfo{Kind: e.kind, Message: e.msg}})
+		got := string(appendErrorBody(nil, e.kind, e.msg))
+		if got != want {
+			t.Errorf("error body (%s):\n got %s\nwant %s", e.kind, got, want)
+		}
+	}
+}
+
+// TestEncodeBodyMatchesJSONBody pins the full cache-entry body (including
+// the trailing newline) against the reflection path it replaced.
+func TestEncodeBodyMatchesJSONBody(t *testing.T) {
+	plan, sim, faulted := realResponses(t)
+	for _, v := range []any{plan, sim, faulted} {
+		want, err := jsonBody(v)
+		if err != nil {
+			t.Fatalf("jsonBody: %v", err)
+		}
+		resp := encodeBody(v)
+		if resp == nil {
+			t.Fatalf("encodeBody returned nil for %T", v)
+		}
+		if string(resp.body) != string(want) {
+			t.Errorf("%T body diverges:\n got %s\nwant %s", v, resp.body, want)
+		}
+		if resp.status != http.StatusOK {
+			t.Errorf("status = %d", resp.status)
+		}
+		resp.release()
+	}
+	// Shapes without a fast path fall back.
+	if resp := encodeBody(&TrainResponse{}); resp != nil {
+		t.Error("encodeBody should decline TrainResponse")
+	}
+}
+
+// TestEncodeAllocFree pins the hot encoders at zero allocations once the
+// buffer pool is warm — the core acceptance gate of the JSON fast path.
+func TestEncodeAllocFree(t *testing.T) {
+	plan, sim, _ := realResponses(t)
+	buf := getBuf()
+	defer putBuf(buf)
+	// Warm the buffer to full body size so AllocsPerRun sees steady state.
+	*buf = sim.AppendJSON(plan.AppendJSON((*buf)[:0]))
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		*buf = plan.AppendJSON((*buf)[:0])
+	}); allocs != 0 {
+		t.Errorf("plan encode: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		*buf = sim.AppendJSON((*buf)[:0])
+	}); allocs != 0 {
+		t.Errorf("simulate encode: %v allocs/op, want 0", allocs)
+	}
+	// Pre-boxed: serveComputed receives the request as `any` already, so the
+	// key computation itself must not allocate.
+	var req any = SimulateRequest{Topology: "dgx1", Algorithm: "ccube", Bytes: 16 << 20}
+	if allocs := testing.AllocsPerRun(100, func() {
+		canonicalKey("simulate", req)
+	}); allocs != 0 {
+		t.Errorf("canonicalKey: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestPooledResponseChurn hammers the cache+singleflight refcounting with a
+// capacity-1 cache and alternating keys, so entries are evicted and replaced
+// while other goroutines are still holding and writing their bodies. Run
+// under -race this is the proof the pooled buffers never get recycled while
+// referenced.
+func TestPooledResponseChurn(t *testing.T) {
+	plan, sim, _ := realResponses(t)
+	cache := newRespCache(1)
+	keys := []reqKey{{ep: "a"}, {ep: "b"}}
+	bodies := map[endpoint]string{"a": string(plan.AppendJSON(nil)), "b": string(sim.AppendJSON(nil))}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := keys[(w+i)%2]
+				resp, ok := cache.get(key)
+				if !ok {
+					var v any = plan
+					if key.ep == "b" {
+						v = sim
+					}
+					resp = encodeBody(v)
+					cache.put(key, resp)
+				}
+				// Read the body after some churn opportunity.
+				want := bodies[key.ep]
+				if got := string(resp.body[:len(resp.body)-1]); got != want {
+					t.Errorf("worker %d iter %d: body corrupted", w, i)
+					resp.release()
+					return
+				}
+				resp.release()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCacheHitBytesIdentical checks at the HTTP level that the cached replay
+// is byte-for-byte the original body.
+func TestCacheHitBytesIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"topology":"dgx1","algorithm":"tree","bytes":"4M"}`
+	r1, b1 := postJSON(t, ts.URL+"/v1/simulate", body)
+	r2, b2 := postJSON(t, ts.URL+"/v1/simulate", body)
+	if r1.Header.Get("X-Cache") != "miss" || r2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("X-Cache = %q then %q, want miss then hit",
+			r1.Header.Get("X-Cache"), r2.Header.Get("X-Cache"))
+	}
+	if string(b1) != string(b2) {
+		t.Error("cache hit body differs from miss body")
+	}
+	// And both match encoding/json over the decoded value.
+	var sr SimulateResponse
+	if err := json.Unmarshal(b1, &sr); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if want := mustJSON(t, &sr) + "\n"; string(b1) != want {
+		t.Errorf("wire body is not canonical encoding/json:\n got %s\nwant %s", b1, want)
+	}
+}
+
+// TestFlightFollowerHoldsReference exercises the follower path: the leader's
+// response must stay alive for followers that acquire after the leader has
+// already exited and released.
+func TestFlightFollowerHoldsReference(t *testing.T) {
+	plan, _, _ := realResponses(t)
+	g := newFlightGroup()
+	key := reqKey{ep: "x"}
+	want := string(plan.AppendJSON(nil)) + "\n"
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, apiErr, _ := g.do(context.Background(), key, func() (*cachedResponse, *apiError) {
+				return encodeBody(plan), nil
+			})
+			if apiErr != nil {
+				t.Errorf("unexpected error: %v", apiErr)
+				return
+			}
+			if got := string(resp.body); got != want {
+				t.Error("flight result corrupted")
+			}
+			resp.release()
+		}()
+	}
+	wg.Wait()
+}

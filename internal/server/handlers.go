@@ -99,10 +99,11 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, ep endpoi
 	}
 	defer s.jobLeave()
 
-	key := canonicalKey(string(ep), req)
+	key := canonicalKey(ep, req)
 	if resp, ok := s.cache.get(key); ok {
 		mCacheHits.Inc()
 		s.writeCached(w, resp, "hit")
+		resp.release()
 		return
 	}
 	mCacheMisses.Inc()
@@ -121,9 +122,10 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, ep endpoi
 		return
 	}
 	if resp.status == http.StatusOK {
-		s.cache.put(key, resp)
+		s.cache.put(key, resp) // takes its own reference
 	}
 	s.writeCached(w, resp, "miss")
+	resp.release() // flight.do's reference; the body is written
 }
 
 // computeLeader is the singleflight leader path: admission, deadline, run.
@@ -156,6 +158,10 @@ func (s *Server) computeLeader(reqCtx context.Context, ep endpoint, timeoutMS in
 	if apiErr != nil {
 		return nil, apiErr
 	}
+	if resp := encodeBody(v); resp != nil {
+		return resp, nil
+	}
+	// No hand-rolled encoder for this shape (train): reflection fallback.
 	body, err := jsonBody(v)
 	if err != nil {
 		return nil, &apiError{status: http.StatusInternalServerError, kind: "internal",

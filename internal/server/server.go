@@ -228,9 +228,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(b, '\n'))
 }
 
-// writeAPIError renders an apiError as its wire form.
+// writeAPIError renders an apiError as its wire form (the ErrorBody shape)
+// through the pooled append encoder, so shed/drain/cancel storms — exactly
+// when the server is under the most pressure — do not add GC load.
 func writeAPIError(w http.ResponseWriter, e *apiError) {
-	writeJSON(w, e.status, ErrorBody{Error: ErrorInfo{Kind: e.kind, Message: e.msg}})
+	buf := getBuf()
+	b := appendErrorBody((*buf)[:0], e.kind, e.msg)
+	b = append(b, '\n') // amortized: pooled error buffer reused across requests
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	w.Write(b)
+	*buf = b
+	putBuf(buf)
 }
 
 // ctxError maps a finished context to the client-facing error.

@@ -61,7 +61,7 @@ func TestAdmissionRetryAfterClamps(t *testing.T) {
 // invited the whole crowd to come straight back.
 func TestAdmissionRetryAfterColdSeed(t *testing.T) {
 	a := newAdmission(2, 20)
-	a.tickets.Store(22) // saturated: every slot and queue position held
+	a.tickets.Store(22)                                             // saturated: every slot and queue position held
 	want := int((coldJobCost*22/2 + time.Second - 1) / time.Second) // 3s
 	if got := a.retryAfterSeconds(); got != want {
 		t.Errorf("cold saturated retry-after = %d, want %d (coldJobCost seed x backlog/workers)", got, want)
@@ -81,16 +81,16 @@ func TestAdmissionRetryAfterColdSeed(t *testing.T) {
 
 func TestRespCacheEviction(t *testing.T) {
 	c := newRespCache(2)
-	c.put("a", &cachedResponse{status: 200, body: []byte("a")})
-	c.put("b", &cachedResponse{status: 200, body: []byte("b")})
-	if _, ok := c.get("a"); !ok {
+	c.put(reqKey{ep: "a"}, &cachedResponse{status: 200, body: []byte("a")})
+	c.put(reqKey{ep: "b"}, &cachedResponse{status: 200, body: []byte("b")})
+	if _, ok := c.get(reqKey{ep: "a"}); !ok {
 		t.Fatal("a evicted too early")
 	}
-	c.put("c", &cachedResponse{status: 200, body: []byte("c")}) // evicts b (a was touched)
-	if _, ok := c.get("b"); ok {
+	c.put(reqKey{ep: "c"}, &cachedResponse{status: 200, body: []byte("c")}) // evicts b (a was touched)
+	if _, ok := c.get(reqKey{ep: "b"}); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.get(reqKey{ep: "a"}); !ok {
 		t.Error("a should survive (recently used)")
 	}
 	if c.len() != 2 {
@@ -100,8 +100,8 @@ func TestRespCacheEviction(t *testing.T) {
 
 func TestRespCacheDisabled(t *testing.T) {
 	c := newRespCache(0)
-	c.put("a", &cachedResponse{})
-	if _, ok := c.get("a"); ok {
+	c.put(reqKey{ep: "a"}, &cachedResponse{})
+	if _, ok := c.get(reqKey{ep: "a"}); ok {
 		t.Error("zero-capacity cache stored an entry")
 	}
 }
