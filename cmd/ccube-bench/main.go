@@ -28,6 +28,7 @@ import (
 	"ccube/internal/bench"
 	"ccube/internal/collective"
 	"ccube/internal/collective/store"
+	"ccube/internal/des"
 	"ccube/internal/experiments"
 	"ccube/internal/lint"
 	"ccube/internal/loadgen"
@@ -53,6 +54,7 @@ type benchReport struct {
 	CacheEvictions uint64                   `json:"schedule_cache_evictions"`
 	CacheHitRate   float64                  `json:"schedule_cache_hit_rate"`
 	Fig13Ref       *fig13Ref                `json:"fig13_reference,omitempty"`
+	Churn          []churnFloor             `json:"churn_floor,omitempty"`
 	Baseline       *baselineReport          `json:"baseline,omitempty"`
 	Store          *storeReport             `json:"schedule_store,omitempty"`
 	ServerSmoke    *loadgen.Report          `json:"server_smoke,omitempty"`
@@ -79,6 +81,25 @@ type storeReport struct {
 	WarmHitRate    float64 `json:"warm_hit_rate"`
 	CorruptEntries uint64  `json:"corrupt_entries"`
 	ProbeRestored  bool    `json:"probe_restored"`
+}
+
+// churnFloor records one cell of the scale-out churn gate: at 64 nodes the
+// adapt-in-place throughput floor must dominate the relaunch floor for every
+// algorithm — adaptation keeps the executed prefix, so a lower floor would
+// mean the incremental repair path costs more than it saves.
+type churnFloor struct {
+	Nodes            int     `json:"nodes"`
+	Algorithm        string  `json:"algorithm"`
+	FailLinks        int     `json:"fail_links"`
+	RepairLatencyUS  float64 `json:"repair_latency_us"`
+	RelaunchFloorBps float64 `json:"relaunch_floor_bytes_per_s"`
+	AdaptFloorBps    float64 `json:"adapt_floor_bytes_per_s"`
+	// FloorGain is adapt/relaunch; the gate requires >= 1.
+	FloorGain float64 `json:"adapt_over_relaunch"`
+	// AdaptRecoveredBW is the adapt floor as a fraction of the healthy
+	// fault-free baseline throughput.
+	AdaptRecoveredBW float64 `json:"adapt_recovered_bw"`
+	Adapted          int     `json:"adapted"`
 }
 
 type expTiming struct {
@@ -434,6 +455,19 @@ func run() int {
 			smoke.Requests, smoke.Throughput, smoke.P99MS, smoke.P999MS,
 			smoke.Failed, smoke.GCCycles, smoke.GCPauseMS, smoke.TotalAllocMB)
 
+		churn, err := churnGate()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churn floor gate: %v\n", err)
+			return 1
+		}
+		rep.Churn = churn
+		for _, c := range churn {
+			fmt.Printf("[churn floor P=%d %s fails=%d: adapt %.2fGB/s vs relaunch %.2fGB/s (%.2fx), recovered %.0f%%]\n",
+				c.Nodes, c.Algorithm, c.FailLinks, c.AdaptFloorBps/1e9, c.RelaunchFloorBps/1e9,
+				c.FloorGain, c.AdaptRecoveredBW*100)
+		}
+		fmt.Println()
+
 		if lr, err := lintRun(); err != nil {
 			// Not reachable from this cwd (no go.mod): skip the measurement
 			// rather than fail the figures.
@@ -539,6 +573,48 @@ func measureStore(st *store.Store) (*storeReport, error) {
 	sr.ProbeRestored = true
 	sr.Entries = st.Len()
 	return sr, nil
+}
+
+// churnGate runs the scale-out churn sweep's acceptance check: 64 nodes,
+// every algorithm, 1 and 2 link deaths per epoch drawn from the links the
+// schedule rides. For each cell both fault-response modes run under
+// identical seeded churn, and the adapt-in-place throughput floor must be
+// at least the relaunch floor — otherwise the gate fails the bench.
+func churnGate() ([]churnFloor, error) {
+	const nodes = 64
+	const latency = 50 * des.Microsecond
+	var out []churnFloor
+	for _, alg := range []collective.Algorithm{
+		collective.AlgRing,
+		collective.AlgDoubleTree,
+		collective.AlgDoubleTreeOverlap,
+	} {
+		for _, fails := range []int{1, 2} {
+			fl, err := experiments.RunChurnPoint(nodes, alg, fails, latency)
+			if err != nil {
+				return nil, err
+			}
+			c := churnFloor{
+				Nodes:            nodes,
+				Algorithm:        alg.String(),
+				FailLinks:        fails,
+				RepairLatencyUS:  latency.Micros(),
+				RelaunchFloorBps: fl.Relaunch.FloorThroughput,
+				AdaptFloorBps:    fl.Adapt.FloorThroughput,
+				AdaptRecoveredBW: fl.Adapt.RecoveredBandwidth(),
+				Adapted:          fl.Adapt.Adapted,
+			}
+			if fl.Relaunch.FloorThroughput > 0 {
+				c.FloorGain = fl.Adapt.FloorThroughput / fl.Relaunch.FloorThroughput
+			}
+			if fl.Adapt.FloorThroughput < fl.Relaunch.FloorThroughput {
+				return nil, fmt.Errorf("P=%d %s fails=%d: adapt floor %.3gB/s below relaunch floor %.3gB/s",
+					nodes, alg, fails, fl.Adapt.FloorThroughput, fl.Relaunch.FloorThroughput)
+			}
+			out = append(out, c)
+		}
+	}
+	return out, nil
 }
 
 // serverSmoke boots an in-process ccube-serve instance and drives it with

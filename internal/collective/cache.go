@@ -46,15 +46,26 @@ import (
 // sweeps (ext-faults kills/degrades mint a fresh fingerprint per mutation)
 // grow the process-wide cache monotonically; dead fingerprints can never hit
 // again, so evicting the least-recently-used entry is free in practice.
+//
+// Entries built against an unhealthy fabric (any channel down or degraded at
+// build time) live on their own small LRU with its own quota. Fault churn
+// mints a fresh fingerprint per mutation, and under the old single-list
+// policy a 1000-event churn sweep would cycle hundreds of one-shot faulted
+// fingerprints through the shared list, evicting the long-lived healthy
+// entries every sweep and tanking the clean hit rate. Quarantining faulted
+// fingerprints bounds the damage: churn evicts other churn, never the
+// healthy working set.
 type Cache struct {
-	mu        sync.Mutex
-	entries   map[cacheKey]*list.Element // -> *lruEntry element in lru
-	lru       *list.List                 // front = most recently used
-	capacity  int                        // max entries; <= 0 means unbounded
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	disabled  bool
+	mu         sync.Mutex
+	entries    map[cacheKey]*list.Element // -> *lruEntry element in lru or faulted
+	lru        *list.List                 // healthy-fabric entries; front = MRU
+	faulted    *list.List                 // unhealthy-fabric entries; front = MRU
+	capacity   int                        // max healthy entries; <= 0 means unbounded
+	faultedCap int                        // max faulted entries; <= 0 means unbounded
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	disabled   bool
 
 	// disk is the optional second cache level (SetStore): a content-
 	// addressed on-disk store consulted on memory misses and written through
@@ -70,8 +81,9 @@ type Cache struct {
 }
 
 type lruEntry struct {
-	key cacheKey
-	s   *Schedule
+	key     cacheKey
+	s       *Schedule
+	faulted bool // which list the entry lives on
 }
 
 // DefaultCacheCapacity bounds DefaultCache (and every NewCache). Sized for
@@ -79,6 +91,13 @@ type lruEntry struct {
 // distinct (topology fingerprint, operation) keys, so the bound only bites
 // on pathological fingerprint churn.
 const DefaultCacheCapacity = 256
+
+// DefaultFaultedCacheCapacity bounds the faulted-fingerprint side list.
+// Faulted entries are near-one-shot (each distinct kill/degrade combination
+// is its own fingerprint), so the quota only needs to cover the handful of
+// fault states a single experiment cell revisits — repair loops re-building
+// against the same promoted-dead fabric — not a churn sweep's whole history.
+const DefaultFaultedCacheCapacity = 32
 
 type cacheKey struct {
 	graph  *topology.Graph
@@ -90,12 +109,15 @@ type cacheKey struct {
 	extra  string // canonical encoding of Nodes / ring-order overrides
 }
 
-// NewCache returns an empty schedule cache bounded at DefaultCacheCapacity.
+// NewCache returns an empty schedule cache bounded at DefaultCacheCapacity
+// healthy entries plus DefaultFaultedCacheCapacity faulted ones.
 func NewCache() *Cache {
 	return &Cache{
-		entries:  make(map[cacheKey]*list.Element),
-		lru:      list.New(),
-		capacity: DefaultCacheCapacity,
+		entries:    make(map[cacheKey]*list.Element),
+		lru:        list.New(),
+		faulted:    list.New(),
+		capacity:   DefaultCacheCapacity,
+		faultedCap: DefaultFaultedCacheCapacity,
 	}
 }
 
@@ -159,6 +181,10 @@ func (c *Cache) Build(cfg Config) (*Schedule, error) {
 		return Build(cfg)
 	}
 	k := c.key(cfg)
+	// Health is part of the fingerprint, so the faulted flag is as stable as
+	// the key itself: a key minted against a wounded fabric can only ever hit
+	// again while the fabric is in exactly that state.
+	faulted := !cfg.Graph.Healthy()
 
 	c.mu.Lock()
 	if c.disabled {
@@ -167,10 +193,15 @@ func (c *Cache) Build(cfg Config) (*Schedule, error) {
 	}
 	if el, ok := c.entries[k]; ok {
 		c.hits++
-		c.lru.MoveToFront(el)
+		e := el.Value.(*lruEntry)
+		if e.faulted {
+			c.faulted.MoveToFront(el)
+		} else {
+			c.lru.MoveToFront(el)
+		}
 		c.mu.Unlock()
 		mCacheHits.Inc()
-		return el.Value.(*lruEntry).s, nil
+		return e.s, nil
 	}
 	disk := c.disk
 	sib := c.shapeSiblingLocked(k)
@@ -210,7 +241,7 @@ func (c *Cache) Build(cfg Config) (*Schedule, error) {
 	if patched {
 		c.incremental++
 	}
-	evicted := c.insertLocked(k, s)
+	evicted := c.insertLocked(k, s, faulted)
 	c.mu.Unlock()
 	mCacheMisses.Inc()
 	if patched {
@@ -220,22 +251,38 @@ func (c *Cache) Build(cfg Config) (*Schedule, error) {
 	return s, nil
 }
 
-// insertLocked inserts (or refreshes) an entry as most-recently-used and evicts
-// from the LRU end while over capacity, returning how many entries were
-// dropped. Caller holds c.mu.
-func (c *Cache) insertLocked(k cacheKey, s *Schedule) (evicted int) {
+// insertLocked inserts (or refreshes) an entry as most-recently-used on its
+// list — healthy or faulted — and evicts from that list's LRU end while it
+// is over its own capacity, returning how many entries were dropped. Faulted
+// inserts can never evict healthy entries, and vice versa. Caller holds c.mu.
+func (c *Cache) insertLocked(k cacheKey, s *Schedule, faulted bool) (evicted int) {
 	if el, ok := c.entries[k]; ok {
 		// A concurrent duplicate build of the same key landed first; keep
 		// the newer result (both are identical) and just refresh recency.
-		el.Value.(*lruEntry).s = s
-		c.lru.MoveToFront(el)
+		e := el.Value.(*lruEntry)
+		e.s = s
+		if e.faulted {
+			c.faulted.MoveToFront(el)
+		} else {
+			c.lru.MoveToFront(el)
+		}
 		return 0
 	}
-	c.entries[k] = c.lru.PushFront(&lruEntry{key: k, s: s})
-	for c.capacity > 0 && c.lru.Len() > c.capacity {
-		oldest := c.lru.Back()
+	l, limit := c.lru, c.capacity
+	if faulted {
+		l, limit = c.faulted, c.faultedCap
+	}
+	c.entries[k] = l.PushFront(&lruEntry{key: k, s: s, faulted: faulted})
+	return c.evictLocked(l, limit)
+}
+
+// evictLocked drops entries from l's LRU end until it fits limit. Caller
+// holds c.mu.
+func (c *Cache) evictLocked(l *list.List, limit int) (evicted int) {
+	for limit > 0 && l.Len() > limit {
+		oldest := l.Back()
 		e := oldest.Value.(*lruEntry)
-		c.lru.Remove(oldest)
+		l.Remove(oldest)
 		delete(c.entries, e.key)
 		c.evictions++
 		evicted++
@@ -292,22 +339,38 @@ func (c *Cache) Capacity() int {
 	return c.capacity
 }
 
-// SetCapacity changes the entry bound and immediately evicts down to it;
-// n <= 0 removes the bound.
+// SetCapacity changes the healthy-entry bound and immediately evicts down to
+// it; n <= 0 removes the bound. The faulted side list keeps its own quota
+// (SetFaultedCapacity).
 func (c *Cache) SetCapacity(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.capacity = n
-	var evicted int64
-	for c.capacity > 0 && c.lru.Len() > c.capacity {
-		oldest := c.lru.Back()
-		e := oldest.Value.(*lruEntry)
-		c.lru.Remove(oldest)
-		delete(c.entries, e.key)
-		c.evictions++
-		evicted++
-	}
-	mCacheEvictions.Add(evicted)
+	mCacheEvictions.Add(int64(c.evictLocked(c.lru, c.capacity)))
+}
+
+// FaultedCapacity returns the faulted-entry bound (<= 0 means unbounded).
+func (c *Cache) FaultedCapacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faultedCap
+}
+
+// SetFaultedCapacity changes the faulted-entry bound and immediately evicts
+// down to it; n <= 0 removes the bound.
+func (c *Cache) SetFaultedCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faultedCap = n
+	mCacheEvictions.Add(int64(c.evictLocked(c.faulted, c.faultedCap)))
+}
+
+// FaultedLen reports how many cached schedules were built against an
+// unhealthy fabric (the side list's current population).
+func (c *Cache) FaultedLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faulted.Len()
 }
 
 // Len reports the number of cached schedules.
@@ -335,5 +398,6 @@ func (c *Cache) Clear() {
 	defer c.mu.Unlock()
 	c.entries = make(map[cacheKey]*list.Element)
 	c.lru.Init()
+	c.faulted.Init()
 	c.hits, c.misses, c.evictions, c.incremental = 0, 0, 0, 0
 }

@@ -268,9 +268,18 @@ func appendUnique(deps []int, d int) []int {
 // Instantiate and the verifier both require id order to respect the DAG;
 // splice violates it by appending hops that stranded transfers depend on.
 func (s *Schedule) normalize() error {
+	_, err := s.normalizeMap()
+	return err
+}
+
+// normalizeMap is normalize returning the renumbering: newID[old] is the id
+// transfer old was assigned. Incremental repair threads this mapping into
+// PatchReport.OldToNew so delta verification (schedcheck.CheckPatch) and
+// checkpoint remapping can line the patched schedule up with its base.
+func (s *Schedule) normalizeMap() ([]int, error) {
 	order, err := s.topoOrder()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newID := make([]int, len(s.transfers))
 	for pos, old := range order {
@@ -294,5 +303,5 @@ func (s *Schedule) normalize() error {
 		transfers[t.id] = t
 	}
 	s.transfers = transfers
-	return nil
+	return newID, nil
 }

@@ -342,7 +342,17 @@ func (s *Schedule) ExecuteOnCtx(ctx context.Context, res []*des.Resource) (*Resu
 		}
 		return nil, nil, fmt.Errorf("collective: execution aborted: %w", err)
 	}
+	r, err := s.buildResult(g, inst, res, total)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, g, nil
+}
 
+// buildResult assembles the Result of a completed run: per-(node, chunk)
+// readiness from the instantiation's final tasks, serialization validation,
+// and metrics. Shared by ExecuteOnCtx and ExecuteCheckpointCtx.
+func (s *Schedule) buildResult(g *des.Graph, inst *Instantiation, res []*des.Resource, total des.Time) (*Result, error) {
 	k := s.Partition.NumChunks()
 	ready := make([][]des.Time, len(s.Nodes))
 	for i := range ready {
@@ -361,7 +371,7 @@ func (s *Schedule) ExecuteOnCtx(ctx context.Context, res []*des.Resource) (*Resu
 	}
 	for _, r := range res {
 		if err := r.ValidateSerialized(); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	if metrics.Default.Enabled() {
@@ -375,7 +385,7 @@ func (s *Schedule) ExecuteOnCtx(ctx context.Context, res []*des.Resource) (*Resu
 		Resources:  res,
 		Partition:  s.Partition,
 		InOrder:    s.InOrder,
-	}, g, nil
+	}, nil
 }
 
 // ExecuteData runs the schedule's data semantics over per-node input vectors

@@ -393,6 +393,12 @@ func (g *Graph) Ran() bool { return g.ran }
 // End returns the end time of task id (valid after Run).
 func (g *Graph) End(id int) Time { return g.tasks[id].End }
 
+// Done reports whether task id completed. After a clean Run every task is
+// done; after an aborted run (FaultError, CanceledError) the done set is the
+// executed prefix, which is what checkpoint/resume machinery needs to decide
+// which work survives a mid-run repair.
+func (g *Graph) Done(id int) bool { return g.tasks[id].done }
+
 // Makespan recomputes the maximum End across all tasks (valid after Run).
 func (g *Graph) Makespan() Time {
 	var m Time

@@ -160,41 +160,148 @@ func RandomLinkFailures(g *topology.Graph, seed int64, n int) *Plan {
 	return p
 }
 
+// RandomTimedLinkFailures is RandomLinkFailures with each killed physical
+// link armed mid-run: the kill time is drawn by the seeded generator
+// uniformly from (0, window). Both directions of a link die at the same
+// virtual instant — the same-timestamp case the canonical event order
+// exists for. The churn harness uses it with window set to the healthy
+// makespan, so failures land while the collective is in flight.
+func RandomTimedLinkFailures(g *topology.Graph, seed int64, n int, window des.Time) *Plan {
+	var links []topology.ChannelID
+	for ci := 0; ci < g.NumChannels(); ci++ {
+		if c := g.Channel(topology.ChannelID(ci)); c.From < c.To {
+			links = append(links, c.ID)
+		}
+	}
+	return randomTimedFailures(g, seed, n, window, links)
+}
+
+// RandomTimedLinkFailuresAmong is RandomTimedLinkFailures restricted to the
+// physical links underlying the given directed channels. Churn sweeps over
+// large fabrics use it to draw failures from the links a schedule actually
+// rides: on a 64-node mesh a schedule touches a few percent of the physical
+// links, so unrestricted sampling would produce mostly no-op epochs.
+func RandomTimedLinkFailuresAmong(g *topology.Graph, seed int64, n int, window des.Time, among []topology.ChannelID) *Plan {
+	// Canonicalize each directed channel to its From < To representative so
+	// a link listed in both directions is sampled once.
+	seen := make(map[topology.ChannelID]bool, len(among))
+	var links []topology.ChannelID
+	add := func(cid topology.ChannelID) {
+		if !seen[cid] {
+			seen[cid] = true
+			links = append(links, cid)
+		}
+	}
+	for _, cid := range among {
+		c := g.Channel(cid)
+		if c.From < c.To {
+			add(cid)
+			continue
+		}
+		for _, rid := range g.ChannelsBetween(c.To, c.From) {
+			if g.Channel(rid).Tag == c.Tag {
+				add(rid)
+			}
+		}
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	return randomTimedFailures(g, seed, n, window, links)
+}
+
+// randomTimedFailures draws n links from the given canonical (From < To)
+// candidates and arms both directions of each at a seeded time in (0,
+// window].
+func randomTimedFailures(g *topology.Graph, seed int64, n int, window des.Time, links []topology.ChannelID) *Plan {
+	if window < 1 {
+		window = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(links))
+	if n > len(perm) {
+		n = len(perm)
+	}
+	picked := make([]topology.ChannelID, n)
+	for i := 0; i < n; i++ {
+		picked[i] = links[perm[i]]
+	}
+	sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+	p := &Plan{}
+	for _, cid := range picked {
+		at := des.Time(1 + rng.Int63n(int64(window)))
+		c := g.Channel(cid)
+		p.Events = append(p.Events, Event{Kind: LinkDown, Channel: cid, At: at})
+		for _, rid := range g.ChannelsBetween(c.To, c.From) {
+			if g.Channel(rid).Tag == c.Tag {
+				p.Events = append(p.Events, Event{Kind: LinkDown, Channel: rid, At: at})
+			}
+		}
+	}
+	return p
+}
+
+// canonicalEvents returns the plan's events in canonical application order:
+// by time, then kills before degrades before GPU slowdowns, then by target
+// id, then by original position. Apply, ApplyToResources and TimedDeaths all
+// iterate this order, so a plan behaves identically however its event list
+// was assembled: two events sharing a virtual timestamp (a kill and a
+// degrade landing on one channel in the same instant) apply in a defined
+// order, and SetSlowdownAt breakpoints are always armed in nondecreasing
+// time order per resource — arming them out of order panics.
+func (p *Plan) canonicalEvents() []Event {
+	if p == nil {
+		return nil
+	}
+	out := append([]Event(nil), p.Events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		ta, tb := int(a.Channel), int(b.Channel)
+		if a.Kind == GPUSlow {
+			ta, tb = int(a.GPU), int(b.GPU)
+		}
+		return ta < tb
+	})
+	return out
+}
+
 // Apply installs the plan's static events (At == 0) into the graph's health
 // state and returns a revert function restoring the previous health of every
-// touched channel. Timed events are left to ApplyToResources.
+// touched channel exactly — a channel carrying a baseline degrade before a
+// stacked kill-then-degrade comes back degraded, never at full bandwidth.
+// Timed events are left to ApplyToResources.
 func (p *Plan) Apply(g *topology.Graph) (revert func()) {
 	type saved struct {
-		id      topology.ChannelID
-		down    bool
-		degrade float64
+		id topology.ChannelID
+		h  topology.ChannelHealth
 	}
 	var undo []saved
 	touch := func(id topology.ChannelID) {
-		c := g.Channel(id)
-		undo = append(undo, saved{id: id, down: c.Down(), degrade: c.DegradeFactor()})
+		undo = append(undo, saved{id: id, h: g.Health(id)})
 	}
-	if p != nil {
-		for _, e := range p.Events {
-			if e.At > 0 {
-				continue
-			}
-			switch e.Kind {
-			case LinkDown:
-				touch(e.Channel)
-				g.KillChannel(e.Channel)
-			case LinkDegrade:
-				touch(e.Channel)
-				g.DegradeChannel(e.Channel, e.Factor)
-			case GPUSlow:
-				// No GPU resource in a pure communication schedule: degrade
-				// every channel touching the GPU instead.
-				for _, cid := range append(append([]topology.ChannelID(nil), g.Out(e.GPU)...), g.In(e.GPU)...) {
-					touch(cid)
-					c := g.Channel(cid)
-					if !c.Down() {
-						g.DegradeChannel(cid, e.Factor*c.DegradeFactor())
-					}
+	for _, e := range p.canonicalEvents() {
+		if e.At > 0 {
+			continue
+		}
+		switch e.Kind {
+		case LinkDown:
+			touch(e.Channel)
+			g.KillChannel(e.Channel)
+		case LinkDegrade:
+			touch(e.Channel)
+			g.DegradeChannel(e.Channel, e.Factor)
+		case GPUSlow:
+			// No GPU resource in a pure communication schedule: degrade
+			// every channel touching the GPU instead.
+			for _, cid := range append(append([]topology.ChannelID(nil), g.Out(e.GPU)...), g.In(e.GPU)...) {
+				touch(cid)
+				c := g.Channel(cid)
+				if !c.Down() {
+					g.DegradeChannel(cid, e.Factor*c.DegradeFactor())
 				}
 			}
 		}
@@ -202,14 +309,7 @@ func (p *Plan) Apply(g *topology.Graph) (revert func()) {
 	return func() {
 		// Restore in reverse so overlapping events unwind correctly.
 		for i := len(undo) - 1; i >= 0; i-- {
-			s := undo[i]
-			g.RestoreChannel(s.id)
-			if s.degrade > 1 {
-				g.DegradeChannel(s.id, s.degrade)
-			}
-			if s.down {
-				g.KillChannel(s.id)
-			}
+			g.SetHealth(undo[i].id, undo[i].h)
 		}
 	}
 }
@@ -219,10 +319,7 @@ func (p *Plan) Apply(g *topology.Graph) (revert func()) {
 // breakpoint, LinkDown a FailAt, GPUSlow a breakpoint on every channel
 // touching the GPU. Call before executing a schedule over the resources.
 func (p *Plan) ApplyToResources(g *topology.Graph, res []*des.Resource) {
-	if p == nil {
-		return
-	}
-	for _, e := range p.Events {
+	for _, e := range p.canonicalEvents() {
 		if e.At <= 0 {
 			continue
 		}
@@ -264,14 +361,12 @@ func (p *Plan) GPUFactors(n int) []float64 {
 	return out
 }
 
-// TimedDeaths returns the channels killed by timed LinkDown events, in event
-// order. The repair loop's retry budget is derived from it.
+// TimedDeaths returns the channels killed by timed LinkDown events, in
+// canonical (time, channel) order. The repair loop's retry budget is derived
+// from it.
 func (p *Plan) TimedDeaths() []topology.ChannelID {
-	if p == nil {
-		return nil
-	}
 	var out []topology.ChannelID
-	for _, e := range p.Events {
+	for _, e := range p.canonicalEvents() {
 		if e.Kind == LinkDown && e.At > 0 {
 			out = append(out, e.Channel)
 		}

@@ -3,13 +3,27 @@ package fault
 import "ccube/internal/metrics"
 
 // Resilience instruments: how much repair work the fault layer performed.
+// Fault events, repair attempts, adopted repairs and retries are counted
+// separately so sustained-churn numbers stay trustworthy: one link death
+// that costs a failed patch, a fallback repair and a relaunch is still ONE
+// fault event — the attempt and retry counters absorb the rest.
 var (
 	mLaunchAttempts = metrics.Default.Counter("fault_launch_attempts_total",
 		"schedule launches, including relaunches after mid-run deaths")
-	mRepairs = metrics.Default.Counter("fault_repairs_total",
-		"RepairSchedule invocations that rewired transfers")
+	mRetries = metrics.Default.Counter("fault_retries_total",
+		"relaunches from virtual time zero after a mid-run death (launch attempts beyond the first)")
+	mFaultEvents = metrics.Default.Counter("fault_events_total",
+		"distinct channels that died mid-run (each counted once per run, however many retries it costs)")
 	mMidRunDeaths = metrics.Default.Counter("fault_midrun_deaths_total",
-		"channels that died mid-run and forced a relaunch")
+		"mid-run death aborts, including repeat aborts attributed to the same fault event")
+	mRepairAttempts = metrics.Default.Counter("fault_repair_attempts_total",
+		"schedule repair invocations (full or incremental), including ones that failed or were superseded")
+	mRepairs = metrics.Default.Counter("fault_repairs_total",
+		"adopted schedule repairs that rewired transfers")
 	mRerouted = metrics.Default.Counter("fault_rerouted_transfers_total",
-		"transfers rerouted around dead links by static repair")
+		"transfers rerouted around dead links by adopted repairs (counted once per fault event)")
+	mAdapted = metrics.Default.Counter("fault_adapted_total",
+		"mid-run deaths absorbed in place by incremental patch + resume (adapt mode)")
+	mAdaptFallbacks = metrics.Default.Counter("fault_adapt_fallbacks_total",
+		"incremental patches that failed and fell back to full repair + relaunch")
 )

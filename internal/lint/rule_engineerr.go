@@ -21,8 +21,10 @@ func init() {
 var engineErrFuncs = map[string]bool{
 	"RunCtx": true, "RunCtxErr": true, "RunErr": true,
 	"ExecuteCtx": true, "ExecuteOnCtx": true, "ExecuteTracedCtx": true,
+	"ExecuteCheckpointCtx": true, "ResumeOnCtx": true,
 	"Verify": true, "VerifyDeep": true, "Validate": true,
-	"RepairSchedule": true,
+	"RepairSchedule": true, "RepairScheduleIncremental": true, "VerifyPatch": true,
+	"RunChurn": true,
 }
 
 func runUncheckedEngineErr(p *Pass) {

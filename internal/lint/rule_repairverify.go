@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "repair-verify",
+		Doc: "a function that calls RepairScheduleIncremental must also pass the " +
+			"result through a verifier — VerifyPatch, CheckPatch, Verify, VerifyDeep " +
+			"or Validate — in the same scope: an incrementally patched schedule that " +
+			"never re-verifies must never execute",
+		Run: runRepairVerify,
+	})
+}
+
+// repairVerifiers are the module-local callees that discharge the
+// verification obligation a RepairScheduleIncremental call creates. Both the
+// delta verifiers (VerifyPatch, CheckPatch) and the full ones (Verify,
+// VerifyDeep, Validate) count — full verification subsumes the delta.
+var repairVerifiers = map[string]bool{
+	"VerifyPatch": true, "CheckPatch": true,
+	"Verify": true, "VerifyDeep": true, "Validate": true,
+}
+
+func runRepairVerify(p *Pass) {
+	info := p.TypesInfo()
+	for _, file := range p.Files() {
+		// Presence-based within one function scope, like lock-pairing:
+		// multi-exit functions pass as long as a verifier appears somewhere in
+		// the body; function literals are separate scopes.
+		funcScopes(file, func(body *ast.BlockStmt, _ *ast.FuncDecl, _ *ast.FuncLit) {
+			repairPos := token.NoPos
+			verified := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+					return false // separate scope
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObject(info, call)
+				if obj == nil || !moduleLocal(obj, p.Pkg.ModulePath) {
+					return true
+				}
+				switch {
+				case obj.Name() == "RepairScheduleIncremental":
+					if repairPos == token.NoPos {
+						repairPos = call.Pos()
+					}
+				case repairVerifiers[obj.Name()]:
+					verified = true
+				}
+				return true
+			})
+			if repairPos != token.NoPos && !verified {
+				p.Reportf(repairPos, "RepairScheduleIncremental with no VerifyPatch/CheckPatch/Verify/Validate in the same function; an unverified patched schedule must never execute")
+			}
+		})
+	}
+}

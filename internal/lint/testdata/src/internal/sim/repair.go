@@ -1,0 +1,26 @@
+package sim
+
+// RepairScheduleIncremental mimics the engine's live-schedule patcher: its
+// result must pass a verifier before it may execute.
+func RepairScheduleIncremental() error { return nil }
+
+// VerifyPatch is the delta verifier for patched schedules.
+func VerifyPatch() error { return nil }
+
+// PatchUnchecked repairs and never re-verifies.
+func PatchUnchecked() error {
+	return RepairScheduleIncremental() // want "repair-verify"
+}
+
+// PatchChecked discharges the obligation in the same scope.
+func PatchChecked() error {
+	if err := RepairScheduleIncremental(); err != nil {
+		return err
+	}
+	return VerifyPatch()
+}
+
+// PatchQuiet is the suppressed twin.
+func PatchQuiet() error {
+	return RepairScheduleIncremental() //lint:ignore repair-verify fixture: suppressed unverified patch
+}

@@ -228,11 +228,19 @@ func (ck *checker) pathBetween(a, b int) bool {
 // of real links forwarded by GPUs (paper §IV-A: static routing kernels run
 // on intermediate GPUs, never on switches or phantom links).
 func (ck *checker) links() {
+	for i := range ck.p.Ops {
+		ck.linkOp(i)
+	}
+}
+
+// linkOp runs the link checks for a single op; CheckPatch reuses it to
+// re-verify only the ops a patch touched.
+func (ck *checker) linkOp(i int) {
 	p := ck.p
-	for i := range p.Ops {
+	{
 		op := &p.Ops[i]
 		if op.Marker() {
-			continue
+			return
 		}
 		ch := p.Graph.Channel(op.Channel)
 		if ch.Down() {

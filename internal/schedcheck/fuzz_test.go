@@ -10,24 +10,26 @@ import (
 )
 
 // FuzzSchedCheck corrupts valid schedules and asserts the verifier notices.
-// Six corruption kinds mirror the mistakes a scheduler change could make:
+// Seven corruption kinds mirror the mistakes a scheduler change could make:
 // dropping a dependency edge (overlap race), retargeting a transfer onto a
 // channel that does not start at its source (phantom link), swapping the
 // chunk indices of two transfers (mis-routed data), killing a channel
 // the schedule rides (dead link — the verifier must flag the unrepaired
 // schedule, and the repaired one must verify clean), collapsing two
-// parallel channels so concurrent streams share a link (contention), and
-// adding a forward dependency on a shared channel (wait-for deadlock). The
-// last two corrupt performance, not delivery, so the shallow classes must
-// stay silent and only CheckDeep may object. Each corruption is guarded so
-// the assertion only fires when the mutation is provably observable — e.g.
-// a dropped edge that another dependency path still covers must instead
-// keep the program clean.
+// parallel channels so concurrent streams share a link (contention),
+// adding a forward dependency on a shared channel (wait-for deadlock), and
+// incrementally patching around a killed channel (the delta verifier must
+// agree with the full one on the genuine patch and flag a tampered one).
+// The contention and wait-for kinds corrupt performance, not delivery, so
+// the shallow classes must stay silent and only CheckDeep may object. Each
+// corruption is guarded so the assertion only fires when the mutation is
+// provably observable — e.g. a dropped edge that another dependency path
+// still covers must instead keep the program clean.
 // Run `go test -fuzz=FuzzSchedCheck ./internal/schedcheck` to explore
 // beyond the seeds; `go test` replays the seed corpus as regression tests.
 func FuzzSchedCheck(f *testing.F) {
 	for algo := uint8(0); algo < 6; algo++ {
-		for kind := uint8(0); kind < 6; kind++ {
+		for kind := uint8(0); kind < 7; kind++ {
 			f.Add(algo, kind, uint16(0), uint16(7))
 			f.Add(algo, kind, uint16(13), uint16(101))
 		}
@@ -47,7 +49,7 @@ func FuzzSchedCheck(f *testing.F) {
 		if r := schedcheck.CheckDeep(p); !r.OK() {
 			t.Fatalf("pristine schedule rejected: %s", r.Err())
 		}
-		switch kind % 6 {
+		switch kind % 7 {
 		case 0:
 			fuzzDropDep(t, p, pick, pick2)
 		case 1:
@@ -60,6 +62,8 @@ func FuzzSchedCheck(f *testing.F) {
 			fuzzContention(t, p, pick)
 		case 5:
 			fuzzWaitFor(t, p, pick)
+		case 6:
+			fuzzIncrementalRepair(t, g, s, p, pick, pick2)
 		}
 	})
 }
@@ -198,6 +202,73 @@ func fuzzRepair(t *testing.T, g *topology.Graph, s *collective.Schedule, p *sche
 	}
 	if r := schedcheck.Check(repaired.Program()); !r.OK() {
 		t.Fatalf("repaired schedule failed verification: %s", r.Err())
+	}
+}
+
+// fuzzIncrementalRepair kills a used channel and patches the live schedule
+// around it instead of rebuilding. The genuine patch must pass CheckPatch
+// (the delta verifier) AND the full verifier — if the two ever disagree the
+// proof-transfer argument is broken. A tampered variant — an untouched op
+// whose payload or semantics silently changed — must be flagged by the
+// patch class, which pins every untouched op bit-identical modulo
+// renumbering.
+func fuzzIncrementalRepair(t *testing.T, g *topology.Graph, s *collective.Schedule, p *schedcheck.Program, pick, pick2 uint16) {
+	seen := make(map[topology.ChannelID]bool)
+	var used []topology.ChannelID
+	for i := range p.Ops {
+		if op := &p.Ops[i]; !op.Marker() && !seen[op.Channel] {
+			seen[op.Channel] = true
+			used = append(used, op.Channel)
+		}
+	}
+	if len(used) == 0 {
+		t.Skip()
+	}
+	dead := used[int(pick)%len(used)]
+	g.KillChannel(dead)
+	patched, rep, err := collective.RepairScheduleIncremental(s, []topology.ChannelID{dead}, nil)
+	if err != nil {
+		var ue *collective.UnrepairableError
+		if errors.As(err, &ue) {
+			t.Skip() // a legitimately unrepairable kill, not a verifier bug
+		}
+		t.Fatalf("RepairScheduleIncremental: %v", err)
+	}
+	pp := patched.Program()
+	spec := &schedcheck.PatchSpec{Base: p, OldToNew: rep.OldToNew, Touched: rep.Touched}
+	if r := schedcheck.CheckPatch(pp, spec); !r.OK() {
+		t.Fatalf("genuine incremental patch rejected: %s", r.Err())
+	}
+	if r := schedcheck.Check(pp); !r.OK() {
+		t.Fatalf("CheckPatch accepted but the full verifier rejects: %s", r.Err())
+	}
+
+	touched := make(map[int]bool)
+	for _, id := range rep.Touched {
+		touched[id] = true
+	}
+	var untampered []int
+	for j := range pp.Ops {
+		if !pp.Ops[j].Marker() && !touched[j] {
+			untampered = append(untampered, j)
+		}
+	}
+	if len(untampered) == 0 {
+		return // nothing untouched to tamper with
+	}
+	tampered := cloneProgram(pp)
+	v := untampered[int(pick2)%len(untampered)]
+	if pick2%2 == 0 {
+		tampered.Ops[v].Bytes++
+	} else {
+		tampered.Ops[v].Accumulate = !tampered.Ops[v].Accumulate
+	}
+	// The structure pass runs first and may already object (a flipped
+	// accumulate can break a structural invariant); either rejection is
+	// sound, silence is the bug.
+	if r := schedcheck.CheckPatch(tampered, spec); r.OK() ||
+		!(hasClass(r, schedcheck.ClassPatch) || hasClass(r, schedcheck.ClassStructure)) {
+		t.Fatalf("tampered untouched op %d accepted by CheckPatch: %s", v, r.Summary())
 	}
 }
 

@@ -133,6 +133,10 @@ const (
 	// channel service. They run only under CheckDeep.
 	ClassContention
 	ClassWaitFor
+	// ClassPatch is the delta mode's mapping obligations (patch.go): every
+	// base op survives, untouched ops are identical modulo renumbering, and
+	// touched ops only reroute — never re-source, re-target, or un-order.
+	ClassPatch
 )
 
 func (c Class) String() string {
@@ -151,6 +155,8 @@ func (c Class) String() string {
 		return "contention"
 	case ClassWaitFor:
 		return "wait-for"
+	case ClassPatch:
+		return "patch"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}

@@ -266,10 +266,73 @@ func (g *Graph) DegradeChannel(id ChannelID, factor float64) {
 }
 
 // RestoreChannel clears all health state on a channel.
+//
+// Note that this restores the channel to its *pristine* state, not to its
+// state before the most recent fault: a baseline degrade applied before a
+// kill is lost. Code that must undo a fault exactly (fault-plan reverts,
+// churn recovery) should capture Health first and put it back with
+// SetHealth.
 func (g *Graph) RestoreChannel(id ChannelID) {
 	c := &g.channels[g.mustChannel(id)]
 	c.down = false
 	c.degrade = 0
+}
+
+// ChannelHealth is the mutable health state of one channel, as a value.
+// The zero value means pristine (up, full bandwidth).
+type ChannelHealth struct {
+	Down    bool
+	Degrade float64 // 0 or 1 = nominal bandwidth; see DegradeFactor
+}
+
+// Health returns channel id's current health state.
+func (g *Graph) Health(id ChannelID) ChannelHealth {
+	c := &g.channels[g.mustChannel(id)]
+	return ChannelHealth{Down: c.down, Degrade: c.degrade}
+}
+
+// SetHealth overwrites channel id's health state. Unlike RestoreChannel this
+// can reinstate a pre-fault degrade exactly, so stacked faults (degrade,
+// then kill, then recover) round-trip without gaining bandwidth.
+func (g *Graph) SetHealth(id ChannelID, h ChannelHealth) {
+	if h.Degrade != 0 && h.Degrade < 1 {
+		panic(fmt.Sprintf("topology: degrade factor %v < 1 on channel %d", h.Degrade, id))
+	}
+	c := &g.channels[g.mustChannel(id)]
+	c.down = h.Down
+	c.degrade = h.Degrade
+}
+
+// SnapshotHealth captures the health of every channel, index = ChannelID.
+func (g *Graph) SnapshotHealth() []ChannelHealth {
+	snap := make([]ChannelHealth, len(g.channels))
+	for i := range g.channels {
+		snap[i] = ChannelHealth{Down: g.channels[i].down, Degrade: g.channels[i].degrade}
+	}
+	return snap
+}
+
+// RestoreHealth puts back a snapshot taken by SnapshotHealth.
+func (g *Graph) RestoreHealth(snap []ChannelHealth) {
+	if len(snap) != len(g.channels) {
+		panic(fmt.Sprintf("topology: health snapshot for %d channels applied to graph with %d", len(snap), len(g.channels)))
+	}
+	for i := range snap {
+		g.channels[i].down = snap[i].Down
+		g.channels[i].degrade = snap[i].Degrade
+	}
+}
+
+// Healthy reports whether every channel is up at nominal bandwidth. The
+// schedule cache uses this to segregate entries built against a faulted
+// topology from the hot clean-topology entries.
+func (g *Graph) Healthy() bool {
+	for i := range g.channels {
+		if g.channels[i].down || g.channels[i].degrade > 1 {
+			return false
+		}
+	}
+	return true
 }
 
 // DownChannels returns the ids of all failed channels, in id order.
