@@ -55,6 +55,7 @@ type benchReport struct {
 	CacheHitRate   float64                  `json:"schedule_cache_hit_rate"`
 	Fig13Ref       *fig13Ref                `json:"fig13_reference,omitempty"`
 	Churn          []churnFloor             `json:"churn_floor,omitempty"`
+	Synth          *synthReport             `json:"synth,omitempty"`
 	Baseline       *baselineReport          `json:"baseline,omitempty"`
 	Store          *storeReport             `json:"schedule_store,omitempty"`
 	ServerSmoke    *loadgen.Report          `json:"server_smoke,omitempty"`
@@ -100,6 +101,21 @@ type churnFloor struct {
 	// fault-free baseline throughput.
 	AdaptRecoveredBW float64 `json:"adapt_recovered_bw"`
 	Adapted          int     `json:"adapted"`
+}
+
+// synthReport records the schedule-synthesis gate: the full SynthSweep grid
+// (per-topology cold compile time, winning plan shape, makespan vs the best
+// built-in) plus the total compile wall time that is held against the
+// committed baseline. Two gates run over it: on the fig13 evaluation
+// platforms synthesis must never lose to the built-in menu, and the total
+// build time must not regress beyond the baseline tolerance.
+type synthReport struct {
+	Cells             []experiments.SynthCell `json:"cells"`
+	BuildSecondsTotal float64                 `json:"build_seconds_total"`
+	// BaselineSeconds/Delta mirror baselineReport; zero when the committed
+	// report predates the synth block.
+	BaselineSeconds float64 `json:"baseline_build_seconds,omitempty"`
+	Delta           float64 `json:"build_delta,omitempty"`
 }
 
 type expTiming struct {
@@ -468,6 +484,24 @@ func run() int {
 		}
 		fmt.Println()
 
+		synthBase := ""
+		if *baseline != "none" {
+			if synthBase = *baseline; synthBase == "" {
+				synthBase = *benchJSON
+			}
+		}
+		sg, err := synthGate(synthBase, *baselineTol)
+		rep.Synth = sg
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synth gate: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[synth: %d cells compiled in %.2fs total", len(sg.Cells), sg.BuildSecondsTotal)
+		if sg.BaselineSeconds > 0 {
+			fmt.Printf(" (%+.1f%% vs baseline, tolerance %.0f%%)", sg.Delta*100, *baselineTol*100)
+		}
+		fmt.Printf(", no fig13 losses]\n\n")
+
 		if lr, err := lintRun(); err != nil {
 			// Not reachable from this cwd (no go.mod): skip the measurement
 			// rather than fail the figures.
@@ -615,6 +649,53 @@ func churnGate() ([]churnFloor, error) {
 		}
 	}
 	return out, nil
+}
+
+// synthGate replays the ext-synth sweep with the schedule cache bypassed and
+// enforces the synthesis acceptance contract: on every fig13 evaluation
+// platform cell the synthesized schedule must not lose to the best built-in
+// (ratio > 1), and the total cold compile time must stay within tol of the
+// committed baseline. A baseline without a synth block (pre-gate report) or
+// a missing file passes, mirroring checkBaseline.
+func synthGate(baselinePath string, tol float64) (*synthReport, error) {
+	cells, err := experiments.SynthSweep()
+	if err != nil {
+		return nil, err
+	}
+	sr := &synthReport{Cells: cells}
+	for _, c := range cells {
+		sr.BuildSecondsTotal += c.BuildSeconds
+		if c.Fig13 && c.BuiltinAlg != "" && c.Ratio > 1 {
+			return sr, fmt.Errorf("synth loses to %s on fig13 cell %s/%s (%.3fx)",
+				c.BuiltinAlg, c.Topology, report.Bytes(c.Bytes), c.Ratio)
+		}
+	}
+	if baselinePath == "" {
+		return sr, nil
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return sr, nil
+		}
+		return nil, err
+	}
+	var prev struct {
+		Synth *synthReport `json:"synth"`
+	}
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	if prev.Synth == nil || prev.Synth.BuildSecondsTotal <= 0 {
+		return sr, nil
+	}
+	sr.BaselineSeconds = prev.Synth.BuildSecondsTotal
+	sr.Delta = (sr.BuildSecondsTotal - sr.BaselineSeconds) / sr.BaselineSeconds
+	if sr.Delta > tol {
+		return sr, fmt.Errorf("synth build time regressed %.1f%% vs %s (%.2fs -> %.2fs, tolerance %.0f%%)",
+			sr.Delta*100, baselinePath, sr.BaselineSeconds, sr.BuildSecondsTotal, tol*100)
+	}
+	return sr, nil
 }
 
 // serverSmoke boots an in-process ccube-serve instance and drives it with

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +20,12 @@ import (
 
 	"ccube/internal/collective"
 	"ccube/internal/collective/store"
+	"ccube/internal/des"
 	"ccube/internal/fault"
 	"ccube/internal/metrics"
 	"ccube/internal/report"
 	"ccube/internal/schedcheck"
+	"ccube/internal/synth"
 	"ccube/internal/topology"
 	"ccube/internal/trace"
 )
@@ -36,9 +39,18 @@ var algorithms = map[string]collective.Algorithm{
 	"halving-doubling": collective.AlgHalvingDoubling,
 }
 
+func algorithmNames() []string {
+	names := make([]string, 0, len(algorithms))
+	for n := range algorithms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func main() {
-	algo := flag.String("algo", "ccube", "algorithm: ring, tree, tree-overlap, double-tree, ccube, halving-doubling")
-	topo := flag.String("topo", "dgx1", "topology: dgx1, dgx1-low, or cluster:<gpus>")
+	algo := flag.String("algo", "ccube", "algorithm: ring, tree, tree-overlap, double-tree, ccube, halving-doubling, or synth (compile a schedule for the topology)")
+	topo := flag.String("topo", "dgx1", "topology: dgx1, dgx1-low, cluster:<gpus>, fc:<gpus>, fcasym:<gpus>, or rr:<gpus>")
 	bytesFlag := flag.String("bytes", "64M", "message size (supports K/M/G suffixes)")
 	chunks := flag.Int("chunks", 0, "chunk count (0 = cost-model optimum)")
 	shared := flag.Bool("shared", false, "allow logical flows to share physical channels")
@@ -57,9 +69,14 @@ func main() {
 		metrics.Default.Enable()
 	}
 
-	alg, ok := algorithms[*algo]
-	if !ok {
-		fail("unknown algorithm %q", *algo)
+	isSynth := *algo == "synth"
+	var alg collective.Algorithm
+	if !isSynth {
+		var ok bool
+		alg, ok = algorithms[*algo]
+		if !ok {
+			fail("unknown algorithm %q (want synth, %s)", *algo, strings.Join(algorithmNames(), ", "))
+		}
 	}
 	g, err := buildTopology(*topo)
 	if err != nil {
@@ -88,12 +105,27 @@ func main() {
 		collective.DefaultCache.SetStore(st)
 	}
 	if *faultSpec != "" {
+		if isSynth {
+			// Synthesis already adapts to channel health: degrade or kill
+			// links on the topology itself and recompile instead of
+			// patching a schedule around a mid-flight fault.
+			fail("-algo synth does not support -fault; synthesis compiles around degraded links directly")
+		}
 		runFaulted(g, cfg, *algo, *topo, *faultSpec, *topChannels)
 		dumpMetrics(*showMetrics, *metricsJSON)
 		return
 	}
 	var sched *collective.Schedule
-	if *storeDir != "" {
+	if isSynth {
+		res, err := synth.Synthesize(context.Background(), g, n, synth.Options{
+			MaxChunks: *chunks,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		sched = res.Schedule
+		fmt.Printf("synth: %s\n\n", res.Report)
+	} else if *storeDir != "" {
 		// The cached path verifies on every miss (and re-verifies store
 		// loads), so a warm run here skips construction, not the proof.
 		sched, err = collective.BuildCached(cfg)
@@ -280,10 +312,37 @@ func buildTopology(name string) (*topology.Graph, error) {
 			return nil, fmt.Errorf("bad cluster size in %q", name)
 		}
 		return topology.Hierarchy(topology.DefaultHierarchyConfig(n)), nil
+	case strings.HasPrefix(name, "fc:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "fc:"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad fc size in %q", name)
+		}
+		return topology.FullyConnected(n, irregularBW, irregularLat), nil
+	case strings.HasPrefix(name, "fcasym:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "fcasym:"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad fcasym size in %q", name)
+		}
+		return topology.AsymmetricFullyConnected(n, irregularBW, irregularLat, irregularSeed), nil
+	case strings.HasPrefix(name, "rr:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "rr:"))
+		if err != nil || n < 5 {
+			return nil, fmt.Errorf("bad rr size in %q (want n >= 5)", name)
+		}
+		return topology.RandomRegular(n, 4, irregularBW, irregularLat, irregularSeed), nil
 	default:
-		return nil, fmt.Errorf("unknown topology %q (want dgx1, dgx1-low, cluster:<n>)", name)
+		return nil, fmt.Errorf("unknown topology %q (want dgx1, dgx1-low, cluster:<n>, fc:<n>, fcasym:<n>, rr:<n>)", name)
 	}
 }
+
+// fc/fcasym/rr link parameters (one NVLink-class lane per pair) and the
+// fixed generator seed: a topology name must always denote the same graph,
+// matching the server's naming.
+const (
+	irregularBW   = 25e9 // bytes/sec
+	irregularLat  = des.Microsecond
+	irregularSeed = 1
+)
 
 func parseBytes(s string) (int64, error) {
 	mult := int64(1)

@@ -22,6 +22,7 @@ import (
 
 	"ccube/internal/collective"
 	"ccube/internal/des"
+	"ccube/internal/synth"
 	"ccube/internal/topology"
 )
 
@@ -46,6 +47,29 @@ func (o Objective) String() string {
 	}
 }
 
+// Options collects the tuner's knobs in one place. The positional-bool
+// entry points (Select, SelectCtx, Best, BestCtx) accreted incompatible
+// signatures — Select hardcoded sharing off while SelectCtx exposed it —
+// so the struct is now the canonical spelling and the positional variants
+// are deprecated thin wrappers over it.
+type Options struct {
+	// Objective selects the ranking metric (default Latency).
+	Objective Objective
+	// RequireInOrder excludes algorithms without the in-order property
+	// (ring, halving-doubling) — a gradient-queuing consumer cannot use
+	// them (Observation #3).
+	RequireInOrder bool
+	// AllowShared lets built-in tree algorithms share channels between
+	// trees on fabrics too small for disjoint packing.
+	AllowShared bool
+	// AllowSynth adds a schedule-synthesis candidate (internal/synth) to
+	// the evaluated set, letting compiled schedules compete with the
+	// hand-written menu.
+	AllowSynth bool
+	// Synth configures the synthesis candidate when AllowSynth is set.
+	Synth synth.Options
+}
+
 // Candidate is one evaluated algorithm.
 type Candidate struct {
 	Algorithm  collective.Algorithm
@@ -53,6 +77,11 @@ type Candidate struct {
 	Turnaround des.Time
 	InOrder    bool
 	Err        error // non-nil when the algorithm cannot run on the topology
+
+	// Schedule is the compiled schedule for the synth candidate (nil for
+	// built-ins, which consumers rebuild through the schedule cache by
+	// algorithm name).
+	Schedule *collective.Schedule
 }
 
 // metric returns the candidate's value under the objective.
@@ -63,20 +92,15 @@ func (c Candidate) metric(o Objective) des.Time {
 	return c.Total
 }
 
-// Candidates returns every algorithm evaluated on the topology at the given
-// size, in algorithm order. Algorithms that cannot run (e.g.
-// halving-doubling on a non-power-of-two system) carry a non-nil Err.
-func Candidates(g *topology.Graph, bytes int64, allowShared bool) []Candidate {
-	out, _ := CandidatesCtx(context.Background(), g, bytes, allowShared)
-	return out
-}
-
-// CandidatesCtx is Candidates under a cancellation context: each candidate
-// simulation runs with ctx, and a cancellation (deadline or explicit)
-// aborts the whole evaluation with the wrapped *des.CanceledError instead
-// of recording it as that algorithm's failure — a half-evaluated ranking
-// must not be mistaken for a complete one.
-func CandidatesCtx(ctx context.Context, g *topology.Graph, bytes int64, allowShared bool) ([]Candidate, error) {
+// CandidatesWith returns every algorithm evaluated on the topology at the
+// given size, in algorithm order — plus a synthesis candidate at the end
+// when opts.AllowSynth is set. Algorithms that cannot run (e.g.
+// halving-doubling on a non-power-of-two system) carry a non-nil Err. Each
+// candidate simulation runs with ctx, and a cancellation (deadline or
+// explicit) aborts the whole evaluation with the wrapped *des.CanceledError
+// instead of recording it as that algorithm's failure — a half-evaluated
+// ranking must not be mistaken for a complete one.
+func CandidatesWith(ctx context.Context, g *topology.Graph, bytes int64, opts Options) ([]Candidate, error) {
 	algs := []collective.Algorithm{
 		collective.AlgRing,
 		collective.AlgHalvingDoubling,
@@ -85,14 +109,14 @@ func CandidatesCtx(ctx context.Context, g *topology.Graph, bytes int64, allowSha
 		collective.AlgDoubleTree,
 		collective.AlgDoubleTreeOverlap,
 	}
-	out := make([]Candidate, 0, len(algs))
+	out := make([]Candidate, 0, len(algs)+1)
 	for _, alg := range algs {
 		c := Candidate{Algorithm: alg}
 		res, err := collective.RunCtx(ctx, collective.Config{
 			Graph:               g,
 			Algorithm:           alg,
 			Bytes:               bytes,
-			AllowSharedChannels: allowShared,
+			AllowSharedChannels: opts.AllowShared,
 		})
 		if err != nil {
 			var ce *des.CanceledError
@@ -107,22 +131,44 @@ func CandidatesCtx(ctx context.Context, g *topology.Graph, bytes int64, allowSha
 		}
 		out = append(out, c)
 	}
+	if opts.AllowSynth {
+		out = append(out, synthCandidate(ctx, g, bytes, opts.Synth))
+		if err := out[len(out)-1].Err; err != nil {
+			var ce *des.CanceledError
+			if errors.As(err, &ce) {
+				return nil, err
+			}
+		}
+	}
 	return out, nil
 }
 
-// Select returns the runnable candidates ranked best-first under the
-// objective. When requireInOrder is set, algorithms without the in-order
-// property (ring, halving-doubling) are excluded — a gradient-queuing
-// consumer cannot use them (Observation #3).
-func Select(g *topology.Graph, bytes int64, o Objective, requireInOrder bool) ([]Candidate, error) {
-	return SelectCtx(context.Background(), g, bytes, o, requireInOrder, false)
+// synthCandidate compiles and simulates the synthesis candidate. The
+// compiled schedule rides along in Candidate.Schedule so the winner can be
+// executed without recompiling.
+func synthCandidate(ctx context.Context, g *topology.Graph, bytes int64, opts synth.Options) Candidate {
+	c := Candidate{Algorithm: collective.AlgSynth}
+	res, err := synth.Synthesize(ctx, g, bytes, opts)
+	if err != nil {
+		c.Err = err
+		return c
+	}
+	sim, err := res.Schedule.ExecuteCtx(ctx)
+	if err != nil {
+		c.Err = err
+		return c
+	}
+	c.Total = sim.Total
+	c.Turnaround = sim.Turnaround
+	c.InOrder = sim.InOrder
+	c.Schedule = res.Schedule
+	return c
 }
 
-// SelectCtx is Select under a cancellation context, additionally exposing
-// the allow-shared-channels knob the candidate evaluation takes (Select
-// keeps its historical signature with sharing off).
-func SelectCtx(ctx context.Context, g *topology.Graph, bytes int64, o Objective, requireInOrder, allowShared bool) ([]Candidate, error) {
-	all, err := CandidatesCtx(ctx, g, bytes, allowShared)
+// SelectWith returns the runnable candidates ranked best-first under
+// opts.Objective, after applying the option filters.
+func SelectWith(ctx context.Context, g *topology.Graph, bytes int64, opts Options) ([]Candidate, error) {
+	all, err := CandidatesWith(ctx, g, bytes, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +177,7 @@ func SelectCtx(ctx context.Context, g *topology.Graph, bytes int64, o Objective,
 		if c.Err != nil {
 			continue
 		}
-		if requireInOrder && !c.InOrder {
+		if opts.RequireInOrder && !c.InOrder {
 			continue
 		}
 		runnable = append(runnable, c)
@@ -140,12 +186,60 @@ func SelectCtx(ctx context.Context, g *topology.Graph, bytes int64, o Objective,
 		return nil, fmt.Errorf("autotune: no runnable algorithm for this topology")
 	}
 	sort.SliceStable(runnable, func(a, b int) bool {
-		return runnable[a].metric(o) < runnable[b].metric(o)
+		return runnable[a].metric(opts.Objective) < runnable[b].metric(opts.Objective)
 	})
 	return runnable, nil
 }
 
+// BestWith returns only the winner under the given options.
+func BestWith(ctx context.Context, g *topology.Graph, bytes int64, opts Options) (Candidate, error) {
+	ranked, err := SelectWith(ctx, g, bytes, opts)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return ranked[0], nil
+}
+
+// Candidates returns every built-in algorithm evaluated on the topology.
+//
+// Deprecated: use CandidatesWith, which replaces the positional bools with
+// Options and can also evaluate the synthesis candidate.
+func Candidates(g *topology.Graph, bytes int64, allowShared bool) []Candidate {
+	out, _ := CandidatesCtx(context.Background(), g, bytes, allowShared)
+	return out
+}
+
+// CandidatesCtx is Candidates under a cancellation context.
+//
+// Deprecated: use CandidatesWith.
+func CandidatesCtx(ctx context.Context, g *topology.Graph, bytes int64, allowShared bool) ([]Candidate, error) {
+	return CandidatesWith(ctx, g, bytes, Options{AllowShared: allowShared})
+}
+
+// Select returns the runnable candidates ranked best-first under the
+// objective, with channel sharing off.
+//
+// Deprecated: use SelectWith; Select and SelectCtx drifted into
+// incompatible signatures (Select cannot spell allowShared at all).
+func Select(g *topology.Graph, bytes int64, o Objective, requireInOrder bool) ([]Candidate, error) {
+	return SelectCtx(context.Background(), g, bytes, o, requireInOrder, false)
+}
+
+// SelectCtx is Select under a cancellation context, additionally exposing
+// the allow-shared-channels knob.
+//
+// Deprecated: use SelectWith.
+func SelectCtx(ctx context.Context, g *topology.Graph, bytes int64, o Objective, requireInOrder, allowShared bool) ([]Candidate, error) {
+	return SelectWith(ctx, g, bytes, Options{
+		Objective:      o,
+		RequireInOrder: requireInOrder,
+		AllowShared:    allowShared,
+	})
+}
+
 // Best returns only the winner.
+//
+// Deprecated: use BestWith.
 func Best(g *topology.Graph, bytes int64, o Objective, requireInOrder bool) (Candidate, error) {
 	ranked, err := Select(g, bytes, o, requireInOrder)
 	if err != nil {
@@ -155,6 +249,8 @@ func Best(g *topology.Graph, bytes int64, o Objective, requireInOrder bool) (Can
 }
 
 // BestCtx returns only the winner, under a cancellation context.
+//
+// Deprecated: use BestWith.
 func BestCtx(ctx context.Context, g *topology.Graph, bytes int64, o Objective, requireInOrder, allowShared bool) (Candidate, error) {
 	ranked, err := SelectCtx(ctx, g, bytes, o, requireInOrder, allowShared)
 	if err != nil {

@@ -107,6 +107,7 @@ type cacheKey struct {
 	chunks int
 	shared bool
 	extra  string // canonical encoding of Nodes / ring-order overrides
+	synth  string // synthesis-config fingerprint (AlgSynth only, else "")
 }
 
 // NewCache returns an empty schedule cache bounded at DefaultCacheCapacity
@@ -157,6 +158,7 @@ func (c *Cache) key(cfg Config) cacheKey {
 		chunks: cfg.Chunks,
 		shared: cfg.AllowSharedChannels,
 		extra:  sb.String(),
+		synth:  cfg.SynthKey,
 	}
 }
 
@@ -177,8 +179,26 @@ func (c *Cache) key(cfg Config) cacheKey {
 // Levels 2 and 3 write the result through to the disk store, so the next
 // process starts at level 1.
 func (c *Cache) Build(cfg Config) (*Schedule, error) {
+	return c.buildThrough(cfg, func() (*Schedule, error) { return Build(cfg) })
+}
+
+// BuildWith is Build for schedules the package cannot construct itself:
+// builder runs on a full miss (memory, disk, no patchable sibling) and its
+// result is validated, stamped, cached, and written through to the disk
+// store exactly like a built-in's. internal/synth uses it to give compiled
+// schedules the same memoization and the same miss-verify invariant as the
+// hand-written algorithms; the cache key additionally carries cfg.SynthKey
+// so distinct synthesis configs never alias. Sibling patching is skipped —
+// the cache cannot derive an external builder's partition shape.
+func (c *Cache) BuildWith(cfg Config, builder func() (*Schedule, error)) (*Schedule, error) {
+	return c.buildThrough(cfg, builder)
+}
+
+func (c *Cache) buildThrough(cfg Config, builder func() (*Schedule, error)) (*Schedule, error) {
 	if !cacheable(cfg) {
-		return Build(cfg)
+		// Uncacheable builds keep the historical uncached, unverified
+		// contract (such callers verify themselves).
+		return builder()
 	}
 	k := c.key(cfg)
 	// Health is part of the fingerprint, so the faulted flag is as stable as
@@ -204,7 +224,13 @@ func (c *Cache) Build(cfg Config) (*Schedule, error) {
 		return e.s, nil
 	}
 	disk := c.disk
-	sib := c.shapeSiblingLocked(k)
+	var sib *Schedule
+	if k.synth == "" {
+		// Sibling patching derives the partition shape from cfg, which only
+		// works for the built-in algorithms; synthesized shapes depend on the
+		// compiler's size-driven search, so synth keys always build fully.
+		sib = c.shapeSiblingLocked(k)
+	}
 	c.mu.Unlock()
 
 	// Resolve the miss outside the lock: construction and verification can
@@ -221,7 +247,7 @@ func (c *Cache) Build(cfg Config) (*Schedule, error) {
 	}
 	if s == nil {
 		var err error
-		s, err = Build(cfg)
+		s, err = builder()
 		if err != nil {
 			return nil, err
 		}

@@ -43,6 +43,11 @@ const (
 	// power-of-two participant count and direct channels between all
 	// XOR-distance pairs (the DGX-1 mesh-cube provides them).
 	AlgHalvingDoubling
+	// Synth is a schedule compiled by internal/synth rather than one of the
+	// hand-written builders above. Build cannot construct it — synthesized
+	// schedules enter through Assemble and are cached under a Config whose
+	// SynthKey carries the synthesis-config fingerprint (Cache.BuildWith).
+	AlgSynth
 )
 
 func (a Algorithm) String() string {
@@ -59,6 +64,8 @@ func (a Algorithm) String() string {
 		return "double-tree-overlap"
 	case AlgHalvingDoubling:
 		return "halving-doubling"
+	case AlgSynth:
+		return "synth"
 	default:
 		return fmt.Sprintf("algorithm(%d)", int(a))
 	}
@@ -102,6 +109,12 @@ type Config struct {
 	// flows — this is how the repo demonstrates the paper's claim that a
 	// plain double tree cannot be overlapped on single channels.
 	AllowSharedChannels bool
+
+	// SynthKey is the synthesis-config fingerprint (pass list, chunk-count
+	// cap, tree-pack seed) for AlgSynth schedules. It is part of the cache
+	// and store content address so two synthesis configs for the same graph
+	// and size can never alias to one entry. Empty for built-in algorithms.
+	SynthKey string
 }
 
 func (c *Config) nodes() []topology.NodeID {
@@ -212,6 +225,9 @@ func (c *Config) partition(nodes []topology.NodeID) (chunk.Partition, error) {
 		// explicit clamp is correct; buildTreeSchedule re-validates that the
 		// actual count can feed every tree.
 		return chunk.SplitAtMost(c.Bytes, k), nil
+
+	case AlgSynth:
+		return chunk.Partition{}, fmt.Errorf("collective: synth schedules are compiled by internal/synth, not Build")
 
 	default:
 		return chunk.Partition{}, fmt.Errorf("collective: unknown algorithm %v", c.Algorithm)

@@ -29,7 +29,7 @@ func (c *Cache) shapeSiblingLocked(k cacheKey) *Schedule {
 	for key, el := range c.entries {
 		if key.graph == k.graph && key.fp == k.fp && key.alg == k.alg &&
 			key.chunks == k.chunks && key.shared == k.shared &&
-			key.extra == k.extra && key.bytes != k.bytes {
+			key.extra == k.extra && key.synth == k.synth && key.bytes != k.bytes {
 			return el.Value.(*lruEntry).s
 		}
 	}

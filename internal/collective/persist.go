@@ -55,6 +55,13 @@ func storeKey(k cacheKey) string {
 	}
 	sb.WriteString("/x=")
 	sb.WriteString(k.extra)
+	// The synthesis-config fingerprint is appended only when present so the
+	// built-in algorithms' addresses — and every warm store written before
+	// synthesis existed — stay stable.
+	if k.synth != "" {
+		sb.WriteString("/sy=")
+		sb.WriteString(k.synth)
+	}
 	return sb.String()
 }
 

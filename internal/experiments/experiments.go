@@ -71,6 +71,7 @@ func All() []Experiment {
 		{"ext-faults", "Extension: perf loss vs failed links, schedules repaired via detours", ExtFaults},
 		{"ext-interference", "Extension: two concurrent collectives sharing one DGX-1", ExtInterference},
 		{"ext-churn", "Extension: sustained link churn — adapt-in-place vs full relaunch throughput floor", ExtChurn},
+		{"ext-synth", "Extension: synthesized schedules vs built-ins on regular and irregular fabrics", ExtSynth},
 	}
 	for i := range list {
 		list[i].Run = timed(figID(list[i].ID), list[i].Run)

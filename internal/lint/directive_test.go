@@ -142,8 +142,8 @@ func TestRegistryHasAllRules(t *testing.T) {
 	want := []string{
 		"ctx-propagation", "des-hot-alloc", "goroutine-leak",
 		"kernel-goroutine", "lock-pairing", "metrics-cardinality",
-		"no-sleep", "repair-verify", "server-ctx", "unchecked-engine-err",
-		"virtual-time",
+		"no-sleep", "repair-verify", "server-ctx", "synth-verify",
+		"unchecked-engine-err", "virtual-time",
 	}
 	for _, name := range want {
 		if Lookup(name) == nil {

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "synth-verify",
+		Doc: "a function that calls Assemble (the unverified synth-IR to schedule " +
+			"constructor) must also pass the result through a verifier — Verify, " +
+			"VerifyDeep, Validate, Check, CheckDeep or BuildWith — in the same " +
+			"scope: an assembled schedule the checker never saw must never execute",
+		Run: runSynthVerify,
+	})
+}
+
+// synthVerifiers are the module-local callees that discharge the verification
+// obligation an Assemble call creates. The shallow structural verifiers
+// (Check, Validate and their loaded/patch variants) count alongside the deep
+// ones, and BuildWith counts because the cache's miss path verifies every
+// built schedule before stamping it.
+var synthVerifiers = map[string]bool{
+	"Verify": true, "VerifyDeep": true,
+	"Validate": true, "ValidateLoaded": true,
+	"Check": true, "CheckDeep": true, "CheckLoaded": true, "CheckPatch": true,
+	"BuildWith": true,
+}
+
+func runSynthVerify(p *Pass) {
+	info := p.TypesInfo()
+	for _, file := range p.Files() {
+		// Presence-based within one function scope, mirroring repair-verify:
+		// multi-exit functions pass as long as a verifier appears somewhere in
+		// the body; function literals are separate scopes.
+		funcScopes(file, func(body *ast.BlockStmt, _ *ast.FuncDecl, _ *ast.FuncLit) {
+			assemblePos := token.NoPos
+			verified := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+					return false // separate scope
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObject(info, call)
+				if obj == nil || !moduleLocal(obj, p.Pkg.ModulePath) {
+					return true
+				}
+				switch {
+				case obj.Name() == "Assemble":
+					if assemblePos == token.NoPos {
+						assemblePos = call.Pos()
+					}
+				case synthVerifiers[obj.Name()]:
+					verified = true
+				}
+				return true
+			})
+			if assemblePos != token.NoPos && !verified {
+				p.Reportf(assemblePos, "Assemble with no Verify/Validate/Check/BuildWith in the same function; an unverified assembled schedule must never execute")
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+// Assemble mimics the collective constructor for synthesized schedules: it
+// performs no verification itself, so the result must be checked before it
+// may execute.
+func Assemble() error { return nil }
+
+// AssembleUnchecked builds a schedule and never verifies it.
+func AssembleUnchecked() error {
+	return Assemble() // want "synth-verify"
+}
+
+// AssembleChecked discharges the obligation in the same scope.
+func AssembleChecked() error {
+	if err := Assemble(); err != nil {
+		return err
+	}
+	return Verify(true)
+}
+
+// AssembleDeferred verifies in a function literal: a separate scope, so the
+// obligation is NOT discharged — the literal may never run.
+func AssembleDeferred() error {
+	defer func() {
+		if err := Verify(true); err != nil {
+			panic(err)
+		}
+	}()
+	return Assemble() // want "synth-verify"
+}
+
+// AssembleQuiet is the suppressed twin.
+func AssembleQuiet() error {
+	return Assemble() //lint:ignore synth-verify fixture: suppressed unverified assembly
+}

@@ -1,25 +1,31 @@
 package schedcheck_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
 	"ccube/internal/collective"
+	"ccube/internal/des"
 	"ccube/internal/schedcheck"
+	"ccube/internal/synth"
 	"ccube/internal/topology"
 )
 
 // FuzzSchedCheck corrupts valid schedules and asserts the verifier notices.
-// Seven corruption kinds mirror the mistakes a scheduler change could make:
+// Eight corruption kinds mirror the mistakes a scheduler change could make:
 // dropping a dependency edge (overlap race), retargeting a transfer onto a
 // channel that does not start at its source (phantom link), swapping the
 // chunk indices of two transfers (mis-routed data), killing a channel
 // the schedule rides (dead link — the verifier must flag the unrepaired
 // schedule, and the repaired one must verify clean), collapsing two
 // parallel channels so concurrent streams share a link (contention),
-// adding a forward dependency on a shared channel (wait-for deadlock), and
+// adding a forward dependency on a shared channel (wait-for deadlock),
 // incrementally patching around a killed channel (the delta verifier must
-// agree with the full one on the genuine patch and flag a tampered one).
+// agree with the full one on the genuine patch and flag a tampered one),
+// and mutating a schedule produced by the synthesis compiler — corrupting a
+// chunk identity or dropping a lowered tree-edge dependency — so compiled
+// programs get the same adversarial coverage as the hand-written menu.
 // The contention and wait-for kinds corrupt performance, not delivery, so
 // the shallow classes must stay silent and only CheckDeep may object. Each
 // corruption is guarded so the assertion only fires when the mutation is
@@ -29,12 +35,16 @@ import (
 // beyond the seeds; `go test` replays the seed corpus as regression tests.
 func FuzzSchedCheck(f *testing.F) {
 	for algo := uint8(0); algo < 6; algo++ {
-		for kind := uint8(0); kind < 7; kind++ {
+		for kind := uint8(0); kind < 8; kind++ {
 			f.Add(algo, kind, uint16(0), uint16(7))
 			f.Add(algo, kind, uint16(13), uint16(101))
 		}
 	}
 	f.Fuzz(func(t *testing.T, algo, kind uint8, pick, pick2 uint16) {
+		if kind%8 == 7 {
+			fuzzSynth(t, algo, pick, pick2)
+			return
+		}
 		g := topology.DGX1(topology.DefaultDGX1Config())
 		s, err := collective.Build(collective.Config{
 			Graph:     g,
@@ -49,7 +59,7 @@ func FuzzSchedCheck(f *testing.F) {
 		if r := schedcheck.CheckDeep(p); !r.OK() {
 			t.Fatalf("pristine schedule rejected: %s", r.Err())
 		}
-		switch kind % 7 {
+		switch kind % 8 {
 		case 0:
 			fuzzDropDep(t, p, pick, pick2)
 		case 1:
@@ -66,6 +76,37 @@ func FuzzSchedCheck(f *testing.F) {
 			fuzzIncrementalRepair(t, g, s, p, pick, pick2)
 		}
 	})
+}
+
+// fuzzSynth compiles a schedule with the synthesis compiler and corrupts it
+// at the lowered-program level: chunk-identity corruption (a chunk swap
+// between structurally distinct ops) or a dropped tree-edge dependency (an
+// ordering edge the lowering emitted between conflicting ops). Both must
+// surface exactly like corruptions of hand-written schedules — the verifier
+// owes compiled programs the same guarantees.
+func fuzzSynth(t *testing.T, algo uint8, pick, pick2 uint16) {
+	var g *topology.Graph
+	if algo%2 == 0 {
+		g = topology.FullyConnected(8, 10e9, 5*des.Microsecond)
+	} else {
+		g = topology.DGX1(topology.DefaultDGX1Config())
+	}
+	res, err := synth.Synthesize(context.Background(), g, 1<<18, synth.Options{
+		MaxChunks: 8,
+		NoCache:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Schedule.Program()
+	if r := schedcheck.CheckDeep(p); !r.OK() {
+		t.Fatalf("pristine synthesized schedule rejected: %s", r.Err())
+	}
+	if pick2%2 == 0 {
+		fuzzSwapChunks(t, p, pick, pick2/2)
+	} else {
+		fuzzDropDep(t, p, pick, pick2/2)
+	}
 }
 
 // conflicts reports whether writer w and consumer o touch a common node

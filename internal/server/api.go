@@ -74,6 +74,9 @@ type PlanRequest struct {
 	RequireInOrder bool `json:"require_in_order,omitempty"`
 	// AllowShared lets tree flows share physical channels.
 	AllowShared bool `json:"allow_shared,omitempty"`
+	// AllowSynth adds a topology-synthesized schedule (internal/synth) to
+	// the ranked candidates.
+	AllowSynth bool `json:"allow_synth,omitempty"`
 	// TimeoutMS caps this request's simulation time (0 = server default).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }

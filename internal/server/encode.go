@@ -207,6 +207,9 @@ func (r PlanRequest) appendJSON(b []byte) []byte {
 	if r.AllowShared { // omitempty
 		b = append(b, `,"allow_shared":true`...)
 	}
+	if r.AllowSynth { // omitempty
+		b = append(b, `,"allow_synth":true`...)
+	}
 	if r.TimeoutMS != 0 { // omitempty
 		b = append(b, `,"timeout_ms":`...)
 		b = jsonenc.AppendInt(b, int64(r.TimeoutMS))

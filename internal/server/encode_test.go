@@ -92,7 +92,7 @@ func TestRequestEncodersGolden(t *testing.T) {
 	cases := []any{
 		PlanRequest{},
 		PlanRequest{Topology: "dgx1", Bytes: 1 << 20, Objective: "turnaround",
-			RequireInOrder: true, AllowShared: true, TimeoutMS: 500},
+			RequireInOrder: true, AllowShared: true, AllowSynth: true, TimeoutMS: 500},
 		SimulateRequest{},
 		SimulateRequest{Topology: "fc:16", Algorithm: "halving-doubling", Bytes: 1,
 			Chunks: 8, AllowShared: true, Fault: `kill:2-3 "x"<&>`, TopChannels: 4, TimeoutMS: 9},

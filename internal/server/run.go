@@ -51,7 +51,12 @@ func (s *Server) runPlan(ctx context.Context, req PlanRequest) (any, *apiError) 
 	default:
 		return nil, errBadRequest("unknown objective %q (want latency or turnaround)", req.Objective)
 	}
-	ranked, err := autotune.SelectCtx(ctx, g, int64(req.Bytes), obj, req.RequireInOrder, req.AllowShared)
+	ranked, err := autotune.SelectWith(ctx, g, int64(req.Bytes), autotune.Options{
+		Objective:      obj,
+		RequireInOrder: req.RequireInOrder,
+		AllowShared:    req.AllowShared,
+		AllowSynth:     req.AllowSynth,
+	})
 	if err != nil {
 		return nil, mapRunError(err)
 	}

@@ -73,6 +73,76 @@ func TestPlanEndpoint(t *testing.T) {
 	}
 }
 
+// allow_synth adds the compiled candidate to the ranking; on an irregular
+// fabric no built-in covers (rr:<n>), it is the only way /v1/plan can
+// answer at all.
+func TestPlanEndpointAllowSynth(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/plan",
+		`{"topology":"dgx1","bytes":"1M","allow_synth":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	found := false
+	for _, c := range pr.Candidates {
+		if c.Algorithm == "synth" {
+			found = true
+			if c.TotalNS <= 0 || !c.InOrder {
+				t.Errorf("implausible synth candidate: %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no synth candidate in %d candidates", len(pr.Candidates))
+	}
+
+	// Without allow_synth the random regular fabric has no runnable
+	// algorithm; with it the plan succeeds and synth wins by default.
+	resp, body = postJSON(t, ts.URL+"/v1/plan", `{"topology":"rr:16","bytes":"1M"}`)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("rr:16 plan without synth unexpectedly succeeded: %s", body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/plan", `{"topology":"rr:16","bytes":"1M","allow_synth":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rr:16 synth plan: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if pr.Best.Algorithm != "synth" {
+		t.Errorf("best on rr:16 is %q, want synth", pr.Best.Algorithm)
+	}
+}
+
+func TestIrregularTopologyNames(t *testing.T) {
+	for _, name := range []string{"fcasym:8", "rr:16"} {
+		g, err := buildTopology(name)
+		if err != nil {
+			t.Fatalf("buildTopology(%q): %v", name, err)
+		}
+		if len(g.GPUs()) == 0 {
+			t.Fatalf("%q has no GPUs", name)
+		}
+		// Same name, same graph: the generators must be deterministic.
+		h, err := buildTopology(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Fingerprint() != h.Fingerprint() {
+			t.Errorf("%q is not deterministic across builds", name)
+		}
+	}
+	for _, bad := range []string{"fcasym:1", "rr:4", "rr:x"} {
+		if _, err := buildTopology(bad); err == nil {
+			t.Errorf("buildTopology(%q) succeeded, want error", bad)
+		}
+	}
+}
+
 func TestSimulateEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, body := postJSON(t, ts.URL+"/v1/simulate",

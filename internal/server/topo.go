@@ -32,10 +32,27 @@ func buildTopology(name string) (*topology.Graph, error) {
 			return nil, fmt.Errorf("bad fc size in %q", name)
 		}
 		return topology.FullyConnected(n, fcBandwidth, fcLatency), nil
+	case strings.HasPrefix(name, "fcasym:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "fcasym:"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad fcasym size in %q", name)
+		}
+		return topology.AsymmetricFullyConnected(n, fcBandwidth, fcLatency, irregularSeed), nil
+	case strings.HasPrefix(name, "rr:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "rr:"))
+		if err != nil || n < 5 {
+			return nil, fmt.Errorf("bad rr size in %q (want n >= 5)", name)
+		}
+		return topology.RandomRegular(n, 4, fcBandwidth, fcLatency, irregularSeed), nil
 	default:
-		return nil, fmt.Errorf("unknown topology %q (want dgx1, dgx1-low, cluster:<n>, fc:<n>)", name)
+		return nil, fmt.Errorf("unknown topology %q (want dgx1, dgx1-low, cluster:<n>, fc:<n>, fcasym:<n>, rr:<n>)", name)
 	}
 }
+
+// irregularSeed fixes the irregular-fabric generators so a topology name
+// always denotes the same graph — the schedule cache and any two requests
+// naming the same topology must agree on its shape.
+const irregularSeed = 1
 
 // fc:<n> link parameters: one NVLink-class lane per pair.
 const (

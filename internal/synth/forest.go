@@ -1,0 +1,297 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"ccube/internal/topology"
+)
+
+// Tree is one packed spanning tree over the participant set, with the
+// physical routes its edges claimed. Parent/Children/Up/Down are indexed by
+// participant index; Order is the attachment order (root first), so
+// iterating Order gives parents-before-children and iterating it backwards
+// gives children-before-parents.
+type Tree struct {
+	Root     int
+	Parent   []int
+	Children [][]int
+	Order    []int
+	Up       []topology.Route // child -> parent, indexed by child
+	Down     []topology.Route // parent -> child, indexed by child
+	// Bottleneck is the minimum effective bandwidth over every channel the
+	// tree claimed (detour hops carry double traffic weight).
+	Bottleneck float64
+	// Detours counts edges routed through an intermediate GPU because no
+	// direct unclaimed channel existed.
+	Detours int
+}
+
+// Forest is a set of channel-disjoint spanning trees: no physical channel
+// appears in two trees (nor twice within one), which is exactly the
+// disjointness the contention proof demands from an overlapped multi-tree
+// schedule.
+type Forest struct {
+	Trees   []*Tree
+	Detours int
+}
+
+// PackForest packs up to `want` channel-disjoint spanning trees over the
+// participants, ForestColl-style: each tree grows greedily by the
+// maximum-bottleneck attachment (effective bandwidth, so degraded links are
+// naturally avoided), dead channels are never used, and a stranded
+// participant may be spliced in over a two-hop detour through another GPU
+// (unless allowDetour is false). Packing stops at the first tree that
+// cannot span; at least one tree must span or PackForest errors. seed
+// rotates the root sequence, making distinct seeds distinct packings.
+func PackForest(g *topology.Graph, nodes []topology.NodeID, want int, seed int64, allowDetour bool) (*Forest, error) {
+	n := len(nodes)
+	if n < 2 {
+		return nil, fmt.Errorf("synth: %d participants", n)
+	}
+	if want < 1 {
+		want = 1
+	}
+
+	// Participant lookup and the dead-channel set.
+	idx := make(map[topology.NodeID]int, n)
+	for i, id := range nodes {
+		idx[id] = i
+	}
+	down := make(map[topology.ChannelID]bool)
+	for _, ch := range g.DownChannels() {
+		down[ch] = true
+	}
+	claimed := make(map[topology.ChannelID]bool)
+
+	// Root order: participants by descending healthy egress bandwidth,
+	// rotated by the seed so different seeds explore different packings.
+	roots := rootOrder(g, nodes, down)
+	if seed != 0 {
+		off := int(seed%int64(n)+int64(n)) % n
+		roots = append(roots[off:], roots[:off]...)
+	}
+
+	f := &Forest{}
+	for ti := 0; ti < want; ti++ {
+		t := packTree(g, nodes, roots[ti%n], claimed, down, allowDetour)
+		if t == nil {
+			break
+		}
+		f.Trees = append(f.Trees, t)
+		f.Detours += t.Detours
+	}
+	if len(f.Trees) == 0 {
+		return nil, fmt.Errorf("synth: participants are not connected by healthy channels; no spanning tree exists")
+	}
+	return f, nil
+}
+
+// rootOrder sorts participant indexes by descending total healthy effective
+// egress bandwidth (ties by index): high-capacity nodes make the best roots
+// and attract the first trees.
+func rootOrder(g *topology.Graph, nodes []topology.NodeID, down map[topology.ChannelID]bool) []int {
+	n := len(nodes)
+	egress := make([]float64, n)
+	for i, id := range nodes {
+		for _, ch := range g.Out(id) {
+			if !down[ch] {
+				egress[i] += g.Channel(ch).EffectiveBandwidth()
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return egress[order[a]] > egress[order[b]] })
+	return order
+}
+
+// attachment is one candidate way to connect participant v to the growing
+// tree under participant u.
+type attachment struct {
+	v, u  int
+	up    topology.Route // nodes[v] -> nodes[u]
+	down  topology.Route // nodes[u] -> nodes[v]
+	score float64        // bottleneck effective bandwidth (halved for detours)
+	hops  int            // total physical hops across both routes
+}
+
+// packTree grows one spanning tree from root with Prim-style greedy
+// maximum-bottleneck attachments over unclaimed healthy channels. On
+// success every claimed channel is recorded in `claimed`; on failure the
+// tree's provisional claims are rolled back and nil is returned.
+func packTree(g *topology.Graph, nodes []topology.NodeID, root int, claimed, down map[topology.ChannelID]bool, allowDetour bool) *Tree {
+	n := len(nodes)
+	t := &Tree{
+		Root:     root,
+		Parent:   make([]int, n),
+		Children: make([][]int, n),
+		Up:       make([]topology.Route, n),
+		Down:     make([]topology.Route, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	inTree := make([]bool, n)
+	depth := make([]int, n)
+	inTree[root] = true
+	t.Order = append(t.Order, root)
+
+	mine := make(map[topology.ChannelID]bool) // this tree's claims, for rollback
+	claim := func(r topology.Route) {
+		for _, ch := range r.Channels {
+			claimed[ch] = true
+			mine[ch] = true
+		}
+	}
+	taken := func(ch topology.ChannelID) bool { return claimed[ch] || down[ch] }
+
+	for len(t.Order) < n {
+		best, ok := bestAttachment(g, nodes, inTree, depth, t, taken, allowDetour)
+		if !ok {
+			for ch := range mine {
+				delete(claimed, ch)
+			}
+			return nil
+		}
+		claim(best.up)
+		claim(best.down)
+		v, u := best.v, best.u
+		t.Parent[v] = u
+		t.Children[u] = append(t.Children[u], v)
+		t.Up[v] = best.up
+		t.Down[v] = best.down
+		depth[v] = depth[u] + 1
+		inTree[v] = true
+		t.Order = append(t.Order, v)
+		if best.up.Hops() > 1 {
+			t.Detours++
+		}
+		if best.down.Hops() > 1 {
+			t.Detours++
+		}
+		if t.Bottleneck == 0 || best.score < t.Bottleneck {
+			t.Bottleneck = best.score
+		}
+	}
+	return t
+}
+
+// bestAttachment scans every (outside v, inside u) pair for the best
+// attachment. The up (v->u) and down (u->v) routes are found independently —
+// each direct when an unclaimed channel exists, else relay-spliced through a
+// third GPU when allowDetour — so an edge whose fabric is exhausted in one
+// direction can still attach by detouring just that direction. Preference
+// order: maximum bottleneck bandwidth (detoured routes score half — the
+// relay carries the payload twice), then fewest physical hops, then balanced
+// shallow trees (smallest children-count+depth of u), then smallest ids.
+func bestAttachment(g *topology.Graph, nodes []topology.NodeID, inTree []bool, depth []int, t *Tree, taken func(topology.ChannelID) bool, allowDetour bool) (attachment, bool) {
+	var best attachment
+	found := false
+	balance := func(u int) int { return len(t.Children[u]) + depth[u] }
+	better := func(c attachment) bool {
+		if !found {
+			return true
+		}
+		if c.score != best.score {
+			return c.score > best.score
+		}
+		if c.hops != best.hops {
+			return c.hops < best.hops
+		}
+		if bu, cu := balance(best.u), balance(c.u); bu != cu {
+			return cu < bu
+		}
+		if c.v != best.v {
+			return c.v < best.v
+		}
+		return c.u < best.u
+	}
+
+	for v := range nodes {
+		if inTree[v] {
+			continue
+		}
+		for u := range nodes {
+			if !inTree[u] {
+				continue
+			}
+			up, upBW, ok := bestRouteDir(g, nodes, v, u, taken, allowDetour)
+			if !ok {
+				continue
+			}
+			down, dnBW, ok := bestRouteDir(g, nodes, u, v, taken, allowDetour)
+			if !ok {
+				continue
+			}
+			c := attachment{
+				v: v, u: u, up: up, down: down,
+				score: min2(upBW, dnBW),
+				hops:  up.Hops() + down.Hops(),
+			}
+			if better(c) {
+				best, found = c, true
+			}
+		}
+	}
+	return best, found
+}
+
+// bestRouteDir finds the best usable route from participant `from` to
+// participant `to`: the highest-bandwidth unclaimed direct channel when one
+// exists, else (when allowDetour) the best two-hop splice through another
+// GPU, scored at half its bottleneck bandwidth because the relay moves the
+// payload twice. Up- and down-routes of one attachment can never collide:
+// every hop is a directed (src, dst) pair and the two routes traverse
+// opposite directions.
+func bestRouteDir(g *topology.Graph, nodes []topology.NodeID, from, to int, taken func(topology.ChannelID) bool, allowDetour bool) (topology.Route, float64, bool) {
+	if ch, bw, ok := bestChannel(g, nodes[from], nodes[to], taken); ok {
+		return topology.Route{Channels: []topology.ChannelID{ch}}, bw, true
+	}
+	if !allowDetour {
+		return topology.Route{}, 0, false
+	}
+	var best topology.Route
+	bestBW := 0.0
+	for m := range nodes {
+		if m == from || m == to {
+			continue
+		}
+		h1, bw1, ok1 := bestChannel(g, nodes[from], nodes[m], taken)
+		h2, bw2, ok2 := bestChannel(g, nodes[m], nodes[to], taken)
+		if !ok1 || !ok2 {
+			continue
+		}
+		if bw := min2(bw1, bw2) / 2; len(best.Channels) == 0 || bw > bestBW {
+			best = topology.Route{Channels: []topology.ChannelID{h1, h2}}
+			bestBW = bw
+		}
+	}
+	return best, bestBW, len(best.Channels) > 0
+}
+
+// bestChannel picks the highest-effective-bandwidth usable channel from a
+// to b (ties to the lowest id, for determinism).
+func bestChannel(g *topology.Graph, a, b topology.NodeID, taken func(topology.ChannelID) bool) (topology.ChannelID, float64, bool) {
+	bestID := topology.ChannelID(-1)
+	bestBW := 0.0
+	for _, ch := range g.ChannelsBetween(a, b) {
+		if taken(ch) {
+			continue
+		}
+		bw := g.Channel(ch).EffectiveBandwidth()
+		if bestID < 0 || bw > bestBW {
+			bestID, bestBW = ch, bw
+		}
+	}
+	return bestID, bestBW, bestID >= 0
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

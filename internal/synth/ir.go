@@ -1,0 +1,110 @@
+// Package synth compiles collective schedules for arbitrary physical
+// topologies instead of picking from the hand-written algorithm menu.
+//
+// The compiler has three layers, in the style of GC3 (collective programs
+// as an IR with optimization passes) seeded by a ForestColl-style
+// generator (throughput-oriented packing of edge-disjoint spanning trees
+// over the measured fabric):
+//
+//	primitive        Allreduce(bytes) over topology.Graph
+//	   │  PackForest: bandwidth-weighted, health-aware spanning-tree packing
+//	   ▼
+//	IR (Program)     rank × chunk × channel ops with explicit deps
+//	   │  passes: lift → parallelize → route (detour splice) → pipeline
+//	   ▼
+//	collective.Schedule   via Lower → collective.Assemble + Validate
+//
+// Every lowered schedule passes the full static verifier before it
+// escapes this package, and Synthesize memoizes through the schedule
+// cache/store under a key that includes the synthesis-config fingerprint,
+// so compiled schedules get the exact same correctness gate, staleness
+// detection, and warm-start behavior as the built-in algorithms.
+package synth
+
+import (
+	"ccube/internal/chunk"
+	"ccube/internal/topology"
+)
+
+// OpKind classifies an IR operation.
+type OpKind uint8
+
+const (
+	// Send moves a chunk over a channel and overwrites the destination
+	// buffer (broadcast hops, detour forwards).
+	Send OpKind = iota
+	// Reduce moves a chunk over a channel and accumulates into the
+	// destination buffer (reduction hops).
+	Reduce
+	// Marker is a zero-cost dependency join; with FinalAt >= 0 it records
+	// chunk availability (the per-chunk root-ready barrier).
+	Marker
+)
+
+// ChannelUnrouted marks an op whose logical tree edge has not yet been
+// assigned physical channels (before the route pass). Markers use -1, the
+// schedule vocabulary's marker channel.
+const ChannelUnrouted topology.ChannelID = -2
+
+// Op is one IR operation: a chunk moving over one physical hop of one tree
+// edge (or a marker). Ops keep their logical identity — (Tree, Child, Up,
+// Hop) — precisely so passes can transform programs without re-deriving
+// structure from the dependency graph.
+type Op struct {
+	Kind  OpKind
+	Chunk int
+	Bytes int64
+
+	// Logical identity: the forest edge this op implements. Child is the
+	// child-side participant index of the tree edge; Up distinguishes the
+	// reduction (child→parent) from the broadcast (parent→child)
+	// direction. Markers carry Tree and Chunk only (Child = -1).
+	Tree  int
+	Child int
+	Up    bool
+	// Hop indexes the physical hop within the edge's route once the route
+	// pass has run; -1 while the op is still logical.
+	Hop int
+
+	// Physical assignment (route pass). Channel is ChannelUnrouted before
+	// routing, -1 for markers, a real channel id after.
+	Channel topology.ChannelID
+	// Src and Dst are participant indexes of this hop's endpoints (-1 for
+	// markers). SrcRelay >= 0 redirects the source to an earlier op's relay
+	// slot; DstRelay parks the payload in this op's own relay slot
+	// (intermediate detour hops).
+	Src, Dst int
+	SrcRelay int
+	DstRelay bool
+
+	// FinalAt, when >= 0, is the participant index at which this op's
+	// completion makes the chunk fully reduced and available.
+	FinalAt int
+
+	// Deps are indexes of ops that must complete first (always earlier).
+	Deps []int
+
+	Label string
+}
+
+// Program is a collective program in IR form: the compilation unit the
+// passes transform and Lower materializes.
+type Program struct {
+	Graph     *topology.Graph
+	Nodes     []topology.NodeID
+	Forest    *Forest
+	Partition chunk.Partition
+
+	// InOrder/Streams mirror the schedule-level claim: chunk c belongs to
+	// stream c % Streams (one stream per tree) and each stream completes
+	// in chunk order at every node (FIFO pipelining per hop).
+	InOrder bool
+	Streams int
+
+	Ops []Op
+
+	// Passes records the applied pass pipeline, in order; Detours counts
+	// multi-hop edges the route pass spliced through relay GPUs.
+	Passes  []string
+	Detours int
+}

@@ -1,0 +1,259 @@
+package synth
+
+import (
+	"fmt"
+
+	"ccube/internal/chunk"
+	"ccube/internal/topology"
+)
+
+// The pass pipeline. Compile runs it end to end:
+//
+//	lift         Allreduce(bytes) → single-chunk logical program on tree 0
+//	parallelize  split into K chunks, round-robin across the forest's trees
+//	route        logical edges → physical hops (relay-spliced detours)
+//	pipeline     FIFO deps between consecutive chunks on every hop
+//
+// Each pass rewrites Program.Ops and records itself in Program.Passes.
+
+// Compile lowers the Allreduce primitive over the given forest into a fully
+// routed, pipelined IR program with k chunks.
+func Compile(g *topology.Graph, nodes []topology.NodeID, bytes int64, f *Forest, k int) (*Program, error) {
+	p, err := lift(g, nodes, bytes, f)
+	if err != nil {
+		return nil, err
+	}
+	if err := parallelize(p, k); err != nil {
+		return nil, err
+	}
+	if err := route(p); err != nil {
+		return nil, err
+	}
+	pipeline(p)
+	return p, nil
+}
+
+// lift builds the naive program for the Allreduce primitive: the whole
+// message, as one chunk, reduced up and broadcast down the forest's first
+// tree. Edges are logical (ChannelUnrouted); later passes parallelize,
+// route, and pipeline it.
+func lift(g *topology.Graph, nodes []topology.NodeID, bytes int64, f *Forest) (*Program, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("synth: message size %d", bytes)
+	}
+	if f == nil || len(f.Trees) == 0 {
+		return nil, fmt.Errorf("synth: empty forest")
+	}
+	p := &Program{
+		Graph:     g,
+		Nodes:     nodes,
+		Forest:    f,
+		Partition: chunk.Split(bytes, 1),
+		InOrder:   true,
+		Streams:   1,
+		Passes:    []string{"lift"},
+	}
+	emitChunk(p, 0, 0)
+	return p, nil
+}
+
+// emitChunk appends the logical ops moving chunk c through tree ti: the
+// pipelined reduction toward the root (children-before-parents), the
+// root-ready marker, and the broadcast back down, chained off the marker so
+// each chunk's broadcast starts the moment that chunk is reduced (the
+// overlapped-tree structure).
+func emitChunk(p *Program, ti, c int) {
+	t := p.Forest.Trees[ti]
+	bytes := p.Partition.Sizes[c]
+	up := make([]int, len(p.Nodes)) // participant -> its up-op index
+	for i := range up {
+		up[i] = -1
+	}
+
+	// Reduction: reverse attachment order gives children before parents.
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		v := t.Order[i]
+		if v == t.Root {
+			continue
+		}
+		var deps []int
+		for _, w := range t.Children[v] {
+			deps = append(deps, up[w])
+		}
+		up[v] = len(p.Ops)
+		p.Ops = append(p.Ops, Op{
+			Kind: Reduce, Chunk: c, Bytes: bytes,
+			Tree: ti, Child: v, Up: true, Hop: -1,
+			Channel: ChannelUnrouted, Src: v, Dst: t.Parent[v],
+			SrcRelay: -1, FinalAt: -1, Deps: deps,
+			Label: fmt.Sprintf("s%d:up:%d->%d:c%d", ti, v, t.Parent[v], c),
+		})
+	}
+
+	// Chunk fully reduced at the root once every root child delivered.
+	var rootDeps []int
+	for _, w := range t.Children[t.Root] {
+		rootDeps = append(rootDeps, up[w])
+	}
+	ready := len(p.Ops)
+	p.Ops = append(p.Ops, Op{
+		Kind: Marker, Chunk: c,
+		Tree: ti, Child: -1, Hop: -1,
+		Channel: -1, Src: -1, Dst: -1, SrcRelay: -1,
+		FinalAt: t.Root, Deps: rootDeps,
+		Label: fmt.Sprintf("s%d:rootready:c%d", ti, c),
+	})
+
+	// Broadcast: attachment order gives parents before children.
+	down := make([]int, len(p.Nodes))
+	for i := range down {
+		down[i] = -1
+	}
+	for _, v := range t.Order {
+		for _, w := range t.Children[v] {
+			var deps []int
+			if v == t.Root {
+				deps = []int{ready}
+			} else {
+				deps = []int{down[v]}
+			}
+			down[w] = len(p.Ops)
+			p.Ops = append(p.Ops, Op{
+				Kind: Send, Chunk: c, Bytes: bytes,
+				Tree: ti, Child: w, Up: false, Hop: -1,
+				Channel: ChannelUnrouted, Src: v, Dst: w,
+				SrcRelay: -1, FinalAt: w, Deps: deps,
+				Label: fmt.Sprintf("s%d:down:%d->%d:c%d", ti, v, w, c),
+			})
+		}
+	}
+}
+
+// parallelize is the chunk-parallelization pass: it re-emits the lifted
+// program as k chunks distributed round-robin over every tree of the forest
+// (chunk c rides tree c mod T), which is also what makes the multi-stream
+// in-order claim hold — stream identity is tree identity.
+func parallelize(p *Program, k int) error {
+	trees := len(p.Forest.Trees)
+	if k < trees {
+		return fmt.Errorf("synth: %d chunks cannot feed %d trees", k, trees)
+	}
+	if int64(k) > p.Partition.TotalBytes {
+		return fmt.Errorf("synth: %d chunks for %d bytes", k, p.Partition.TotalBytes)
+	}
+	p.Partition = chunk.Split(p.Partition.TotalBytes, k)
+	p.Streams = trees
+	p.Ops = p.Ops[:0]
+	for c := 0; c < k; c++ {
+		emitChunk(p, c%trees, c)
+	}
+	p.Passes = append(p.Passes, fmt.Sprintf("parallelize(k=%d,trees=%d)", k, trees))
+	return nil
+}
+
+// route is the physical-assignment pass: every logical edge op becomes the
+// hop chain of the route its tree claimed during packing. Single-hop edges
+// bind a channel in place; multi-hop edges (detours) are relay-spliced —
+// intermediate hops park the payload in their own relay slot and the next
+// hop forwards from it, the same splice shape the repair machinery uses for
+// §IV-A detours.
+func route(p *Program) error {
+	old := p.Ops
+	p.Ops = make([]Op, 0, len(old))
+	last := make([]int, len(old)) // old index -> new index of its final hop
+	detours := 0
+
+	for oi, op := range old {
+		remapped := remapDeps(op.Deps, last)
+		if op.Kind == Marker {
+			op.Deps = remapped
+			last[oi] = len(p.Ops)
+			p.Ops = append(p.Ops, op)
+			continue
+		}
+		if op.Channel != ChannelUnrouted {
+			return fmt.Errorf("synth: route: op %q already routed", op.Label)
+		}
+		t := p.Forest.Trees[op.Tree]
+		rt := t.Up[op.Child]
+		if !op.Up {
+			rt = t.Down[op.Child]
+		}
+		hops := rt.Hops()
+		if hops == 0 {
+			return fmt.Errorf("synth: route: no route for op %q", op.Label)
+		}
+		if hops > 1 {
+			detours++
+		}
+		prev := -1
+		for h, ch := range rt.Channels {
+			hop := op
+			hop.Channel = ch
+			hop.Hop = h
+			hop.Label = fmt.Sprintf("%s:h%d", op.Label, h)
+			if h == 0 {
+				hop.Deps = remapped
+			} else {
+				hop.SrcRelay = prev
+				hop.Deps = []int{prev}
+			}
+			if h < hops-1 {
+				// Intermediate hop: forward-only into its own relay slot;
+				// the reduction happens at the true destination.
+				hop.Kind = Send
+				hop.DstRelay = true
+				hop.FinalAt = -1
+			}
+			prev = len(p.Ops)
+			p.Ops = append(p.Ops, hop)
+		}
+		last[oi] = prev
+	}
+	p.Detours = detours
+	p.Passes = append(p.Passes, fmt.Sprintf("route(detours=%d)", detours))
+	return nil
+}
+
+func remapDeps(deps []int, last []int) []int {
+	if len(deps) == 0 {
+		return nil
+	}
+	out := make([]int, len(deps))
+	for i, d := range deps {
+		out[i] = last[d]
+	}
+	return out
+}
+
+// pipeline is the pipelining pass: consecutive chunks of the same tree are
+// chained FIFO on every physical hop, modeling the persistent channel
+// kernel that processes chunks strictly in order. This is what upgrades
+// the per-chunk DAG into an in-order pipeline — and what lets the in-order
+// proof accept the schedule's Streams claim.
+func pipeline(p *Program) {
+	type hopKey struct {
+		tree  int
+		child int
+		up    bool
+		hop   int
+		chunk int
+	}
+	at := make(map[hopKey]int, len(p.Ops))
+	trees := len(p.Forest.Trees)
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.Kind == Marker {
+			continue
+		}
+		k := hopKey{op.Tree, op.Child, op.Up, op.Hop, op.Chunk}
+		at[k] = i
+		if prevChunk := op.Chunk - trees; prevChunk >= 0 {
+			k.chunk = prevChunk
+			if j, ok := at[k]; ok {
+				op.Deps = append(op.Deps, j)
+			}
+		}
+	}
+	p.Passes = append(p.Passes, "pipeline")
+}

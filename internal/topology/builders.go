@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"math/rand"
 
 	"ccube/internal/des"
 )
@@ -107,6 +108,119 @@ func Hierarchy(cfg HierarchyConfig) *Graph {
 		}
 	}
 	return g
+}
+
+// AsymmetricFullyConnected builds n GPUs with a dedicated bidirectional
+// channel per pair whose bandwidth varies per pair: each pair's links run at
+// baseBandwidth scaled by a seeded factor in {1/4, 1/2, 3/4, 1}. Both
+// directions of a pair share the factor (a slow cable is slow both ways).
+// This is the heterogeneous-fabric setting no built-in algorithm models:
+// their embeddings are bandwidth-oblivious, so a synthesized schedule that
+// routes around the slow pairs beats them (ext-synth measures by how much).
+func AsymmetricFullyConnected(n int, baseBandwidth float64, latency des.Time, seed int64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: asymmetric mesh of %d nodes", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("GPU%d", i), GPU)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			factor := float64(rng.Intn(4)+1) / 4
+			g.AddBidi(ids[a], ids[b], baseBandwidth*factor, latency, "mesh")
+		}
+	}
+	return g
+}
+
+// RandomRegular builds a connected random d-regular graph over n GPUs (every
+// GPU has exactly d bidirectional links) via seeded pairing with retries.
+// n*d must be even and d < n. Sparse regular fabrics are the generic
+// "arbitrary cluster" case: no built-in embedding matches them, so the
+// built-ins pay detour routes while a synthesized spanning-tree packing uses
+// only real edges.
+func RandomRegular(n, d int, bandwidth float64, latency des.Time, seed int64) *Graph {
+	if n < 2 || d < 2 || d >= n || n*d%2 != 0 {
+		panic(fmt.Sprintf("topology: random %d-regular graph of %d nodes", d, n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := randomRegularEdges(n, d, rng)
+	g := NewGraph()
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("GPU%d", i), GPU)
+	}
+	for _, e := range edges {
+		g.AddBidi(ids[e[0]], ids[e[1]], bandwidth, latency, "link")
+	}
+	return g
+}
+
+// randomRegularEdges samples a simple connected d-regular edge set by the
+// pairing (configuration) model, resampling on collisions or disconnection.
+// The retry loop terminates with overwhelming probability for the small n
+// used here; a deterministic cap guards against pathological seeds.
+func randomRegularEdges(n, d int, rng *rand.Rand) [][2]int {
+	for attempt := 0; attempt < 10000; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		seen := make(map[[2]int]bool, n*d/2)
+		edges := make([][2]int, 0, n*d/2)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			a, b := stubs[i], stubs[i+1]
+			if a == b {
+				ok = false
+				break
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				ok = false
+				break
+			}
+			seen[[2]int{a, b}] = true
+			edges = append(edges, [2]int{a, b})
+		}
+		if ok && connectedEdges(n, edges) {
+			return edges
+		}
+	}
+	panic(fmt.Sprintf("topology: could not sample a connected %d-regular graph on %d nodes", d, n))
+}
+
+// connectedEdges reports whether the undirected edge set connects all n nodes.
+func connectedEdges(n int, edges [][2]int) bool {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	visited := make([]bool, n)
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !visited[w] {
+				visited[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
 }
 
 // SwitchHops returns the number of switches a message traverses between
